@@ -1,0 +1,80 @@
+#pragma once
+
+// Shared helpers for the reproduction benches. Each bench binary regenerates
+// one table or figure of the paper (see DESIGN.md experiment index and
+// EXPERIMENTS.md for the recorded outcomes).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/ir/expand.hpp"
+#include "core/perf/model.hpp"
+#include "core/perf/report.hpp"
+#include "core/tune/tuner.hpp"
+#include "core/util/strings.hpp"
+#include "core/util/timer.hpp"
+#include "fv3/driver.hpp"
+#include "fv3/dyn_core.hpp"
+#include "fv3/init/baroclinic.hpp"
+
+namespace cyclone::bench {
+
+/// The paper's target configuration: 192x192 horizontal points per compute
+/// node, 80 vertical levels (Sec. VII).
+inline fv3::FvConfig paper_config(int npx = 192, int npz = 80) {
+  fv3::FvConfig cfg;
+  cfg.npx = npx;
+  cfg.npz = npz;
+  cfg.k_split = 2;
+  cfg.n_split = 6;
+  cfg.ntracers = 4;
+  cfg.dt = 225.0;
+  return cfg;
+}
+
+/// Launch domain covering a whole tile of `npx` cells (the 6-rank setup).
+inline exec::LaunchDomain tile_domain(int npx, int npz) {
+  exec::LaunchDomain dom;
+  dom.ni = npx;
+  dom.nj = npx;
+  dom.nk = npz;
+  dom.gni = npx;
+  dom.gnj = npx;
+  return dom;
+}
+
+inline void print_rule(int width = 96) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& title) {
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+/// Modeled GPU time of a node list at a domain.
+inline double model_nodes_gpu(const std::vector<ir::SNode>& nodes, const ir::Program& meta_src,
+                              const exec::LaunchDomain& dom, const perf::MachineSpec& machine) {
+  std::vector<ir::KernelDesc> kernels;
+  for (const auto& node : nodes) {
+    auto ks = ir::expand_node(node, meta_src, dom, 1);
+    kernels.insert(kernels.end(), ks.begin(), ks.end());
+  }
+  return perf::model_program(kernels, machine);
+}
+
+/// Modeled CPU (k-blocked FORTRAN schedule) time of a node list.
+inline double model_nodes_cpu(const std::vector<ir::SNode>& nodes, const ir::Program& meta_src,
+                              const exec::LaunchDomain& dom, const perf::MachineSpec& machine) {
+  std::vector<ir::KernelDesc> kernels;
+  for (const auto& node : nodes) {
+    auto ks = ir::expand_node(node, meta_src, dom, 1);
+    kernels.insert(kernels.end(), ks.begin(), ks.end());
+  }
+  return perf::model_module_cpu(kernels, machine);
+}
+
+}  // namespace cyclone::bench

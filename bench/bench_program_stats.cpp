@@ -1,0 +1,48 @@
+// Sec. V-B reproduction: size statistics of the orchestrated dynamical-core
+// program. The paper's full model comes to 26,689 dataflow nodes in 3,179
+// states, 4,241 unique GPU kernels, kernels invoked up to 56 times; our
+// mini-dycore is proportionally smaller, but the same counters exist and
+// motivate the programmatic (rather than interactive) optimization approach.
+
+#include "bench_common.hpp"
+#include "core/orch/orchestrate.hpp"
+
+using namespace cyclone;
+
+int main() {
+  bench::print_header("Sec. V-B — Orchestrated program statistics");
+
+  const fv3::FvConfig cfg = bench::paper_config();
+  grid::Partitioner part(cfg.npx, 1, 1);
+  fv3::ModelState state(cfg, part, 0);
+
+  ir::Program prog = fv3::build_dycore_program(state, fv3::DycoreSchedules::tuned());
+  const orch::OrchestrationReport report = orch::orchestrate(prog);
+
+  const auto kernels = ir::expand_program(prog, state.domain());
+  const auto expansion = ir::expansion_stats(kernels);
+
+  std::printf("%-46s %10ld\n", "control-flow states", report.stats.states);
+  std::printf("%-46s %10ld\n", "dataflow nodes (access + tasklets + maps)",
+              report.stats.dataflow_nodes);
+  std::printf("%-46s %10ld\n", "stencil library nodes", report.stats.stencil_nodes);
+  std::printf("%-46s %10ld\n", "stencil operations (assignments)", report.stats.stencil_ops);
+  std::printf("%-46s %10ld\n", "halo-exchange points", report.stats.halo_exchanges);
+  std::printf("%-46s %10ld\n", "unique GPU kernels after expansion",
+              expansion.unique_kernels);
+  std::printf("%-46s %10ld\n", "kernel launches per physics step",
+              expansion.total_launches);
+  std::printf("%-46s %10ld\n", "max invocations of one state (loops)",
+              report.stats.max_node_invocations);
+  std::printf("%-46s %10d\n", "scalar parameters propagated into kernels",
+              report.params_propagated);
+  std::printf("%-46s %10d\n", "field bindings resolved (closure resolution)",
+              report.bindings_resolved);
+
+  bench::print_rule();
+  std::printf(
+      "Paper (full FV3): 26,689 dataflow nodes, 3,179 states, 4,241 unique kernels,\n"
+      "kernels invoked up to 56 times. The counters scale with model size; the\n"
+      "conclusion — optimization must be programmatic — is the reproduced claim.\n");
+  return 0;
+}

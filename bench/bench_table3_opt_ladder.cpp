@@ -1,0 +1,96 @@
+// Table III reproduction: the optimization ladder of the 6-node dycore run.
+// Each row applies one more stage of the paper's two performance-engineering
+// cycles to the whole-program IR and reports the simulated P100 step time:
+//
+//   FORTRAN (k-blocked Haswell model)      16.36 s   1.00x   (paper)
+//   GT4Py + DaCe (Default schedules)       10.87 s   1.50x
+//   Cycle 1: stencil schedule heuristics    5.56 s   2.94x
+//            local caching                  5.45 s   3.00x
+//            optimize power operator        5.35 s   3.06x
+//            split regions                  4.82 s   3.39x
+//   Cycle 2: reschedule (autotune pass 2)   4.816 s  3.40x
+//            region pruning                 4.77 s   3.43x
+//            transfer tuning                4.61 s   3.55x
+
+#include "bench_common.hpp"
+#include "core/xform/passes.hpp"
+
+using namespace cyclone;
+
+namespace {
+
+double step_time(const ir::Program& program, const exec::LaunchDomain& dom,
+                 const perf::MachineSpec& machine) {
+  return perf::model_program(ir::expand_program(program, dom), machine);
+}
+
+void row(const char* cycle, const char* name, double t, double fortran) {
+  std::printf("%-9s %-38s %12s %9.2fx\n", cycle, name, str::human_time(t).c_str(),
+              fortran / t);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table III — Dynamical Core Optimization (6-node run, 192x192x80/node)");
+
+  const fv3::FvConfig cfg = bench::paper_config();
+  grid::Partitioner part(cfg.npx, 1, 1);
+  fv3::ModelState state(cfg, part, 0);
+  const exec::LaunchDomain dom = state.domain();
+
+  tune::TuningOptions topt;
+  topt.dom = dom;
+  topt.machine = perf::p100();
+
+  // FORTRAN baseline: the same program under the k-blocked Haswell model.
+  ir::Program prog = fv3::build_dycore_program(state, fv3::DycoreSchedules::defaults());
+  const double fortran =
+      perf::model_module_cpu(ir::expand_program(prog, dom), perf::haswell());
+
+  std::printf("%-9s %-38s %12s %9s\n", "cycle", "version", "step time", "speedup");
+  row("", "FORTRAN (k-blocked, Haswell model)", fortran, fortran);
+  row("", "GT4Py + DaCe (default schedules)", step_time(prog, dom, topt.machine), fortran);
+
+  // Cycle 1 --------------------------------------------------------------
+  tune::autotune_schedules(prog, topt);
+  row("cycle 1", "stencil schedule heuristics", step_time(prog, dom, topt.machine), fortran);
+
+  xform::set_vertical_cache(prog, sched::CacheKind::Registers);
+  row("", "local caching (vertical solvers)", step_time(prog, dom, topt.machine), fortran);
+
+  const int pow_rewrites = xform::strength_reduce_program(prog);
+  std::printf("          (%d pow sites rewritten)\n", pow_rewrites);
+  row("", "optimize power operator", step_time(prog, dom, topt.machine), fortran);
+
+  xform::set_region_strategy(prog, sched::RegionStrategy::SeparateKernels);
+  row("", "split regions to multiple kernels", step_time(prog, dom, topt.machine), fortran);
+
+  // Cycle 2 --------------------------------------------------------------
+  const int rescheduled = tune::autotune_schedules(prog, topt);
+  std::printf("          (%d nodes rescheduled)\n", rescheduled);
+  row("cycle 2", "reschedule (autotune pass 2)", step_time(prog, dom, topt.machine), fortran);
+
+  const int pruned = xform::prune_regions(prog, dom);
+  std::printf("          (%d region statements pruned)\n", pruned);
+  row("", "region pruning", step_time(prog, dom, topt.machine), fortran);
+
+  // Transfer tuning: tune the d_sw/FVT states, transfer everywhere.
+  const auto otf = tune::collect_patterns(
+      tune::tune_cutouts(prog, topt, tune::TransformKind::OtfFusion));
+  const auto sgf = tune::collect_patterns(
+      tune::tune_cutouts(prog, topt, tune::TransformKind::SubgraphFusion));
+  std::vector<tune::Pattern> patterns = otf;
+  patterns.insert(patterns.end(), sgf.begin(), sgf.end());
+  const auto report = tune::transfer(prog, patterns, topt);
+  std::printf("          (%d patterns, %d transfers applied)\n",
+              static_cast<int>(patterns.size()), report.applied);
+  row("", "transfer tuning (OTF + SGF)", step_time(prog, dom, topt.machine), fortran);
+
+  bench::print_rule();
+  std::printf(
+      "Paper ladder: 16.36 s -> 10.87 (1.50x) -> 5.56 (2.94x) -> 5.45 -> 5.35 ->\n"
+      "4.82 -> 4.816 -> 4.77 -> 4.61 s (3.55x). Shape: the schedule heuristics give\n"
+      "the big jump, later stages add smaller but monotone improvements.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Baroclinic-wave demo: the paper's distributed test case (Sec. IX) on the
+// simulated 6-rank cubed sphere. Initializes the balanced zonal jet with a
+// perturbation, advances the full DSL dynamical core, and prints global
+// diagnostics each step — mass conservation and wave growth are visible in
+// the numbers.
+//
+//   ./example_baroclinic_demo [npx] [npz] [steps]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/util/strings.hpp"
+#include "fv3/driver.hpp"
+#include "fv3/init/baroclinic.hpp"
+
+using namespace cyclone;
+
+int main(int argc, char** argv) {
+  fv3::FvConfig cfg;
+  cfg.npx = argc > 1 ? std::atoi(argv[1]) : 24;
+  cfg.npz = argc > 2 ? std::atoi(argv[2]) : 12;
+  const int steps = argc > 3 ? std::atoi(argv[3]) : 5;
+  cfg.k_split = 2;
+  cfg.n_split = 3;
+  cfg.ntracers = 4;
+  cfg.dt = 600.0;
+
+  std::printf("baroclinic wave on the cubed sphere: c%d, %d levels, 6 ranks, dt=%.0fs\n",
+              cfg.npx, cfg.npz, cfg.dt);
+
+  fv3::DistributedModel model(cfg, 6);
+  fv3::BaroclinicCase wave;
+  wave.u_pert = 2.0;
+  fv3::init_baroclinic(model, wave);
+
+  const fv3::GlobalDiagnostics start = model.diagnostics();
+  std::printf("%6s %16s %14s %10s %10s %10s\n", "step", "total mass", "tracer mass",
+              "max |u|", "max |w|", "mean pt");
+  auto print = [&](int step, const fv3::GlobalDiagnostics& d) {
+    std::printf("%6d %16.6e %14.6e %10.3f %10.4f %10.3f\n", step, d.total_mass,
+                d.tracer_mass_q0, d.max_wind, d.max_w, d.mean_pt);
+  };
+  print(0, start);
+
+  for (int s = 1; s <= steps; ++s) {
+    model.step();
+    print(s, model.diagnostics());
+  }
+
+  const fv3::GlobalDiagnostics end = model.diagnostics();
+  std::printf("\nmass drift: %.3e (relative)\n",
+              end.total_mass / start.total_mass - 1.0);
+  std::printf("halo traffic: %ld messages, %s total\n", model.comm().total_messages(),
+              str::human_bytes(static_cast<double>(model.comm().total_bytes())).c_str());
+  return 0;
+}

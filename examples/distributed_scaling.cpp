@@ -1,0 +1,53 @@
+// Distributed-execution example: run the same global problem on different
+// cubed-sphere decompositions (6, 24, 54 simulated ranks), verify the
+// physics is decomposition-independent, and show the halo-exchange traffic
+// each layout generates — the communication view of Sec. IV-C.
+//
+//   ./example_distributed_scaling
+
+#include <cstdio>
+
+#include "core/util/strings.hpp"
+#include "fv3/driver.hpp"
+#include "fv3/init/baroclinic.hpp"
+
+using namespace cyclone;
+
+int main() {
+  fv3::FvConfig cfg;
+  cfg.npx = 24;
+  cfg.npz = 10;
+  cfg.k_split = 1;
+  cfg.n_split = 3;
+  cfg.ntracers = 2;
+  cfg.dt = 450.0;
+
+  std::printf("one global c%d problem, three decompositions, one physics answer\n\n",
+              cfg.npx);
+  std::printf("%8s %10s %16s %10s %12s %14s\n", "ranks", "subdomain", "total mass",
+              "max |u|", "messages", "halo bytes");
+
+  double reference_mass = 0;
+  for (int ranks : {6, 24, 54}) {
+    fv3::DistributedModel model(cfg, ranks);
+    fv3::init_baroclinic(model);
+    model.comm().reset_counters();
+    model.step();
+    const auto d = model.diagnostics();
+    const auto& info = model.partitioner().info(0);
+    std::printf("%8d %6dx%-4d %16.8e %10.4f %12ld %14s\n", ranks, info.ni, info.nj,
+                d.total_mass, d.max_wind, model.comm().total_messages(),
+                str::human_bytes(static_cast<double>(model.comm().total_bytes())).c_str());
+    if (ranks == 6) {
+      reference_mass = d.total_mass;
+    } else {
+      std::printf("%8s relative mass difference vs 6 ranks: %.3e\n", "",
+                  d.total_mass / reference_mass - 1.0);
+    }
+  }
+
+  std::printf(
+      "\nMore ranks exchange more (smaller) messages for the same physics — the\n"
+      "communication pattern the network model charges in the weak-scaling bench.\n");
+  return 0;
+}

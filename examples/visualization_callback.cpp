@@ -1,0 +1,58 @@
+// The orchestration interop story (paper Sec. V-B): even with the whole
+// model compiled into one program, callback nodes keep a live connection to
+// the host — here an in-situ visualization callback renders the evolving
+// tracer field as an ASCII lat-lon map *from inside the running program*,
+// exactly where a Python callback would call matplotlib.
+//
+//   ./example_visualization_callback [steps]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fv3/driver.hpp"
+#include "fv3/init/baroclinic.hpp"
+#include "fv3/latlon.hpp"
+
+using namespace cyclone;
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 4;
+
+  fv3::FvConfig cfg;
+  cfg.npx = 24;
+  cfg.npz = 8;
+  cfg.k_split = 1;
+  cfg.n_split = 3;
+  cfg.ntracers = 1;
+  cfg.dt = 900.0;
+
+  fv3::DistributedModel model(cfg, 6);
+  fv3::BaroclinicCase wave;
+  wave.u0 = 45.0;
+  fv3::init_baroclinic(model, wave);
+
+  // Inject a callback node at the end of the program: it runs on rank 0's
+  // catalog each step and triggers the global visualization. Ordering
+  // relative to the stencil nodes is preserved (the __pystate mechanism).
+  int frame = 0;
+  bool render_now = false;
+  model.program().append_state(ir::State{
+      "visualize", {ir::SNode::make_callback("ascii_plot", [&](FieldCatalog&) {
+        render_now = true;
+      })}});
+
+  for (int s = 0; s <= steps; ++s) {
+    if (s > 0) model.step();
+    if (s == 0 || render_now) {
+      render_now = false;
+      const fv3::LatLonGrid grid = fv3::sample_latlon(model, "q0", cfg.npz / 2, 16, 48);
+      std::printf("--- tracer q0, step %d (frame %d) ---\n%s\n", s, frame++,
+                  fv3::ascii_map(grid).c_str());
+    }
+  }
+
+  const auto d = model.diagnostics();
+  std::printf("final: mass %.4e, max|u| %.2f m/s — rendered %d frames in situ\n",
+              d.total_mass, d.max_wind, frame);
+  return 0;
+}

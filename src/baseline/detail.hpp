@@ -1,0 +1,49 @@
+#pragma once
+
+// Internal helpers shared by the baseline loop kernels: 2-D scratch planes
+// and the slope/upwind primitives, written the way FORTRAN work arrays and
+// statement functions are.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace cyclone::baseline::detail {
+
+/// 2-D scratch plane with a fixed margin, the FORTRAN work-array idiom.
+class Plane {
+ public:
+  Plane(int ni, int nj, int margin = 4)
+      : margin_(margin), stride_(ni + 2 * margin), data_(static_cast<size_t>(stride_) *
+                                                          (nj + 2 * margin)) {}
+
+  double& operator()(int i, int j) {
+    return data_[static_cast<size_t>(j + margin_) * stride_ + (i + margin_)];
+  }
+  double operator()(int i, int j) const {
+    return data_[static_cast<size_t>(j + margin_) * stride_ + (i + margin_)];
+  }
+
+ private:
+  int margin_;
+  int stride_;
+  std::vector<double> data_;
+};
+
+inline double sign_of(double x) { return (x > 0.0) - (x < 0.0); }
+
+/// Monotone van Leer slope (identical arithmetic to the DSL version).
+inline double mono_slope(double qm, double q0, double qp) {
+  const double dql = q0 - qm;
+  const double dqr = qp - q0;
+  const double centered = (qp - qm) * 0.5;
+  const double limited =
+      std::min(std::abs(centered), std::min(std::abs(dql) * 2.0, std::abs(dqr) * 2.0));
+  return (sign_of(dql) + sign_of(dqr)) * 0.5 * limited;
+}
+
+inline double upwind_face(double qm, double q0, double slope_m, double slope_0, double cr) {
+  return cr > 0.0 ? qm + (1.0 - cr) * 0.5 * slope_m : q0 - (1.0 + cr) * 0.5 * slope_0;
+}
+
+}  // namespace cyclone::baseline::detail

@@ -1,0 +1,73 @@
+#pragma once
+
+#include "core/exec/launch.hpp"
+#include "core/field/catalog.hpp"
+#include "fv3/config.hpp"
+
+namespace cyclone::baseline {
+
+/// FORTRAN-style loop-nest implementations of the dynamical-core modules,
+/// written the way the production model is: explicit index loops with the
+/// vertical loop hoisted outward (k-blocking) so 2-D planes stay cache
+/// resident, 2-D scratch arrays, hard-coded schedules. Numerics match the
+/// DSL versions bit-for-bit (the test suite diffs them), making this both
+/// the performance baseline and the validation oracle — the role the
+/// serialized FORTRAN reference data plays in the paper (Sec. IV-A).
+///
+/// All routines read/write fields from the catalog by the same names the
+/// DSL stencils use, and honor the launch domain's global placement for
+/// tile-edge corrections.
+
+/// Finite-volume transport (fv_tp_2d): fluxes of `q_name` into
+/// `fx_name`/`fy_name` using crx/cry, over the face-extended domain.
+void fv_tp_2d(FieldCatalog& cat, const exec::LaunchDomain& dom, const std::string& q_name,
+              const std::string& fx_name, const std::string& fy_name);
+
+/// Flux-form update: q += (fx - fx(i+1)) + (fy - fy(j+1)).
+void flux_update(FieldCatalog& cat, const exec::LaunchDomain& dom, const std::string& q_name,
+                 const std::string& fx_name, const std::string& fy_name);
+
+/// C-grid half step (winds + divergence half-update).
+void c_sw(FieldCatalog& cat, const exec::LaunchDomain& dom, double dt_acoustic);
+
+/// Semi-implicit Riemann solver (column Thomas algorithm) + w update.
+/// `w_rhs` names the forcing field (wc for the C-grid instance).
+void riem_solver_c(FieldCatalog& cat, const exec::LaunchDomain& dom,
+                   const fv3::FvConfig& config, double dt_acoustic,
+                   const std::string& w_rhs = "w");
+
+/// Pressure variables: pe (hydrostatic sum), pk, peln, ps, gz.
+void pressure_update(FieldCatalog& cat, const exec::LaunchDomain& dom,
+                     const fv3::FvConfig& config);
+
+/// Nonhydrostatic + Exner pressure-gradient force on the winds.
+void nh_p_grad(FieldCatalog& cat, const exec::LaunchDomain& dom, double dt_acoustic);
+
+/// D-grid step: vorticity/KE/divergence, Courant numbers, transport of
+/// delp/pt/w, wind update, Smagorinsky diffusion, divergence damping.
+void d_sw(FieldCatalog& cat, const exec::LaunchDomain& dom, const fv3::FvConfig& config,
+          double dt_acoustic);
+
+/// Layer-thickness update from w convergence.
+void update_dz(FieldCatalog& cat, const exec::LaunchDomain& dom, double dt_acoustic);
+
+/// Lagrangian-to-Eulerian vertical remap of all prognostics + tracers.
+void remap(FieldCatalog& cat, const exec::LaunchDomain& dom, const fv3::FvConfig& config);
+
+/// Sponge-layer Rayleigh damping of u/v/w at the model top.
+void rayleigh_damping(FieldCatalog& cat, const exec::LaunchDomain& dom,
+                      const fv3::FvConfig& config, double dt_remap);
+
+/// Vertical positivity filling of one tracer (fillz).
+void fillz(FieldCatalog& cat, const exec::LaunchDomain& dom, const std::string& q_name);
+
+/// Mass-weighted tracer advection of all tracers (FV3's tracer_2d):
+/// advects q*delp and the air mass with the same fluxes, recovering
+/// bounded mixing ratios as the ratio.
+void tracer_2d(FieldCatalog& cat, const exec::LaunchDomain& dom, const fv3::FvConfig& config);
+
+/// del2-cubed diffusion of one tracer (one application).
+void del2_cubed(FieldCatalog& cat, const exec::LaunchDomain& dom, const std::string& q_name,
+                double coefficient);
+
+}  // namespace cyclone::baseline

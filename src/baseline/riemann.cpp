@@ -1,0 +1,62 @@
+#include "baseline/kernels.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "grid/geometry.hpp"
+
+namespace cyclone::baseline {
+
+void riem_solver_c(FieldCatalog& cat, const exec::LaunchDomain& dom,
+                   const fv3::FvConfig& config, double dt_acoustic,
+                   const std::string& w_rhs) {
+  const FieldD& delz = cat.at("delz");
+  const FieldD& delp = cat.at("delp");
+  const FieldD& wf = cat.at(w_rhs);  // forcing field
+  FieldD& w = cat.at("w");
+  FieldD& pp = cat.at("pp");
+  const int ni = dom.ni, nj = dom.nj, nk = dom.nk;
+  const double dt = dt_acoustic;
+  const double cs2 = grid::kRdGas * config.t_mean;
+  const int ext = 0;  // interior solve; pp halos come from the exchange
+
+  // Column-wise Thomas algorithm (the FORTRAN column-blocking schedule).
+  std::vector<double> aa(nk), bb(nk), cc(nk), rhs(nk), gam(nk);
+  for (int j = -ext; j < nj + ext; ++j) {
+    for (int i = -ext; i < ni + ext; ++i) {
+      for (int k = 0; k < nk; ++k) {
+        aa[k] = k == 0 ? 0.0
+                       : dt * dt * cs2 /
+                             (delz(i, j, k) * 0.5 * (delz(i, j, k) + delz(i, j, k - 1)));
+        cc[k] = k == nk - 1
+                    ? 0.0
+                    : dt * dt * cs2 /
+                          (delz(i, j, k) * 0.5 * (delz(i, j, k) + delz(i, j, k + 1)));
+      }
+      for (int k = 0; k < nk; ++k) {
+        bb[k] = 1.0 + aa[k] + cc[k];
+        if (k == 0) {
+          rhs[k] = -dt * cs2 * (wf(i, j, k + 1) - wf(i, j, k)) / delz(i, j, k);
+        } else if (k == nk - 1) {
+          rhs[k] = -dt * cs2 * (wf(i, j, k) - wf(i, j, k - 1)) / delz(i, j, k);
+        } else {
+          rhs[k] = -dt * cs2 * (wf(i, j, k + 1) - wf(i, j, k - 1)) * 0.5 / delz(i, j, k);
+        }
+      }
+      gam[0] = cc[0] / bb[0];
+      pp(i, j, 0) = rhs[0] / bb[0];
+      for (int k = 1; k < nk; ++k) {
+        const double denom = bb[k] - aa[k] * gam[k - 1];
+        gam[k] = cc[k] / denom;
+        pp(i, j, k) = (rhs[k] + aa[k] * pp(i, j, k - 1)) / denom;
+      }
+      for (int k = nk - 2; k >= 0; --k) pp(i, j, k) += gam[k] * pp(i, j, k + 1);
+      w(i, j, 0) -= dt * grid::kGravity * pp(i, j, 0) / delp(i, j, 0);
+      for (int k = 1; k < nk; ++k) {
+        w(i, j, k) += dt * grid::kGravity * (pp(i, j, k - 1) - pp(i, j, k)) / delp(i, j, k);
+      }
+    }
+  }
+}
+
+}  // namespace cyclone::baseline

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baseline/kernels.hpp"
+#include "comm/halo.hpp"
+#include "fv3/driver.hpp"
+#include "fv3/state.hpp"
+
+namespace cyclone::baseline {
+
+/// The FORTRAN-style distributed model: same state, same halo updater, same
+/// sub-stepping structure as the DSL model, but every module is a
+/// hand-written k-blocked loop nest. Serves as the performance baseline
+/// (Tables II/III) and as the independent validation oracle the paper's
+/// serialized reference data provides.
+class BaselineModel {
+ public:
+  BaselineModel(const fv3::FvConfig& config, int num_ranks);
+
+  [[nodiscard]] const grid::Partitioner& partitioner() const { return part_; }
+  [[nodiscard]] int num_ranks() const { return part_.num_ranks(); }
+  [[nodiscard]] fv3::ModelState& state(int rank) { return *states_[static_cast<size_t>(rank)]; }
+  [[nodiscard]] comm::SimComm& comm() { return comm_; }
+
+  /// Advance one physics timestep on every rank.
+  void step();
+
+  /// Exchange the prognostic fields' halos (after initialization).
+  void exchange_prognostics();
+
+  [[nodiscard]] fv3::GlobalDiagnostics diagnostics() const;
+
+ private:
+  void exchange_scalar(const std::string& name);
+  void exchange_winds();
+
+  fv3::FvConfig config_;
+  grid::Partitioner part_;
+  std::vector<std::unique_ptr<fv3::ModelState>> states_;
+  comm::SimComm comm_;
+  comm::HaloUpdater halo_;
+};
+
+}  // namespace cyclone::baseline

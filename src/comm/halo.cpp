@@ -1,0 +1,260 @@
+#include "comm/halo.hpp"
+
+#include <algorithm>
+
+namespace cyclone::comm {
+
+void fill_corners(FieldD& f, int width, CornerFill dir) {
+  const int ni = f.shape().ni();
+  const int nj = f.shape().nj();
+  const int nk = f.shape().nk();
+  CY_REQUIRE(width <= f.shape().halo().i && width <= f.shape().halo().j);
+
+  // Transpose convention (the analog of FV3's fill_corners): corner cell
+  // values come from the adjacent *exchanged* edge halo by transposing the
+  // (depth-in-i, depth-in-j) offsets. XDir sources the i-edge halos (used
+  // before an i-direction sweep), YDir the j-edge halos.
+  for (int k = 0; k < nk; ++k) {
+    for (int q = 0; q < width; ++q) {     // depth in j
+      for (int p = 0; p < width; ++p) {   // depth in i
+        const int iw = -1 - p, ie = ni + p;
+        const int js = -1 - q, jn = nj + q;
+        if (dir == CornerFill::XDir) {
+          f(iw, js, k) = f(-1 - q, p, k);
+          f(ie, js, k) = f(ni + q, p, k);
+          f(iw, jn, k) = f(-1 - q, nj - 1 - p, k);
+          f(ie, jn, k) = f(ni + q, nj - 1 - p, k);
+        } else {
+          f(iw, js, k) = f(q, -1 - p, k);
+          f(ie, js, k) = f(ni - 1 - q, -1 - p, k);
+          f(iw, jn, k) = f(q, nj + p, k);
+          f(ie, jn, k) = f(ni - 1 - q, nj + p, k);
+        }
+      }
+    }
+  }
+}
+
+HaloUpdater::HaloUpdater(const grid::Partitioner& part, int width)
+    : part_(part), width_(width) {
+  CY_REQUIRE_MSG(width > 0, "halo width must be positive");
+  const int nranks = part.num_ranks();
+  recv_plan_.resize(static_cast<size_t>(nranks));
+  send_plan_.resize(static_cast<size_t>(nranks));
+  corners_.resize(static_cast<size_t>(nranks));
+
+  for (int rank = 0; rank < nranks; ++rank) {
+    const grid::RankInfo info = part.info(rank);
+    for (int lj = -width; lj < info.nj + width; ++lj) {
+      for (int li = -width; li < info.ni + width; ++li) {
+        const bool in_i = li >= 0 && li < info.ni;
+        const bool in_j = lj >= 0 && lj < info.nj;
+        if (in_i && in_j) continue;  // interior, not a halo cell
+        const auto resolved = part.resolve(rank, li, lj);
+        if (!resolved) {
+          // Cube-corner diagonal: no owner; remember the transpose-fill
+          // sources (the tile corner coincides with this rank's corner).
+          const int ni = info.ni, nj = info.nj;
+          const int p = li < 0 ? -1 - li : li - ni;  // depth in i
+          const int q = lj < 0 ? -1 - lj : lj - nj;  // depth in j
+          CornerCell c{li, lj, 0, 0, 0, 0};
+          if (li < 0) {
+            c.src_x_li = -1 - q;
+            c.src_y_li = q;
+          } else {
+            c.src_x_li = ni + q;
+            c.src_y_li = ni - 1 - q;
+          }
+          if (lj < 0) {
+            c.src_x_lj = li < 0 ? p : p;  // row p from the bottom
+            c.src_y_lj = -1 - p;
+          } else {
+            c.src_x_lj = nj - 1 - p;
+            c.src_y_lj = nj + p;
+          }
+          corners_[static_cast<size_t>(rank)].push_back(c);
+          continue;
+        }
+        if (resolved->rank == rank) continue;  // periodic self-wrap impossible
+
+        HaloCell cell;
+        cell.li = li;
+        cell.lj = lj;
+        cell.src_li = resolved->li;
+        cell.src_lj = resolved->lj;
+        if (resolved->tile != info.tile) {
+          const auto m = grid::halo_vector_transform(info.tile, info.i0 + li, info.j0 + lj,
+                                                     part.n());
+          std::copy(m.begin(), m.end(), cell.m);
+        } else {
+          cell.m[0] = 1;
+          cell.m[1] = 0;
+          cell.m[2] = 0;
+          cell.m[3] = 1;
+        }
+        recv_plan_[static_cast<size_t>(rank)][resolved->rank].push_back(cell);
+      }
+    }
+  }
+  for (int dst = 0; dst < nranks; ++dst) {
+    for (const auto& [src, cells] : recv_plan_[static_cast<size_t>(dst)]) {
+      send_plan_[static_cast<size_t>(src)][dst] = cells;
+    }
+  }
+}
+
+void HaloUpdater::exchange_scalar(const std::vector<FieldD*>& fields, SimComm& comm) const {
+  exchange_impl(fields, nullptr, comm);
+}
+
+void HaloUpdater::exchange_vector(const std::vector<FieldD*>& u, const std::vector<FieldD*>& v,
+                                  SimComm& comm) const {
+  exchange_impl(u, &v, comm);
+}
+
+void HaloUpdater::exchange_impl(const std::vector<FieldD*>& u, const std::vector<FieldD*>* v,
+                                SimComm& comm) const {
+  const int nranks = part_.num_ranks();
+  CY_REQUIRE_MSG(static_cast<int>(u.size()) == nranks,
+                 "need one field per rank (" << nranks << ")");
+  const int components = v ? 2 : 1;
+  constexpr int kTag = 7;
+
+  // Phase 1: every rank packs and posts its sends (nonblocking).
+  for (int src = 0; src < nranks; ++src) {
+    const FieldD& fu = *u[src];
+    const int nk = fu.shape().nk();
+    for (const auto& [dst, cells] : send_plan_[static_cast<size_t>(src)]) {
+      std::vector<double> buf;
+      buf.reserve(cells.size() * static_cast<size_t>(nk) * components);
+      for (const auto& c : cells) {
+        for (int k = 0; k < nk; ++k) {
+          buf.push_back(fu(c.src_li, c.src_lj, k));
+          if (v) buf.push_back((*(*v)[src])(c.src_li, c.src_lj, k));
+        }
+      }
+      comm.isend(src, dst, kTag, std::move(buf));
+    }
+  }
+
+  // Phase 2: every rank receives, rotates and unpacks.
+  for (int dst = 0; dst < nranks; ++dst) {
+    FieldD& fu = *u[dst];
+    const int nk = fu.shape().nk();
+    for (const auto& [src, cells] : recv_plan_[static_cast<size_t>(dst)]) {
+      const std::vector<double> buf = comm.recv(dst, src, kTag);
+      CY_ENSURE(buf.size() == cells.size() * static_cast<size_t>(nk) * components);
+      size_t idx = 0;
+      for (const auto& c : cells) {
+        for (int k = 0; k < nk; ++k) {
+          if (v) {
+            const double us = buf[idx++];
+            const double vs = buf[idx++];
+            fu(c.li, c.lj, k) = c.m[0] * us + c.m[1] * vs;
+            (*(*v)[dst])(c.li, c.lj, k) = c.m[2] * us + c.m[3] * vs;
+          } else {
+            fu(c.li, c.lj, k) = buf[idx++];
+          }
+        }
+      }
+    }
+  }
+}
+
+void HaloUpdater::fill_cube_corners(const std::vector<FieldD*>& fields, CornerFill dir) const {
+  CY_REQUIRE(fields.size() == corners_.size());
+  for (size_t rank = 0; rank < fields.size(); ++rank) {
+    FieldD& f = *fields[rank];
+    const int nk = f.shape().nk();
+    for (const auto& c : corners_[rank]) {
+      const int si = dir == CornerFill::XDir ? c.src_x_li : c.src_y_li;
+      const int sj = dir == CornerFill::XDir ? c.src_x_lj : c.src_y_lj;
+      for (int k = 0; k < nk; ++k) f(c.li, c.lj, k) = f(si, sj, k);
+    }
+  }
+}
+
+void HaloUpdater::exchange_group(const std::vector<std::vector<FieldD*>>& groups,
+                                 SimComm& comm) const {
+  CY_REQUIRE_MSG(!groups.empty(), "empty field group");
+  const int nranks = part_.num_ranks();
+  constexpr int kTag = 9;
+
+  // Phase 1: one packed message per (src, dst) carrying every field.
+  for (int src = 0; src < nranks; ++src) {
+    for (const auto& [dst, cells] : send_plan_[static_cast<size_t>(src)]) {
+      std::vector<double> buf;
+      for (const auto& fields : groups) {
+        const FieldD& f = *fields[static_cast<size_t>(src)];
+        const int nk = f.shape().nk();
+        for (const auto& c : cells) {
+          for (int k = 0; k < nk; ++k) buf.push_back(f(c.src_li, c.src_lj, k));
+        }
+      }
+      comm.isend(src, dst, kTag, std::move(buf));
+    }
+  }
+
+  // Phase 2: receive and unpack in the same field order.
+  for (int dst = 0; dst < nranks; ++dst) {
+    for (const auto& [src, cells] : recv_plan_[static_cast<size_t>(dst)]) {
+      const std::vector<double> buf = comm.recv(dst, src, kTag);
+      size_t idx = 0;
+      for (const auto& fields : groups) {
+        FieldD& f = *fields[static_cast<size_t>(dst)];
+        const int nk = f.shape().nk();
+        for (const auto& c : cells) {
+          for (int k = 0; k < nk; ++k) f(c.li, c.lj, k) = buf[idx++];
+        }
+      }
+      CY_ENSURE(idx == buf.size());
+    }
+  }
+}
+
+void HaloUpdater::start_exchange(const std::vector<FieldD*>& fields, SimComm& comm) const {
+  const int nranks = part_.num_ranks();
+  constexpr int kTag = 11;
+  for (int src = 0; src < nranks; ++src) {
+    const FieldD& f = *fields[static_cast<size_t>(src)];
+    const int nk = f.shape().nk();
+    for (const auto& [dst, cells] : send_plan_[static_cast<size_t>(src)]) {
+      std::vector<double> buf;
+      buf.reserve(cells.size() * static_cast<size_t>(nk));
+      for (const auto& c : cells) {
+        for (int k = 0; k < nk; ++k) buf.push_back(f(c.src_li, c.src_lj, k));
+      }
+      comm.isend(src, dst, kTag, std::move(buf));
+    }
+  }
+}
+
+void HaloUpdater::finish_exchange(const std::vector<FieldD*>& fields, SimComm& comm) const {
+  const int nranks = part_.num_ranks();
+  constexpr int kTag = 11;
+  for (int dst = 0; dst < nranks; ++dst) {
+    FieldD& f = *fields[static_cast<size_t>(dst)];
+    const int nk = f.shape().nk();
+    for (const auto& [src, cells] : recv_plan_[static_cast<size_t>(dst)]) {
+      const std::vector<double> buf = comm.recv(dst, src, kTag);
+      size_t idx = 0;
+      for (const auto& c : cells) {
+        for (int k = 0; k < nk; ++k) f(c.li, c.lj, k) = buf[idx++];
+      }
+    }
+  }
+}
+
+long HaloUpdater::messages_per_rank(int rank) const {
+  return static_cast<long>(send_plan_[static_cast<size_t>(rank)].size());
+}
+
+long HaloUpdater::cells_sent_per_rank(int rank) const {
+  long cells = 0;
+  for (const auto& [_, list] : send_plan_[static_cast<size_t>(rank)]) {
+    cells += static_cast<long>(list.size());
+  }
+  return cells;
+}
+
+}  // namespace cyclone::comm

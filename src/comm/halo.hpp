@@ -1,0 +1,88 @@
+#pragma once
+
+#include <vector>
+
+#include "comm/simcomm.hpp"
+#include "core/field/field.hpp"
+#include "grid/partitioner.hpp"
+
+namespace cyclone::comm {
+
+/// Direction hint for cube-corner fills, matching FV3's fill_corners: before
+/// an i-direction sweep corners are filled from the j-halo (XDir) and vice
+/// versa.
+enum class CornerFill { XDir, YDir };
+
+/// Fill the diagonal corner halo cells of a field from its (already
+/// exchanged) edge halos with the transpose convention (see halo.cpp).
+void fill_corners(FieldD& f, int width, CornerFill dir);
+
+/// Cubed-sphere halo updater: precomputes, per destination rank, the source
+/// rank/cell of every halo cell (with cross-edge index rotation) and the
+/// vector component transform. Exchanges run through SimComm as nonblocking
+/// sends followed by receives, exactly like the paper's halo updater object
+/// (Sec. IV-C).
+class HaloUpdater {
+ public:
+  HaloUpdater(const grid::Partitioner& part, int width);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] const grid::Partitioner& partitioner() const { return part_; }
+
+  /// Exchange a scalar field; `fields[r]` is rank r's local field. All
+  /// fields must share (ni, nj, nk) with halos >= width.
+  void exchange_scalar(const std::vector<FieldD*>& fields, SimComm& comm) const;
+
+  /// Exchange a vector pair with component rotation across tile edges.
+  void exchange_vector(const std::vector<FieldD*>& u, const std::vector<FieldD*>& v,
+                       SimComm& comm) const;
+
+  /// Coalesced exchange: all fields of a group travel in one message per
+  /// neighbor pair (FV3's grouped halo updates — pays the latency alpha
+  /// once instead of once per field). `groups[g][r]` is rank r's field g.
+  void exchange_group(const std::vector<std::vector<FieldD*>>& groups, SimComm& comm) const;
+
+  /// Nonblocking split: `start` posts all sends (packing included), `finish`
+  /// receives and unpacks; compute may overlap between the two calls (the
+  /// paper's nonblocking halo exchanges, Sec. II).
+  void start_exchange(const std::vector<FieldD*>& fields, SimComm& comm) const;
+  void finish_exchange(const std::vector<FieldD*>& fields, SimComm& comm) const;
+
+  /// Fill only the *cube-corner* diagonal halo cells (the ones with no
+  /// owning rank) with the transpose convention; halo cells that were
+  /// exchanged stay untouched, so results are decomposition-independent.
+  void fill_cube_corners(const std::vector<FieldD*>& fields, CornerFill dir) const;
+
+  /// Messages a single rank sends per scalar exchange (for the network
+  /// model; the same count is received).
+  [[nodiscard]] long messages_per_rank(int rank) const;
+  /// Halo cells rank `rank` sends per scalar exchange and per k level.
+  [[nodiscard]] long cells_sent_per_rank(int rank) const;
+
+ private:
+  struct HaloCell {
+    int li, lj;       ///< destination-local halo cell
+    int src_li, src_lj;  ///< source-rank-local cell
+    double m[4];      ///< vector transform (identity for same-tile)
+  };
+  struct CornerCell {
+    int li, lj;
+    int src_x_li, src_x_lj;  ///< XDir transpose source
+    int src_y_li, src_y_lj;  ///< YDir transpose source
+  };
+  /// Per-rank cube-corner diagonal cells (no owner; filled by convention).
+  std::vector<std::vector<CornerCell>> corners_;
+
+  /// recv_plan_[dst][src] = halo cells dst receives from src.
+  std::vector<std::map<int, std::vector<HaloCell>>> recv_plan_;
+  /// send_plan_[src][dst] = same cells, indexed from the sender side.
+  std::vector<std::map<int, std::vector<HaloCell>>> send_plan_;
+
+  grid::Partitioner part_;
+  int width_;
+
+  void exchange_impl(const std::vector<FieldD*>& u, const std::vector<FieldD*>* v,
+                     SimComm& comm) const;
+};
+
+}  // namespace cyclone::comm

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "core/util/error.hpp"
+
+namespace cyclone::comm {
+
+/// In-process stand-in for the MPI point-to-point layer: ranks exchange
+/// messages through per-(src, dst, tag) FIFO mailboxes. Because the rank
+/// scheduler is phase-based (all ranks post their sends before any rank
+/// waits), nonblocking semantics are preserved deterministically. Message
+/// and byte counters feed the network cost model for distributed timing.
+class SimComm {
+ public:
+  explicit SimComm(int nranks) : nranks_(nranks) {
+    CY_REQUIRE_MSG(nranks > 0, "need at least one rank");
+    sent_bytes_per_rank_.assign(static_cast<size_t>(nranks), 0);
+    sent_msgs_per_rank_.assign(static_cast<size_t>(nranks), 0);
+  }
+
+  [[nodiscard]] int nranks() const { return nranks_; }
+
+  /// Nonblocking send: the payload is moved into the mailbox immediately.
+  void isend(int src, int dst, int tag, std::vector<double> data) {
+    check_rank(src);
+    check_rank(dst);
+    total_messages_ += 1;
+    total_bytes_ += static_cast<long>(data.size() * sizeof(double));
+    sent_msgs_per_rank_[static_cast<size_t>(src)] += 1;
+    sent_bytes_per_rank_[static_cast<size_t>(src)] +=
+        static_cast<long>(data.size() * sizeof(double));
+    mailboxes_[{src, dst, tag}].push_back(std::move(data));
+  }
+
+  /// Blocking receive matched by (src, dst, tag); throws if no message is
+  /// pending (a deadlock under the phase-based scheduler — always a bug).
+  std::vector<double> recv(int dst, int src, int tag) {
+    check_rank(src);
+    check_rank(dst);
+    auto it = mailboxes_.find({src, dst, tag});
+    CY_REQUIRE_MSG(it != mailboxes_.end() && !it->second.empty(),
+                   "recv would deadlock: no message from " << src << " to " << dst << " tag "
+                                                           << tag);
+    std::vector<double> data = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) mailboxes_.erase(it);
+    return data;
+  }
+
+  /// True if a matching message is pending.
+  [[nodiscard]] bool probe(int dst, int src, int tag) const {
+    auto it = mailboxes_.find({src, dst, tag});
+    return it != mailboxes_.end() && !it->second.empty();
+  }
+
+  /// No message may be left unconsumed at the end of a phase.
+  [[nodiscard]] bool all_drained() const { return mailboxes_.empty(); }
+
+  [[nodiscard]] long total_messages() const { return total_messages_; }
+  [[nodiscard]] long total_bytes() const { return total_bytes_; }
+  [[nodiscard]] long messages_from(int rank) const {
+    return sent_msgs_per_rank_[static_cast<size_t>(rank)];
+  }
+  [[nodiscard]] long bytes_from(int rank) const {
+    return sent_bytes_per_rank_[static_cast<size_t>(rank)];
+  }
+
+  void reset_counters() {
+    total_messages_ = 0;
+    total_bytes_ = 0;
+    sent_bytes_per_rank_.assign(sent_bytes_per_rank_.size(), 0);
+    sent_msgs_per_rank_.assign(sent_msgs_per_rank_.size(), 0);
+  }
+
+ private:
+  void check_rank(int r) const {
+    CY_REQUIRE_MSG(r >= 0 && r < nranks_, "rank " << r << " out of range");
+  }
+
+  int nranks_;
+  std::map<std::tuple<int, int, int>, std::deque<std::vector<double>>> mailboxes_;
+  long total_messages_ = 0;
+  long total_bytes_ = 0;
+  std::vector<long> sent_msgs_per_rank_;
+  std::vector<long> sent_bytes_per_rank_;
+};
+
+/// Alpha-beta cost model of the interconnect (Aries-like defaults), used to
+/// convert exchange statistics into simulated communication time.
+struct NetworkModel {
+  double latency = 1.8e-6;      ///< per message [s]
+  double bandwidth = 9.5e9;     ///< per link [B/s]
+
+  [[nodiscard]] double time(long messages, long bytes) const {
+    return latency * static_cast<double>(messages) +
+           static_cast<double>(bytes) / bandwidth;
+  }
+};
+
+}  // namespace cyclone::comm

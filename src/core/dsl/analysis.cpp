@@ -1,0 +1,114 @@
+#include "core/dsl/analysis.hpp"
+
+namespace cyclone::dsl {
+
+void AccessInfo::merge(const AccessInfo& other) {
+  for (const auto& [name, ext] : other.reads) reads[name].merge(ext);
+  for (const auto& [name, ext] : other.writes) writes[name].merge(ext);
+  params.insert(other.params.begin(), other.params.end());
+}
+
+std::set<std::string> AccessInfo::fields() const {
+  std::set<std::string> out;
+  for (const auto& [name, _] : reads) out.insert(name);
+  for (const auto& [name, _] : writes) out.insert(name);
+  return out;
+}
+
+void collect_accesses(const ExprP& expr, AccessInfo& out) {
+  CY_REQUIRE(expr != nullptr);
+  switch (expr->kind) {
+    case ExprKind::FieldAccess:
+      out.reads[expr->name].merge(expr->off);
+      break;
+    case ExprKind::Param:
+      out.params.insert(expr->name);
+      break;
+    default:
+      break;
+  }
+  for (const auto& arg : expr->args) collect_accesses(arg, out);
+}
+
+AccessInfo analyze(const Stmt& stmt) {
+  AccessInfo info;
+  collect_accesses(stmt.rhs, info);
+  info.writes[stmt.lhs].merge(Offset{});
+  return info;
+}
+
+AccessInfo analyze(const StencilFunc& stencil) {
+  AccessInfo info;
+  for (const auto& block : stencil.blocks()) {
+    for (const auto& iv : block.intervals) {
+      for (const auto& stmt : iv.body) info.merge(analyze(stmt));
+    }
+  }
+  return info;
+}
+
+std::map<std::string, Extent> infer_read_extents(const StencilFunc& stencil) {
+  // Walk statements in reverse program order, propagating the extent each
+  // written field is later consumed with onto that statement's own reads.
+  // This mirrors GT4Py's extent inference: if tmp is read at [-1, 1] and tmp
+  // itself reads `in` at [-1, 1], then `in` must be valid on [-2, 2].
+  std::map<std::string, Extent> consumed;  // extent each field is needed at
+  // Flatten statements in program order.
+  std::vector<const Stmt*> order;
+  for (const auto& block : stencil.blocks()) {
+    for (const auto& iv : block.intervals) {
+      for (const auto& stmt : iv.body) order.push_back(&stmt);
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Stmt& stmt = **it;
+    Extent out_ext;  // extent at which this statement's output is consumed
+    if (auto found = consumed.find(stmt.lhs); found != consumed.end()) out_ext = found->second;
+    AccessInfo info;
+    collect_accesses(stmt.rhs, info);
+    for (const auto& [name, read_ext] : info.reads) {
+      Extent shifted;
+      shifted.i_lo = out_ext.i_lo + read_ext.i_lo;
+      shifted.i_hi = out_ext.i_hi + read_ext.i_hi;
+      shifted.j_lo = out_ext.j_lo + read_ext.j_lo;
+      shifted.j_hi = out_ext.j_hi + read_ext.j_hi;
+      shifted.k_lo = out_ext.k_lo + read_ext.k_lo;
+      shifted.k_hi = out_ext.k_hi + read_ext.k_hi;
+      consumed[name].merge(shifted);
+    }
+  }
+  // Remove pure outputs (never read).
+  std::map<std::string, Extent> reads;
+  AccessInfo whole = analyze(stencil);
+  for (const auto& [name, ext] : consumed) {
+    if (whole.reads.count(name)) reads[name] = ext;
+  }
+  return reads;
+}
+
+bool thread_fusible(const Stmt& producer, const Stmt& consumer) {
+  AccessInfo reads;
+  collect_accesses(consumer.rhs, reads);
+  auto it = reads.reads.find(producer.lhs);
+  if (it == reads.reads.end()) return true;  // no dependency at all
+  return it->second.is_zero();
+}
+
+bool all_thread_fusible(const std::vector<Stmt>& stmts) {
+  for (size_t c = 1; c < stmts.size(); ++c) {
+    for (size_t p = 0; p < c; ++p) {
+      if (!thread_fusible(stmts[p], stmts[c])) return false;
+    }
+  }
+  return true;
+}
+
+Extent fusion_read_extent(const Stmt& producer, const Stmt& consumer) {
+  AccessInfo reads;
+  collect_accesses(consumer.rhs, reads);
+  auto it = reads.reads.find(producer.lhs);
+  if (it == reads.reads.end()) return Extent{};
+  return it->second;
+}
+
+}  // namespace cyclone::dsl

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/dsl/stencil.hpp"
+
+namespace cyclone::dsl {
+
+/// Read/write footprint of a statement, interval block or whole stencil.
+struct AccessInfo {
+  std::map<std::string, Extent> reads;   ///< per-field union of read offsets
+  std::map<std::string, Extent> writes;  ///< per-field write extents (always zero offsets)
+  std::set<std::string> params;
+
+  void merge(const AccessInfo& other);
+  [[nodiscard]] bool reads_field(const std::string& name) const { return reads.count(name) > 0; }
+  [[nodiscard]] bool writes_field(const std::string& name) const {
+    return writes.count(name) > 0;
+  }
+  /// Union of read and written field names.
+  [[nodiscard]] std::set<std::string> fields() const;
+};
+
+/// Collect all field accesses / params of an expression tree.
+void collect_accesses(const ExprP& expr, AccessInfo& out);
+
+/// Footprint of a single statement.
+AccessInfo analyze(const Stmt& stmt);
+
+/// Footprint of a whole stencil function.
+AccessInfo analyze(const StencilFunc& stencil);
+
+/// Per-field *halo consumption* of a stencil: how far reads reach outside
+/// the compute domain after accounting for producer/consumer chains inside
+/// the stencil (transitive extent propagation, as GT4Py's frontend performs
+/// to infer buffer sizes).
+std::map<std::string, Extent> infer_read_extents(const StencilFunc& stencil);
+
+/// True if statement `consumer` can be fused with `producer` at thread level
+/// (executed back-to-back per grid point): `consumer` must not read any field
+/// written by `producer` at a nonzero horizontal/vertical offset.
+bool thread_fusible(const Stmt& producer, const Stmt& consumer);
+
+/// True if every adjacent pair in the statement list is thread-fusible,
+/// meaning the whole list can run as a single sweep without intermediate
+/// full-plane synchronization.
+bool all_thread_fusible(const std::vector<Stmt>& stmts);
+
+/// Maximum horizontal offset magnitude with which `consumer` reads fields
+/// written by `producer`; 0 means pointwise. Used by OTF fusion to size the
+/// redundant-computation halo.
+Extent fusion_read_extent(const Stmt& producer, const Stmt& consumer);
+
+}  // namespace cyclone::dsl

@@ -1,0 +1,144 @@
+#include "core/dsl/ast.hpp"
+
+#include <sstream>
+
+namespace cyclone::dsl {
+
+const char* binop_name(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Pow: return "**";
+    case BinOp::Min: return "min";
+    case BinOp::Max: return "max";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::And: return "and";
+    case BinOp::Or: return "or";
+  }
+  return "?";
+}
+
+const char* unop_name(UnOp op) {
+  switch (op) {
+    case UnOp::Neg: return "-";
+    case UnOp::Not: return "not";
+    case UnOp::Abs: return "abs";
+    case UnOp::Sqrt: return "sqrt";
+    case UnOp::Exp: return "exp";
+    case UnOp::Log: return "log";
+    case UnOp::Sin: return "sin";
+    case UnOp::Cos: return "cos";
+    case UnOp::Floor: return "floor";
+    case UnOp::Sign: return "sign";
+  }
+  return "?";
+}
+
+std::string to_string(const ExprP& e) {
+  CY_REQUIRE(e != nullptr);
+  std::ostringstream os;
+  switch (e->kind) {
+    case ExprKind::Literal: {
+      os << e->lit;
+      break;
+    }
+    case ExprKind::Param: {
+      os << e->name;
+      break;
+    }
+    case ExprKind::FieldAccess: {
+      os << e->name;
+      if (!(e->off == Offset{})) {
+        os << "[" << e->off.i << "," << e->off.j << "," << e->off.k << "]";
+      }
+      break;
+    }
+    case ExprKind::Unary: {
+      os << unop_name(e->uop) << "(" << to_string(e->args[0]) << ")";
+      break;
+    }
+    case ExprKind::Binary: {
+      const bool fn_style = e->bop == BinOp::Min || e->bop == BinOp::Max;
+      if (fn_style) {
+        os << binop_name(e->bop) << "(" << to_string(e->args[0]) << ", " << to_string(e->args[1])
+           << ")";
+      } else {
+        os << "(" << to_string(e->args[0]) << " " << binop_name(e->bop) << " "
+           << to_string(e->args[1]) << ")";
+      }
+      break;
+    }
+    case ExprKind::Select: {
+      os << "(" << to_string(e->args[1]) << " if " << to_string(e->args[0]) << " else "
+         << to_string(e->args[2]) << ")";
+      break;
+    }
+  }
+  return os.str();
+}
+
+bool expr_equal(const ExprP& a, const ExprP& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case ExprKind::Literal:
+      if (a->lit != b->lit) return false;
+      break;
+    case ExprKind::Param:
+      if (a->name != b->name) return false;
+      break;
+    case ExprKind::FieldAccess:
+      if (a->name != b->name || !(a->off == b->off)) return false;
+      break;
+    case ExprKind::Unary:
+      if (a->uop != b->uop) return false;
+      break;
+    case ExprKind::Binary:
+      if (a->bop != b->bop) return false;
+      break;
+    case ExprKind::Select:
+      break;
+  }
+  if (a->args.size() != b->args.size()) return false;
+  for (size_t i = 0; i < a->args.size(); ++i) {
+    if (!expr_equal(a->args[i], b->args[i])) return false;
+  }
+  return true;
+}
+
+long expr_flops(const ExprP& e, long pow_cost) {
+  CY_REQUIRE(e != nullptr);
+  long total = 0;
+  for (const auto& arg : e->args) total += expr_flops(arg, pow_cost);
+  switch (e->kind) {
+    case ExprKind::Literal:
+    case ExprKind::Param:
+    case ExprKind::FieldAccess:
+      return total;
+    case ExprKind::Unary:
+      // Transcendental unaries cost more than arithmetic ones.
+      switch (e->uop) {
+        case UnOp::Sqrt: return total + 8;
+        case UnOp::Exp:
+        case UnOp::Log:
+        case UnOp::Sin:
+        case UnOp::Cos: return total + 20;
+        default: return total + 1;
+      }
+    case ExprKind::Binary:
+      return total + (e->bop == BinOp::Pow ? pow_cost : 1);
+    case ExprKind::Select:
+      return total + 1;
+  }
+  return total;
+}
+
+}  // namespace cyclone::dsl

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/util/error.hpp"
+
+namespace cyclone::dsl {
+
+/// Relative grid offset of a field access. GT4Py only permits *compile-time
+/// constant* offsets (the paper's Sec. IV-D concession: "GT4Py does not
+/// support variable offsets"); this is enforced by construction here.
+struct Offset {
+  int i = 0;
+  int j = 0;
+  int k = 0;
+
+  friend bool operator==(const Offset&, const Offset&) = default;
+};
+
+enum class ExprKind { Literal, Param, FieldAccess, Unary, Binary, Select };
+
+enum class BinOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Pow,
+  Min,
+  Max,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  And,
+  Or,
+};
+
+enum class UnOp { Neg, Not, Abs, Sqrt, Exp, Log, Sin, Cos, Floor, Sign };
+
+struct Expr;
+using ExprP = std::shared_ptr<const Expr>;
+
+/// Immutable expression tree node. Shared subtrees are permitted (the tree is
+/// a DAG); evaluation is purely functional.
+struct Expr {
+  ExprKind kind;
+  double lit = 0.0;    ///< Literal
+  std::string name;    ///< Param / FieldAccess
+  Offset off;          ///< FieldAccess
+  BinOp bop{};         ///< Binary
+  UnOp uop{};          ///< Unary
+  std::vector<ExprP> args;
+
+  static ExprP literal(double v) {
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Literal;
+    e->lit = v;
+    return e;
+  }
+
+  static ExprP param(std::string name) {
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Param;
+    e->name = std::move(name);
+    return e;
+  }
+
+  static ExprP field(std::string name, Offset off = {}) {
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::FieldAccess;
+    e->name = std::move(name);
+    e->off = off;
+    return e;
+  }
+
+  static ExprP unary(UnOp op, ExprP a) {
+    CY_REQUIRE(a != nullptr);
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Unary;
+    e->uop = op;
+    e->args = {std::move(a)};
+    return e;
+  }
+
+  static ExprP binary(BinOp op, ExprP a, ExprP b) {
+    CY_REQUIRE(a != nullptr && b != nullptr);
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Binary;
+    e->bop = op;
+    e->args = {std::move(a), std::move(b)};
+    return e;
+  }
+
+  static ExprP select(ExprP cond, ExprP if_true, ExprP if_false) {
+    CY_REQUIRE(cond != nullptr && if_true != nullptr && if_false != nullptr);
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::Select;
+    e->args = {std::move(cond), std::move(if_true), std::move(if_false)};
+    return e;
+  }
+};
+
+const char* binop_name(BinOp op);
+const char* unop_name(UnOp op);
+
+/// Render an expression as a compact string (for diagnostics / IR dumps).
+std::string to_string(const ExprP& e);
+
+/// Structural equality of two expression trees.
+bool expr_equal(const ExprP& a, const ExprP& b);
+
+/// Number of scalar floating-point operations the expression performs
+/// (comparisons count as 1; pow counts as `pow_cost`, reflecting that
+/// general-purpose pow runs through the special-function path and costs
+/// hundreds of FMA-equivalents — the root cause of the paper's Smagorinsky
+/// case study, Sec. VI-C1).
+long expr_flops(const ExprP& e, long pow_cost = 250);
+
+}  // namespace cyclone::dsl

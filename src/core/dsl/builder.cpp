@@ -1,0 +1,53 @@
+#include "core/dsl/builder.hpp"
+
+namespace cyclone::dsl {
+
+IntervalCtx& IntervalCtx::assign(const FieldVar& lhs, const E& rhs) {
+  auto& body = owner_->blocks_[block_].intervals[interval_].body;
+  body.push_back(Stmt{lhs.name(), rhs.expr(), std::nullopt});
+  return *this;
+}
+
+IntervalCtx& IntervalCtx::assign_in(const Region& region, const FieldVar& lhs, const E& rhs) {
+  auto& body = owner_->blocks_[block_].intervals[interval_].body;
+  body.push_back(Stmt{lhs.name(), rhs.expr(), region});
+  return *this;
+}
+
+IntervalCtx ComputationCtx::interval(const Interval& k_range) {
+  auto& block = owner_->blocks_[block_];
+  block.intervals.push_back(IntervalBlock{k_range, {}});
+  return IntervalCtx(*owner_, block_, block.intervals.size() - 1);
+}
+
+FieldVar StencilBuilder::field(const std::string& name) {
+  CY_REQUIRE_MSG(!params_.count(name), "'" << name << "' already declared as a parameter");
+  fields_.insert(name);
+  return FieldVar(name);
+}
+
+FieldVar StencilBuilder::temp(const std::string& name) {
+  CY_REQUIRE_MSG(!params_.count(name), "'" << name << "' already declared as a parameter");
+  fields_.insert(name);
+  temporaries_.insert(name);
+  return FieldVar(name);
+}
+
+ParamVar StencilBuilder::param(const std::string& name) {
+  CY_REQUIRE_MSG(!fields_.count(name), "'" << name << "' already declared as a field");
+  params_.insert(name);
+  return ParamVar(name);
+}
+
+ComputationCtx StencilBuilder::computation(IterOrder order) {
+  blocks_.push_back(ComputationBlock{order, {}});
+  return ComputationCtx(*this, blocks_.size() - 1);
+}
+
+StencilFunc StencilBuilder::build() const {
+  StencilFunc func(name_, blocks_, temporaries_, params_);
+  validate(func);
+  return func;
+}
+
+}  // namespace cyclone::dsl

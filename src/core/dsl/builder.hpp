@@ -1,0 +1,92 @@
+#pragma once
+
+#include "core/dsl/expr_builder.hpp"
+#include "core/dsl/stencil.hpp"
+
+namespace cyclone::dsl {
+
+class StencilBuilder;
+
+/// Handle to an open interval block: statements are appended with assign()
+/// calls, chained fluently.
+class IntervalCtx {
+ public:
+  IntervalCtx(StencilBuilder& owner, size_t block, size_t interval)
+      : owner_(&owner), block_(block), interval_(interval) {}
+
+  /// Append `lhs = rhs` applied to the whole horizontal plane.
+  IntervalCtx& assign(const FieldVar& lhs, const E& rhs);
+
+  /// Append `lhs = rhs` restricted to a horizontal region (the DSL's
+  /// `with horizontal(region[...])` construct).
+  IntervalCtx& assign_in(const Region& region, const FieldVar& lhs, const E& rhs);
+
+ private:
+  StencilBuilder* owner_;
+  size_t block_;
+  size_t interval_;
+};
+
+/// Handle to an open computation block; new interval blocks are opened with
+/// interval().
+class ComputationCtx {
+ public:
+  ComputationCtx(StencilBuilder& owner, size_t block) : owner_(&owner), block_(block) {}
+
+  [[nodiscard]] IntervalCtx interval(const Interval& k_range);
+
+  /// Shorthand for the full vertical domain.
+  [[nodiscard]] IntervalCtx full() { return interval(full_interval()); }
+
+ private:
+  StencilBuilder* owner_;
+  size_t block_;
+};
+
+/// Fluent construction of StencilFunc objects — the C++ equivalent of
+/// writing a decorated GT4Py function. Example:
+///
+///   StencilBuilder b("laplacian");
+///   auto in = b.field("in"), out = b.field("out");
+///   b.parallel().full().assign(
+///       out, in(-1, 0) + in(1, 0) + in(0, -1) + in(0, 1) - 4.0 * E(in));
+///   StencilFunc s = b.build();
+class StencilBuilder {
+ public:
+  explicit StencilBuilder(std::string name) : name_(std::move(name)) {}
+
+  /// Declare a field argument (storage provided by the caller at run time).
+  [[nodiscard]] FieldVar field(const std::string& name);
+
+  /// Declare a stencil-local temporary field (allocated by the backend).
+  [[nodiscard]] FieldVar temp(const std::string& name);
+
+  /// Declare a runtime scalar parameter.
+  [[nodiscard]] ParamVar param(const std::string& name);
+
+  /// Open a `with computation(...)` block.
+  [[nodiscard]] ComputationCtx computation(IterOrder order);
+  [[nodiscard]] ComputationCtx parallel() { return computation(IterOrder::Parallel); }
+  [[nodiscard]] ComputationCtx forward() { return computation(IterOrder::Forward); }
+  [[nodiscard]] ComputationCtx backward() { return computation(IterOrder::Backward); }
+
+  /// Validate and return the finished stencil. Throws ValidationError on
+  /// semantic errors (see validate.cpp for the rules).
+  [[nodiscard]] StencilFunc build() const;
+
+ private:
+  friend class ComputationCtx;
+  friend class IntervalCtx;
+
+  std::string name_;
+  std::vector<ComputationBlock> blocks_;
+  std::set<std::string> fields_;
+  std::set<std::string> temporaries_;
+  std::set<std::string> params_;
+};
+
+/// Semantic validation of a stencil function; throws ValidationError with a
+/// descriptive message on the first violation.
+void validate(const StencilFunc& stencil);
+
+}  // namespace cyclone::dsl

@@ -1,0 +1,107 @@
+#pragma once
+
+#include "core/dsl/ast.hpp"
+
+namespace cyclone::dsl {
+
+/// Lightweight value wrapper enabling NumPy-esque authoring of stencil
+/// expressions with C++ operator overloading, mirroring GT4Py's embedded
+/// syntax (Fig. 4a of the paper).
+class E {
+ public:
+  E(double v) : p_(Expr::literal(v)) {}  // NOLINT: implicit by design
+  E(int v) : p_(Expr::literal(v)) {}     // NOLINT: implicit by design
+  explicit E(ExprP p) : p_(std::move(p)) { CY_REQUIRE(p_ != nullptr); }
+
+  [[nodiscard]] const ExprP& expr() const { return p_; }
+
+ private:
+  ExprP p_;
+};
+
+inline E operator+(E a, E b) { return E(Expr::binary(BinOp::Add, a.expr(), b.expr())); }
+inline E operator-(E a, E b) { return E(Expr::binary(BinOp::Sub, a.expr(), b.expr())); }
+inline E operator*(E a, E b) { return E(Expr::binary(BinOp::Mul, a.expr(), b.expr())); }
+inline E operator/(E a, E b) { return E(Expr::binary(BinOp::Div, a.expr(), b.expr())); }
+inline E operator-(E a) { return E(Expr::unary(UnOp::Neg, a.expr())); }
+inline E operator<(E a, E b) { return E(Expr::binary(BinOp::Lt, a.expr(), b.expr())); }
+inline E operator<=(E a, E b) { return E(Expr::binary(BinOp::Le, a.expr(), b.expr())); }
+inline E operator>(E a, E b) { return E(Expr::binary(BinOp::Gt, a.expr(), b.expr())); }
+inline E operator>=(E a, E b) { return E(Expr::binary(BinOp::Ge, a.expr(), b.expr())); }
+inline E operator==(E a, E b) { return E(Expr::binary(BinOp::Eq, a.expr(), b.expr())); }
+inline E operator!=(E a, E b) { return E(Expr::binary(BinOp::Ne, a.expr(), b.expr())); }
+inline E operator&&(E a, E b) { return E(Expr::binary(BinOp::And, a.expr(), b.expr())); }
+inline E operator||(E a, E b) { return E(Expr::binary(BinOp::Or, a.expr(), b.expr())); }
+inline E operator!(E a) { return E(Expr::unary(UnOp::Not, a.expr())); }
+
+inline E pow(E a, E b) { return E(Expr::binary(BinOp::Pow, a.expr(), b.expr())); }
+inline E min(E a, E b) { return E(Expr::binary(BinOp::Min, a.expr(), b.expr())); }
+inline E max(E a, E b) { return E(Expr::binary(BinOp::Max, a.expr(), b.expr())); }
+inline E abs(E a) { return E(Expr::unary(UnOp::Abs, a.expr())); }
+inline E sqrt(E a) { return E(Expr::unary(UnOp::Sqrt, a.expr())); }
+inline E exp(E a) { return E(Expr::unary(UnOp::Exp, a.expr())); }
+inline E log(E a) { return E(Expr::unary(UnOp::Log, a.expr())); }
+inline E sin(E a) { return E(Expr::unary(UnOp::Sin, a.expr())); }
+inline E cos(E a) { return E(Expr::unary(UnOp::Cos, a.expr())); }
+inline E floor(E a) { return E(Expr::unary(UnOp::Floor, a.expr())); }
+inline E sign(E a) { return E(Expr::unary(UnOp::Sign, a.expr())); }
+inline E sq(E a) { return a * a; }
+
+/// Python-style conditional expression: `if_true if cond else if_false`.
+inline E select(E cond, E if_true, E if_false) {
+  return E(Expr::select(cond.expr(), if_true.expr(), if_false.expr()));
+}
+
+/// Named handle to a stencil field argument. `f(di, dj, dk)` yields an access
+/// with a relative offset; using `f` directly in an expression is the
+/// zero-offset access.
+class FieldVar {
+ public:
+  FieldVar() = default;
+  explicit FieldVar(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] E operator()(int di, int dj, int dk = 0) const {
+    return E(Expr::field(name_, Offset{di, dj, dk}));
+  }
+
+  /// K-only offset, common in vertical solvers.
+  [[nodiscard]] E at_k(int dk) const { return E(Expr::field(name_, Offset{0, 0, dk})); }
+
+  operator E() const { return E(Expr::field(name_)); }  // NOLINT: implicit by design
+
+ private:
+  std::string name_;
+};
+
+/// Named handle to a runtime scalar parameter.
+class ParamVar {
+ public:
+  ParamVar() = default;
+  explicit ParamVar(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  operator E() const { return E(Expr::param(name_)); }  // NOLINT: implicit by design
+
+ private:
+  std::string name_;
+};
+
+// Mixed-operand conveniences so `f + g` works for two FieldVars etc.
+inline E operator+(FieldVar a, E b) { return E(a) + b; }
+inline E operator+(E a, FieldVar b) { return a + E(b); }
+inline E operator+(FieldVar a, FieldVar b) { return E(a) + E(b); }
+inline E operator-(FieldVar a, E b) { return E(a) - b; }
+inline E operator-(E a, FieldVar b) { return a - E(b); }
+inline E operator-(FieldVar a, FieldVar b) { return E(a) - E(b); }
+inline E operator*(FieldVar a, E b) { return E(a) * b; }
+inline E operator*(E a, FieldVar b) { return a * E(b); }
+inline E operator*(FieldVar a, FieldVar b) { return E(a) * E(b); }
+inline E operator/(FieldVar a, E b) { return E(a) / b; }
+inline E operator/(E a, FieldVar b) { return a / E(b); }
+inline E operator/(FieldVar a, FieldVar b) { return E(a) / E(b); }
+inline E operator-(FieldVar a) { return -E(a); }
+
+}  // namespace cyclone::dsl

@@ -1,0 +1,94 @@
+#include "core/dsl/stencil.hpp"
+
+#include <algorithm>
+
+namespace cyclone::dsl {
+
+const char* iter_order_name(IterOrder order) {
+  switch (order) {
+    case IterOrder::Parallel: return "PARALLEL";
+    case IterOrder::Forward: return "FORWARD";
+    case IterOrder::Backward: return "BACKWARD";
+  }
+  return "?";
+}
+
+Region Region::intersect(const Region& other) const {
+  auto tighter_lo = [](const RegionBound& a, const RegionBound& b) {
+    if (!a.set) return b;
+    if (!b.set) return a;
+    // Prefer the bound that restricts more; comparable only when anchored at
+    // the same end — otherwise keep the first (they are resolved at run
+    // time, and FV3 regions never mix anchors on the same side).
+    if (a.from_end == b.from_end) return a.off >= b.off ? a : b;
+    return a;
+  };
+  auto tighter_hi = [](const RegionBound& a, const RegionBound& b) {
+    if (!a.set) return b;
+    if (!b.set) return a;
+    if (a.from_end == b.from_end) return a.off <= b.off ? a : b;
+    return a;
+  };
+  Region out;
+  out.i_lo = tighter_lo(i_lo, other.i_lo);
+  out.i_hi = tighter_hi(i_hi, other.i_hi);
+  out.j_lo = tighter_lo(j_lo, other.j_lo);
+  out.j_hi = tighter_hi(j_hi, other.j_hi);
+  return out;
+}
+
+Region region_i_start(int width) {
+  Region r;
+  r.i_lo = {true, false, 0};
+  r.i_hi = {true, false, width};
+  return r;
+}
+
+Region region_i_end(int width) {
+  Region r;
+  r.i_lo = {true, true, -width};
+  r.i_hi = {true, true, 0};
+  return r;
+}
+
+Region region_j_start(int width) {
+  Region r;
+  r.j_lo = {true, false, 0};
+  r.j_hi = {true, false, width};
+  return r;
+}
+
+Region region_j_end(int width) {
+  Region r;
+  r.j_lo = {true, true, -width};
+  r.j_hi = {true, true, 0};
+  return r;
+}
+
+void Extent::merge(const Offset& off) {
+  i_lo = std::min(i_lo, off.i);
+  i_hi = std::max(i_hi, off.i);
+  j_lo = std::min(j_lo, off.j);
+  j_hi = std::max(j_hi, off.j);
+  k_lo = std::min(k_lo, off.k);
+  k_hi = std::max(k_hi, off.k);
+}
+
+void Extent::merge(const Extent& other) {
+  i_lo = std::min(i_lo, other.i_lo);
+  i_hi = std::max(i_hi, other.i_hi);
+  j_lo = std::min(j_lo, other.j_lo);
+  j_hi = std::max(j_hi, other.j_hi);
+  k_lo = std::min(k_lo, other.k_lo);
+  k_hi = std::max(k_hi, other.k_hi);
+}
+
+int StencilFunc::num_operations() const {
+  int n = 0;
+  for (const auto& block : blocks_) {
+    for (const auto& iv : block.intervals) n += static_cast<int>(iv.body.size());
+  }
+  return n;
+}
+
+}  // namespace cyclone::dsl

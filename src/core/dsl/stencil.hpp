@@ -1,0 +1,165 @@
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/dsl/ast.hpp"
+
+namespace cyclone::dsl {
+
+/// Vertical iteration policy of a computation block (Fig. 3 of the paper):
+/// PARALLEL has no loop-carried dependency across k; FORWARD/BACKWARD are
+/// vertical solvers that may consume already-computed levels.
+enum class IterOrder { Parallel, Forward, Backward };
+
+const char* iter_order_name(IterOrder order);
+
+/// One bound of a vertical interval: an offset from the domain start
+/// (`from_end == false`) or from the domain end (`from_end == true`).
+struct KBound {
+  int off = 0;
+  bool from_end = false;
+
+  /// Resolve to an absolute level given the vertical domain size.
+  [[nodiscard]] int resolve(int nk) const { return from_end ? nk + off : off; }
+
+  friend bool operator==(const KBound&, const KBound&) = default;
+};
+
+/// Half-open vertical interval [lo, hi), mirroring GT4Py's `interval(...)`.
+struct Interval {
+  KBound lo{0, false};
+  KBound hi{0, true};
+
+  [[nodiscard]] int lo_level(int nk) const { return lo.resolve(nk); }
+  [[nodiscard]] int hi_level(int nk) const { return hi.resolve(nk); }
+  [[nodiscard]] int size(int nk) const { return hi_level(nk) - lo_level(nk); }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// interval(...) covering the full vertical domain.
+inline Interval full_interval() { return {}; }
+/// The first `n` levels: interval(0, n).
+inline Interval first_levels(int n) { return {{0, false}, {n, false}}; }
+/// The last `n` levels: interval(-n, None).
+inline Interval last_levels(int n) { return {{-n, true}, {0, true}}; }
+/// Absolute [lo, hi) counted from the top of the domain.
+inline Interval level_range(int lo, int hi) { return {{lo, false}, {hi, false}}; }
+/// Single absolute level k.
+inline Interval single_level(int k) { return {{k, false}, {k + 1, false}}; }
+/// General form with explicit bounds.
+inline Interval make_interval(KBound lo, KBound hi) { return {lo, hi}; }
+/// All levels except the first `a` and last `b`.
+inline Interval inner_levels(int a, int b) { return {{a, false}, {-b, true}}; }
+
+/// One bound of a horizontal region in *global tile index space*, mirroring
+/// GT4Py's `region[...]` with `i_start`/`i_end`-relative indices
+/// (Sec. IV-B). Unset bounds leave that side unrestricted.
+struct RegionBound {
+  bool set = false;
+  bool from_end = false;
+  int off = 0;
+
+  [[nodiscard]] int resolve(int n, int unset_value) const {
+    if (!set) return unset_value;
+    return from_end ? n + off : off;
+  }
+
+  friend bool operator==(const RegionBound&, const RegionBound&) = default;
+};
+
+/// Horizontal sub-domain restriction ([lo, hi) in both dimensions) applied to
+/// a statement. Used for the cubed-sphere edge/corner correction terms.
+struct Region {
+  RegionBound i_lo, i_hi, j_lo, j_hi;
+
+  friend bool operator==(const Region&, const Region&) = default;
+
+  /// Intersection of two regions (tighter bounds win).
+  [[nodiscard]] Region intersect(const Region& other) const;
+};
+
+/// region[0:w, :] — the first `w` columns at the tile's i-start edge.
+Region region_i_start(int width = 1);
+/// region[i_end-w:, :]
+Region region_i_end(int width = 1);
+/// region[:, 0:w]
+Region region_j_start(int width = 1);
+/// region[:, j_end-w:]
+Region region_j_end(int width = 1);
+
+/// A single stencil *operation*: one assignment applied over the full
+/// horizontal plane (optionally restricted to a region).
+struct Stmt {
+  std::string lhs;  ///< written field; writes are always at zero offset
+  ExprP rhs;
+  std::optional<Region> region;
+};
+
+/// Statements applying to one vertical interval.
+struct IntervalBlock {
+  Interval k_range;
+  std::vector<Stmt> body;
+};
+
+/// A `with computation(ORDER)` block with one or more interval blocks.
+struct ComputationBlock {
+  IterOrder order = IterOrder::Parallel;
+  std::vector<IntervalBlock> intervals;
+};
+
+/// Horizontal extent (halo consumption) of accesses relative to the compute
+/// domain; all-inclusive bounds, e.g. a 5-point star has i_lo=-1, i_hi=1.
+struct Extent {
+  int i_lo = 0, i_hi = 0;
+  int j_lo = 0, j_hi = 0;
+  int k_lo = 0, k_hi = 0;
+
+  void merge(const Offset& off);
+  void merge(const Extent& other);
+  [[nodiscard]] bool is_zero() const {
+    return i_lo == 0 && i_hi == 0 && j_lo == 0 && j_hi == 0 && k_lo == 0 && k_hi == 0;
+  }
+  [[nodiscard]] bool horizontal_zero() const {
+    return i_lo == 0 && i_hi == 0 && j_lo == 0 && j_hi == 0;
+  }
+
+  friend bool operator==(const Extent&, const Extent&) = default;
+};
+
+/// A complete declarative stencil function: the DSL-level unit of
+/// compilation (GT4Py `@gtscript.stencil`).
+class StencilFunc {
+ public:
+  StencilFunc() = default;
+  StencilFunc(std::string name, std::vector<ComputationBlock> blocks,
+              std::set<std::string> temporaries, std::set<std::string> params)
+      : name_(std::move(name)),
+        blocks_(std::move(blocks)),
+        temporaries_(std::move(temporaries)),
+        params_(std::move(params)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<ComputationBlock>& blocks() const { return blocks_; }
+  [[nodiscard]] std::vector<ComputationBlock>& blocks() { return blocks_; }
+  [[nodiscard]] const std::set<std::string>& temporaries() const { return temporaries_; }
+  [[nodiscard]] const std::set<std::string>& params() const { return params_; }
+
+  [[nodiscard]] bool is_temporary(const std::string& field) const {
+    return temporaries_.count(field) > 0;
+  }
+
+  /// Total number of stencil operations (assignments) in the function.
+  [[nodiscard]] int num_operations() const;
+
+ private:
+  std::string name_;
+  std::vector<ComputationBlock> blocks_;
+  std::set<std::string> temporaries_;
+  std::set<std::string> params_;
+};
+
+}  // namespace cyclone::dsl

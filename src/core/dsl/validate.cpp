@@ -1,0 +1,98 @@
+#include "core/dsl/analysis.hpp"
+#include "core/dsl/builder.hpp"
+
+namespace cyclone::dsl {
+
+namespace {
+
+void fail(const StencilFunc& s, const std::string& why) {
+  throw ValidationError("stencil '" + s.name() + "': " + why);
+}
+
+/// Collect the k offsets with which `expr` reads `field`.
+void collect_k_offsets(const ExprP& expr, const std::string& field, std::set<int>& out) {
+  if (expr->kind == ExprKind::FieldAccess && expr->name == field) out.insert(expr->off.k);
+  for (const auto& arg : expr->args) collect_k_offsets(arg, field, out);
+}
+
+}  // namespace
+
+void validate(const StencilFunc& stencil) {
+  if (stencil.blocks().empty()) fail(stencil, "no computation blocks");
+
+  for (const auto& block : stencil.blocks()) {
+    if (block.intervals.empty()) fail(stencil, "computation block with no interval blocks");
+
+    // Fields written anywhere in this computation block.
+    std::set<std::string> block_writes;
+    for (const auto& iv : block.intervals) {
+      for (const auto& stmt : iv.body) block_writes.insert(stmt.lhs);
+    }
+
+    for (const auto& iv : block.intervals) {
+      if (iv.body.empty()) fail(stencil, "empty interval block");
+      for (const auto& stmt : iv.body) {
+        if (stmt.lhs.empty()) fail(stencil, "assignment with empty left-hand side");
+        if (stencil.params().count(stmt.lhs)) {
+          fail(stencil, "cannot assign to scalar parameter '" + stmt.lhs + "'");
+        }
+
+        // Region bounds sanity: lo <= hi when anchored at the same end.
+        if (stmt.region) {
+          const Region& r = *stmt.region;
+          auto check = [&](const RegionBound& lo, const RegionBound& hi, const char* dim) {
+            if (lo.set && hi.set && lo.from_end == hi.from_end && lo.off > hi.off) {
+              fail(stencil, std::string("empty region bounds in dimension ") + dim);
+            }
+          };
+          check(r.i_lo, r.i_hi, "i");
+          check(r.j_lo, r.j_hi, "j");
+        }
+
+        // Vertical dependency rules per iteration order.
+        for (const auto& written : block_writes) {
+          std::set<int> k_offsets;
+          collect_k_offsets(stmt.rhs, written, k_offsets);
+          for (int dk : k_offsets) {
+            switch (block.order) {
+              case IterOrder::Parallel:
+                // A PARALLEL computation has no defined k order, so reading a
+                // field written in the same computation at a k offset is
+                // order-dependent and rejected (GT4Py raises here too). The
+                // statement's own LHS is exempt: statement-level semantics
+                // read pre-assignment values.
+                if (dk != 0 && written != stmt.lhs) {
+                  fail(stencil, "PARALLEL computation reads '" + written +
+                                    "' at k-offset while writing it; use FORWARD/BACKWARD");
+                }
+                break;
+              case IterOrder::Forward:
+                if (dk > 0) {
+                  fail(stencil, "FORWARD computation reads not-yet-computed level of '" +
+                                    written + "' (k+" + std::to_string(dk) + ")");
+                }
+                break;
+              case IterOrder::Backward:
+                if (dk < 0) {
+                  fail(stencil, "BACKWARD computation reads not-yet-computed level of '" +
+                                    written + "' (k" + std::to_string(dk) + ")");
+                }
+                break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Temporaries must be written before (or in the same statement as) use;
+  // conservatively require every temporary to be written somewhere.
+  AccessInfo info = analyze(stencil);
+  for (const auto& temp : stencil.temporaries()) {
+    if (!info.writes_field(temp)) {
+      fail(stencil, "temporary '" + temp + "' is never written");
+    }
+  }
+}
+
+}  // namespace cyclone::dsl

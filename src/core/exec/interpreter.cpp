@@ -1,0 +1,255 @@
+#include "core/exec/interpreter.hpp"
+
+#include <cmath>
+
+#include "core/dsl/analysis.hpp"
+#include "core/dsl/builder.hpp"
+
+namespace cyclone::exec {
+
+using dsl::BinOp;
+using dsl::Expr;
+using dsl::ExprKind;
+using dsl::ExprP;
+using dsl::IterOrder;
+using dsl::Stmt;
+using dsl::UnOp;
+
+namespace {
+
+/// Resolved storage of one stencil operand.
+struct Binding {
+  FieldD* field = nullptr;
+  int koff = 0;  ///< shift applied to k indices (temporaries with k extents)
+  /// Single-level fields broadcast over k (GT4Py IJ-field semantics).
+  bool k_broadcast = false;
+
+  [[nodiscard]] int k_index(int k) const { return k_broadcast ? 0 : k + koff; }
+};
+
+struct EvalCtx {
+  const std::map<std::string, Binding>* bindings;
+  const std::map<std::string, double>* params;
+  int i, j, k;
+};
+
+double eval(const ExprP& e, const EvalCtx& ctx) {
+  switch (e->kind) {
+    case ExprKind::Literal:
+      return e->lit;
+    case ExprKind::Param: {
+      auto it = ctx.params->find(e->name);
+      CY_REQUIRE_MSG(it != ctx.params->end(), "unbound parameter '" << e->name << "'");
+      return it->second;
+    }
+    case ExprKind::FieldAccess: {
+      auto it = ctx.bindings->find(e->name);
+      CY_REQUIRE_MSG(it != ctx.bindings->end(), "unbound field '" << e->name << "'");
+      const Binding& b = it->second;
+      return (*b.field)(ctx.i + e->off.i, ctx.j + e->off.j, b.k_index(ctx.k + e->off.k));
+    }
+    case ExprKind::Unary: {
+      const double a = eval(e->args[0], ctx);
+      switch (e->uop) {
+        case UnOp::Neg: return -a;
+        case UnOp::Not: return a == 0.0 ? 1.0 : 0.0;
+        case UnOp::Abs: return std::abs(a);
+        case UnOp::Sqrt: return std::sqrt(a);
+        case UnOp::Exp: return std::exp(a);
+        case UnOp::Log: return std::log(a);
+        case UnOp::Sin: return std::sin(a);
+        case UnOp::Cos: return std::cos(a);
+        case UnOp::Floor: return std::floor(a);
+        case UnOp::Sign: return (a > 0.0) - (a < 0.0);
+      }
+      CY_ENSURE(false);
+      return 0.0;
+    }
+    case ExprKind::Binary: {
+      const double a = eval(e->args[0], ctx);
+      const double b = eval(e->args[1], ctx);
+      switch (e->bop) {
+        case BinOp::Add: return a + b;
+        case BinOp::Sub: return a - b;
+        case BinOp::Mul: return a * b;
+        case BinOp::Div: return a / b;
+        case BinOp::Pow: return std::pow(a, b);
+        case BinOp::Min: return std::min(a, b);
+        case BinOp::Max: return std::max(a, b);
+        case BinOp::Lt: return a < b ? 1.0 : 0.0;
+        case BinOp::Le: return a <= b ? 1.0 : 0.0;
+        case BinOp::Gt: return a > b ? 1.0 : 0.0;
+        case BinOp::Ge: return a >= b ? 1.0 : 0.0;
+        case BinOp::Eq: return a == b ? 1.0 : 0.0;
+        case BinOp::Ne: return a != b ? 1.0 : 0.0;
+        case BinOp::And: return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+        case BinOp::Or: return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+      }
+      CY_ENSURE(false);
+      return 0.0;
+    }
+    case ExprKind::Select:
+      return eval(e->args[0], ctx) != 0.0 ? eval(e->args[1], ctx) : eval(e->args[2], ctx);
+  }
+  CY_ENSURE(false);
+}
+
+/// Apply one statement over planes [k_lo, k_hi) (absolute, pre-binding-shift
+/// levels) with horizontal apply rectangle `rect`.
+void apply_stmt(const Stmt& stmt, const StmtInfo& info, const LaunchDomain& dom,
+                std::map<std::string, Binding>& bindings,
+                const std::map<std::string, double>& params, int k_lo, int k_hi) {
+  auto lhs_pre = bindings.find(stmt.lhs);
+  CY_REQUIRE_MSG(lhs_pre != bindings.end(), "unbound output field '" << stmt.lhs << "'");
+  // Clip the (possibly k-extended) apply range to the output allocation;
+  // broadcast (single-level) outputs accept any level.
+  if (!lhs_pre->second.k_broadcast) {
+    k_lo = std::max(k_lo, -lhs_pre->second.koff);
+    k_hi = std::min(k_hi, lhs_pre->second.field->shape().nk() - lhs_pre->second.koff);
+  }
+  if (k_hi <= k_lo) return;
+  Rect rect;
+  rect.i = {info.write_extent.i_lo - dom.ext.ilo,
+            dom.ni + info.write_extent.i_hi + dom.ext.ihi};
+  rect.j = {info.write_extent.j_lo - dom.ext.jlo,
+            dom.nj + info.write_extent.j_hi + dom.ext.jhi};
+  if (stmt.region) rect = resolve_region(*stmt.region, dom, rect);
+  if (rect.empty()) return;
+
+  Binding out = lhs_pre->second;
+
+  EvalCtx ctx{&bindings, &params, 0, 0, 0};
+
+  if (!info.self_read_offset) {
+    for (int k = k_lo; k < k_hi; ++k) {
+      ctx.k = k;
+      for (int j = rect.j.lo; j < rect.j.hi; ++j) {
+        ctx.j = j;
+        for (int i = rect.i.lo; i < rect.i.hi; ++i) {
+          ctx.i = i;
+          (*out.field)(i, j, out.k_index(k)) = eval(stmt.rhs, ctx);
+        }
+      }
+    }
+    return;
+  }
+
+  // Value semantics: the RHS reads the LHS at an offset, so buffer results
+  // over the whole apply volume before committing any write.
+  const int ni = rect.i.size(), nj = rect.j.size(), nkk = k_hi - k_lo;
+  std::vector<double> buf(static_cast<size_t>(ni) * nj * nkk);
+  size_t idx = 0;
+  for (int k = k_lo; k < k_hi; ++k) {
+    ctx.k = k;
+    for (int j = rect.j.lo; j < rect.j.hi; ++j) {
+      ctx.j = j;
+      for (int i = rect.i.lo; i < rect.i.hi; ++i) {
+        ctx.i = i;
+        buf[idx++] = eval(stmt.rhs, ctx);
+      }
+    }
+  }
+  idx = 0;
+  for (int k = k_lo; k < k_hi; ++k) {
+    for (int j = rect.j.lo; j < rect.j.hi; ++j) {
+      for (int i = rect.i.lo; i < rect.i.hi; ++i) {
+        (*out.field)(i, j, out.k_index(k)) = buf[idx++];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RefExecutor::RefExecutor(dsl::StencilFunc stencil) : stencil_(std::move(stencil)) {
+  dsl::validate(stencil_);
+  info_ = compute_stmt_info(stencil_);
+  temp_allocs_ = compute_temp_allocs(stencil_);
+}
+
+void RefExecutor::run(FieldCatalog& catalog, const StencilArgs& args,
+                      const LaunchDomain& dom) const {
+  CY_REQUIRE_MSG(dom.ni > 0 && dom.nj > 0 && dom.nk > 0, "launch domain must be positive");
+
+  // Bind formals: externals come from the catalog (with renaming),
+  // temporaries are allocated locally for this run.
+  std::map<std::string, Binding> bindings;
+  std::vector<std::unique_ptr<FieldD>> temps;
+  const dsl::AccessInfo acc = dsl::analyze(stencil_);
+  for (const auto& name : acc.fields()) {
+    if (stencil_.is_temporary(name)) {
+      const TempAlloc& ta = temp_allocs_.at(name);
+      const int nk_alloc = dom.nk + (ta.k_hi - ta.k_lo);
+      const int halo_i = ta.halo_i + std::max(dom.ext.ilo, dom.ext.ihi);
+      const int halo_j = ta.halo_j + std::max(dom.ext.jlo, dom.ext.jhi);
+      temps.push_back(std::make_unique<FieldD>(
+          name, FieldShape(dom.ni, dom.nj, nk_alloc, HaloSpec{halo_i, halo_j})));
+      bindings[name] = Binding{temps.back().get(), -ta.k_lo};
+    } else {
+      FieldD& f = catalog.at(args.actual(name));
+      bindings[name] = Binding{&f, 0, f.shape().nk() == 1 && dom.nk > 1};
+      // Halo sufficiency: reads must stay within allocated halos.
+      if (auto it = acc.reads.find(name); it != acc.reads.end()) {
+        const auto& h = f.shape().halo();
+        CY_REQUIRE_MSG(-it->second.i_lo <= h.i + 0 && it->second.i_hi <= h.i &&
+                           -it->second.j_lo <= h.j && it->second.j_hi <= h.j,
+                       "field '" << name << "' halo too small for stencil '" << stencil_.name()
+                                 << "'");
+      }
+    }
+  }
+
+  // Execute computation blocks in program order.
+  size_t flat = 0;
+  for (const auto& block : stencil_.blocks()) {
+    switch (block.order) {
+      case IterOrder::Parallel: {
+        for (const auto& iv : block.intervals) {
+          const int k0 = iv.k_range.lo_level(dom.nk);
+          const int k1 = iv.k_range.hi_level(dom.nk);
+          for (const auto& stmt : iv.body) {
+            const StmtInfo& si = info_[flat++];
+            const int ext_k0 = k0 - si.ext_k_lo_levels;
+            const int ext_k1 = k1 + si.ext_k_hi_levels;
+            apply_stmt(stmt, si, dom, bindings, args.params, ext_k0, ext_k1);
+          }
+        }
+        break;
+      }
+      case IterOrder::Forward: {
+        // Intervals execute in listed order; within each, k ascends and the
+        // statement list applies per level.
+        for (const auto& iv : block.intervals) {
+          const int k0 = iv.k_range.lo_level(dom.nk);
+          const int k1 = iv.k_range.hi_level(dom.nk);
+          const size_t base = flat;
+          for (int k = k0; k < k1; ++k) {
+            size_t cursor = base;
+            for (const auto& stmt : iv.body) {
+              apply_stmt(stmt, info_[cursor++], dom, bindings, args.params, k, k + 1);
+            }
+          }
+          flat = base + iv.body.size();
+        }
+        break;
+      }
+      case IterOrder::Backward: {
+        for (const auto& iv : block.intervals) {
+          const int k0 = iv.k_range.lo_level(dom.nk);
+          const int k1 = iv.k_range.hi_level(dom.nk);
+          const size_t base = flat;
+          for (int k = k1 - 1; k >= k0; --k) {
+            size_t cursor = base;
+            for (const auto& stmt : iv.body) {
+              apply_stmt(stmt, info_[cursor++], dom, bindings, args.params, k, k + 1);
+            }
+          }
+          flat = base + iv.body.size();
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace cyclone::exec

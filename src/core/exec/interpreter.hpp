@@ -1,0 +1,36 @@
+#pragma once
+
+#include "core/dsl/stencil.hpp"
+#include "core/exec/extents.hpp"
+#include "core/exec/launch.hpp"
+#include "core/field/catalog.hpp"
+
+namespace cyclone::exec {
+
+/// Reference interpreter: the executable definition of the DSL's semantics.
+/// Each statement is a full-plane stencil operation; PARALLEL computations
+/// apply each statement over its whole 3-D interval before the next,
+/// FORWARD/BACKWARD sweep k monotonically applying the statement list per
+/// level. Slow but obviously correct — the oracle every optimized executor
+/// is validated against.
+class RefExecutor {
+ public:
+  explicit RefExecutor(dsl::StencilFunc stencil);
+
+  [[nodiscard]] const dsl::StencilFunc& stencil() const { return stencil_; }
+
+  /// Execute against fields resolved from `catalog` (after applying
+  /// `args.bind` renaming). Temporaries are allocated internally per run.
+  void run(FieldCatalog& catalog, const StencilArgs& args, const LaunchDomain& dom) const;
+
+  void run(FieldCatalog& catalog, const LaunchDomain& dom) const {
+    run(catalog, StencilArgs{}, dom);
+  }
+
+ private:
+  dsl::StencilFunc stencil_;
+  std::vector<StmtInfo> info_;  // flattened-order statement info
+  std::map<std::string, TempAlloc> temp_allocs_;
+};
+
+}  // namespace cyclone::exec

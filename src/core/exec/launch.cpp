@@ -1,0 +1,35 @@
+#include "core/exec/launch.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/util/error.hpp"
+
+namespace cyclone::exec {
+
+double StencilArgs::param(const std::string& name) const {
+  auto it = params.find(name);
+  CY_REQUIRE_MSG(it != params.end(), "missing scalar parameter '" << name << "'");
+  return it->second;
+}
+
+Range resolve_region_dim(const dsl::RegionBound& lo, const dsl::RegionBound& hi, int gn, int gd0,
+                         Range apply) {
+  constexpr int kUnbounded = std::numeric_limits<int>::min() / 2;
+  const int glo = lo.resolve(gn, kUnbounded);
+  const int ghi = hi.resolve(gn, -kUnbounded);
+  // Convert global bounds to local coordinates and clip.
+  Range out;
+  out.lo = std::max(apply.lo, glo == kUnbounded ? apply.lo : glo - gd0);
+  out.hi = std::min(apply.hi, ghi == -kUnbounded ? apply.hi : ghi - gd0);
+  return out;
+}
+
+Rect resolve_region(const dsl::Region& region, const LaunchDomain& dom, Rect apply) {
+  Rect out;
+  out.i = resolve_region_dim(region.i_lo, region.i_hi, dom.global_ni(), dom.gi0, apply.i);
+  out.j = resolve_region_dim(region.j_lo, region.j_hi, dom.global_nj(), dom.gj0, apply.j);
+  return out;
+}
+
+}  // namespace cyclone::exec

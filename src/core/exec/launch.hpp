@@ -1,0 +1,86 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/dsl/stencil.hpp"
+
+namespace cyclone::exec {
+
+/// Half-open local index range.
+struct Range {
+  int lo = 0;
+  int hi = 0;
+
+  [[nodiscard]] int size() const { return hi > lo ? hi - lo : 0; }
+  [[nodiscard]] bool empty() const { return hi <= lo; }
+};
+
+/// Horizontal compute-domain extension (GT4Py's per-call `domain=` with
+/// origin shift): the apply rectangle grows by ilo/jlo on the low side and
+/// ihi/jhi on the high side, letting producers cover their consumers' halo
+/// reads without a halo exchange.
+struct DomainExt {
+  int ilo = 0;
+  int ihi = 0;
+  int jlo = 0;
+  int jhi = 0;
+
+  [[nodiscard]] bool any() const { return ilo || ihi || jlo || jhi; }
+  friend bool operator==(const DomainExt&, const DomainExt&) = default;
+};
+
+/// Where and how large a stencil launch is. Stencils themselves are
+/// domain-size agnostic (GT4Py defines only dimensionality); the launch
+/// provides the compute-domain sizes plus the *global placement* of this
+/// subdomain on its cubed-sphere tile, which is what resolves
+/// `horizontal(region[...])` bounds (paper Sec. IV-B).
+struct LaunchDomain {
+  int ni = 0;
+  int nj = 0;
+  int nk = 0;
+
+  /// Global index of local (0, 0) on the owning tile.
+  int gi0 = 0;
+  int gj0 = 0;
+  /// Global tile extent; -1 means "this subdomain is the whole tile".
+  int gni = -1;
+  int gnj = -1;
+
+  /// Apply-domain extension for this launch (all four horizontal sides).
+  DomainExt ext{};
+
+  [[nodiscard]] int global_ni() const { return gni < 0 ? ni : gni; }
+  [[nodiscard]] int global_nj() const { return gnj < 0 ? nj : gnj; }
+
+  [[nodiscard]] long volume() const { return static_cast<long>(ni) * nj * nk; }
+};
+
+/// Runtime arguments of one stencil invocation: scalar parameter values and
+/// an optional renaming of stencil formal field names to catalog names.
+struct StencilArgs {
+  std::map<std::string, double> params;
+  std::map<std::string, std::string> bind;
+
+  [[nodiscard]] std::string actual(const std::string& formal) const {
+    auto it = bind.find(formal);
+    return it == bind.end() ? formal : it->second;
+  }
+
+  [[nodiscard]] double param(const std::string& name) const;
+};
+
+/// Resolve one dimension of a region restriction into a local range, clipped
+/// against the statement's apply range. `gn` is the global tile size, `gd0`
+/// the global index of local zero.
+Range resolve_region_dim(const dsl::RegionBound& lo, const dsl::RegionBound& hi, int gn, int gd0,
+                         Range apply);
+
+/// Resolve a full region against a 2-D apply rectangle.
+struct Rect {
+  Range i, j;
+  [[nodiscard]] bool empty() const { return i.empty() || j.empty(); }
+};
+Rect resolve_region(const dsl::Region& region, const LaunchDomain& dom, Rect apply);
+
+}  // namespace cyclone::exec

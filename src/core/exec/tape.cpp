@@ -1,0 +1,402 @@
+#include "core/exec/tape.hpp"
+
+#include <cmath>
+
+#include "core/dsl/analysis.hpp"
+#include "core/dsl/builder.hpp"
+
+namespace cyclone::exec {
+
+using dsl::BinOp;
+using dsl::ExprKind;
+using dsl::ExprP;
+using dsl::IterOrder;
+using dsl::UnOp;
+
+namespace {
+
+OpC binop_code(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return OpC::Add;
+    case BinOp::Sub: return OpC::Sub;
+    case BinOp::Mul: return OpC::Mul;
+    case BinOp::Div: return OpC::Div;
+    case BinOp::Pow: return OpC::Pow;
+    case BinOp::Min: return OpC::Min;
+    case BinOp::Max: return OpC::Max;
+    case BinOp::Lt: return OpC::Lt;
+    case BinOp::Le: return OpC::Le;
+    case BinOp::Gt: return OpC::Gt;
+    case BinOp::Ge: return OpC::Ge;
+    case BinOp::Eq: return OpC::Eq;
+    case BinOp::Ne: return OpC::Ne;
+    case BinOp::And: return OpC::And;
+    case BinOp::Or: return OpC::Or;
+  }
+  CY_ENSURE(false);
+}
+
+OpC unop_code(UnOp op) {
+  switch (op) {
+    case UnOp::Neg: return OpC::Neg;
+    case UnOp::Not: return OpC::Not;
+    case UnOp::Abs: return OpC::Abs;
+    case UnOp::Sqrt: return OpC::Sqrt;
+    case UnOp::Exp: return OpC::Exp;
+    case UnOp::Log: return OpC::Log;
+    case UnOp::Sin: return OpC::Sin;
+    case UnOp::Cos: return OpC::Cos;
+    case UnOp::Floor: return OpC::Floor;
+    case UnOp::Sign: return OpC::Sign;
+  }
+  CY_ENSURE(false);
+}
+
+}  // namespace
+
+int flatten_expr(const ExprP& expr, std::vector<Instr>& code, std::vector<LoadSite>& loads,
+                 const std::map<std::string, int>& slot_of,
+                 const std::map<std::string, int>& param_of) {
+  switch (expr->kind) {
+    case ExprKind::Literal:
+      code.push_back(Instr{OpC::PushLit, 0, 0, expr->lit});
+      return 1;
+    case ExprKind::Param: {
+      auto it = param_of.find(expr->name);
+      CY_REQUIRE_MSG(it != param_of.end(), "unknown parameter '" << expr->name << "'");
+      code.push_back(Instr{OpC::PushParam, it->second, 0, 0.0});
+      return 1;
+    }
+    case ExprKind::FieldAccess: {
+      auto it = slot_of.find(expr->name);
+      CY_REQUIRE_MSG(it != slot_of.end(), "unknown field '" << expr->name << "'");
+      const int load_id = static_cast<int>(loads.size());
+      loads.push_back(LoadSite{it->second, expr->off.j, expr->off.k});
+      code.push_back(Instr{OpC::Load, load_id, expr->off.i, 0.0});
+      return 1;
+    }
+    case ExprKind::Unary: {
+      const int d = flatten_expr(expr->args[0], code, loads, slot_of, param_of);
+      code.push_back(Instr{unop_code(expr->uop), 0, 0, 0.0});
+      return d;
+    }
+    case ExprKind::Binary: {
+      const int d0 = flatten_expr(expr->args[0], code, loads, slot_of, param_of);
+      const int d1 = flatten_expr(expr->args[1], code, loads, slot_of, param_of);
+      code.push_back(Instr{binop_code(expr->bop), 0, 0, 0.0});
+      return std::max(d0, 1 + d1);
+    }
+    case ExprKind::Select: {
+      const int d0 = flatten_expr(expr->args[0], code, loads, slot_of, param_of);
+      const int d1 = flatten_expr(expr->args[1], code, loads, slot_of, param_of);
+      const int d2 = flatten_expr(expr->args[2], code, loads, slot_of, param_of);
+      code.push_back(Instr{OpC::Select, 0, 0, 0.0});
+      return std::max({d0, 1 + d1, 2 + d2});
+    }
+  }
+  CY_ENSURE(false);
+}
+
+CompiledStencil::CompiledStencil(dsl::StencilFunc stencil) : stencil_(std::move(stencil)) {
+  dsl::validate(stencil_);
+  const auto info = compute_stmt_info(stencil_);
+  const auto temp_allocs = compute_temp_allocs(stencil_);
+
+  // Intern fields and params into slots.
+  std::map<std::string, int> slot_of;
+  std::map<std::string, int> param_of;
+  const dsl::AccessInfo acc = dsl::analyze(stencil_);
+  for (const auto& name : acc.fields()) {
+    slot_of[name] = static_cast<int>(slot_names_.size());
+    slot_names_.push_back(name);
+    const bool is_temp = stencil_.is_temporary(name);
+    slot_is_temp_.push_back(is_temp);
+    slot_temp_alloc_.push_back(is_temp ? temp_allocs.at(name) : TempAlloc{});
+  }
+  for (const auto& name : acc.params) {
+    param_of[name] = static_cast<int>(param_names_.size());
+    param_names_.push_back(name);
+  }
+
+  size_t flat = 0;
+  for (const auto& block : stencil_.blocks()) {
+    CBlock cb;
+    cb.order = block.order;
+    for (const auto& iv : block.intervals) {
+      CInterval ci;
+      ci.k_range = iv.k_range;
+      for (const auto& stmt : iv.body) {
+        CStmt cs;
+        cs.lhs_slot = slot_of.at(stmt.lhs);
+        cs.max_stack = flatten_expr(stmt.rhs, cs.code, cs.loads, slot_of, param_of);
+        cs.info = info[flat++];
+        cs.region = stmt.region;
+        ci.body.push_back(std::move(cs));
+      }
+      cb.intervals.push_back(std::move(ci));
+    }
+    blocks_.push_back(std::move(cb));
+  }
+}
+
+namespace {
+
+/// Resolved storage for one slot during a run.
+struct SlotBind {
+  double* origin = nullptr;  ///< pointer at logical (0, 0, 0)
+  ptrdiff_t si = 0, sj = 0, sk = 0;
+  int koff = 0;
+  int nk = 0;  ///< allocated k levels
+};
+
+constexpr int kMaxStack = 64;
+
+double run_tape(const CStmt& stmt, const std::vector<double*>& lptr,
+                const std::vector<ptrdiff_t>& lsi, const double* params, int i) {
+  double stack[kMaxStack];
+  int sp = 0;
+  for (const Instr& ins : stmt.code) {
+    switch (ins.op) {
+      case OpC::PushLit: stack[sp++] = ins.lit; break;
+      case OpC::PushParam: stack[sp++] = params[ins.a]; break;
+      case OpC::Load: stack[sp++] = lptr[ins.a][(i + ins.di) * lsi[ins.a]]; break;
+      case OpC::Add: --sp; stack[sp - 1] += stack[sp]; break;
+      case OpC::Sub: --sp; stack[sp - 1] -= stack[sp]; break;
+      case OpC::Mul: --sp; stack[sp - 1] *= stack[sp]; break;
+      case OpC::Div: --sp; stack[sp - 1] /= stack[sp]; break;
+      case OpC::Pow: --sp; stack[sp - 1] = std::pow(stack[sp - 1], stack[sp]); break;
+      case OpC::Min: --sp; stack[sp - 1] = std::min(stack[sp - 1], stack[sp]); break;
+      case OpC::Max: --sp; stack[sp - 1] = std::max(stack[sp - 1], stack[sp]); break;
+      case OpC::Lt: --sp; stack[sp - 1] = stack[sp - 1] < stack[sp] ? 1.0 : 0.0; break;
+      case OpC::Le: --sp; stack[sp - 1] = stack[sp - 1] <= stack[sp] ? 1.0 : 0.0; break;
+      case OpC::Gt: --sp; stack[sp - 1] = stack[sp - 1] > stack[sp] ? 1.0 : 0.0; break;
+      case OpC::Ge: --sp; stack[sp - 1] = stack[sp - 1] >= stack[sp] ? 1.0 : 0.0; break;
+      case OpC::Eq: --sp; stack[sp - 1] = stack[sp - 1] == stack[sp] ? 1.0 : 0.0; break;
+      case OpC::Ne: --sp; stack[sp - 1] = stack[sp - 1] != stack[sp] ? 1.0 : 0.0; break;
+      case OpC::And:
+        --sp;
+        stack[sp - 1] = (stack[sp - 1] != 0.0 && stack[sp] != 0.0) ? 1.0 : 0.0;
+        break;
+      case OpC::Or:
+        --sp;
+        stack[sp - 1] = (stack[sp - 1] != 0.0 || stack[sp] != 0.0) ? 1.0 : 0.0;
+        break;
+      case OpC::Neg: stack[sp - 1] = -stack[sp - 1]; break;
+      case OpC::Not: stack[sp - 1] = stack[sp - 1] == 0.0 ? 1.0 : 0.0; break;
+      case OpC::Abs: stack[sp - 1] = std::abs(stack[sp - 1]); break;
+      case OpC::Sqrt: stack[sp - 1] = std::sqrt(stack[sp - 1]); break;
+      case OpC::Exp: stack[sp - 1] = std::exp(stack[sp - 1]); break;
+      case OpC::Log: stack[sp - 1] = std::log(stack[sp - 1]); break;
+      case OpC::Sin: stack[sp - 1] = std::sin(stack[sp - 1]); break;
+      case OpC::Cos: stack[sp - 1] = std::cos(stack[sp - 1]); break;
+      case OpC::Floor: stack[sp - 1] = std::floor(stack[sp - 1]); break;
+      case OpC::Sign:
+        stack[sp - 1] = (stack[sp - 1] > 0.0) - (stack[sp - 1] < 0.0);
+        break;
+      case OpC::Select: {
+        sp -= 2;
+        stack[sp - 1] = stack[sp - 1] != 0.0 ? stack[sp] : stack[sp + 1];
+        break;
+      }
+      case OpC::PowInt: {
+        // |a| multiplications; negative exponent takes the reciprocal.
+        const double x = stack[sp - 1];
+        const int n = ins.a;
+        double acc = 1.0;
+        for (int m = 0; m < (n < 0 ? -n : n); ++m) acc *= x;
+        stack[sp - 1] = n < 0 ? 1.0 / acc : acc;
+        break;
+      }
+      case OpC::PowHalf: stack[sp - 1] = std::sqrt(stack[sp - 1]); break;
+    }
+  }
+  return stack[0];
+}
+
+/// Apply one compiled statement over [k_lo, k_hi) x rect.
+void apply_cstmt(const CStmt& stmt, const LaunchDomain& dom, std::vector<SlotBind>& slots,
+                 const std::vector<double>& params, int k_lo, int k_hi,
+                 std::vector<double>& scratch) {
+  SlotBind& out = slots[stmt.lhs_slot];
+  k_lo = std::max(k_lo, -out.koff);
+  k_hi = std::min(k_hi, out.nk - out.koff);
+  if (k_hi <= k_lo) return;
+
+  Rect rect;
+  rect.i = {stmt.info.write_extent.i_lo - dom.ext.ilo,
+            dom.ni + stmt.info.write_extent.i_hi + dom.ext.ihi};
+  rect.j = {stmt.info.write_extent.j_lo - dom.ext.jlo,
+            dom.nj + stmt.info.write_extent.j_hi + dom.ext.jhi};
+  if (stmt.region) rect = resolve_region(*stmt.region, dom, rect);
+  if (rect.empty()) return;
+
+  // Per-plane hoisted load pointers.
+  std::vector<double*> lptr(stmt.loads.size());
+  std::vector<ptrdiff_t> lsi(stmt.loads.size());
+  for (size_t l = 0; l < stmt.loads.size(); ++l) lsi[l] = slots[stmt.loads[l].slot].si;
+
+  const double* pvals = params.data();
+
+  if (!stmt.info.self_read_offset) {
+    // Rows are independent: the multicore CPU backend threads over j (the
+    // OpenMP on-node parallelization of the production model).
+#pragma omp parallel for schedule(static) firstprivate(lptr) collapse(1) \
+    if ((k_hi - k_lo) * rect.j.size() > 8)
+    for (int j = rect.j.lo; j < rect.j.hi; ++j) {
+      for (int k = k_lo; k < k_hi; ++k) {
+        for (size_t l = 0; l < stmt.loads.size(); ++l) {
+          const LoadSite& ls = stmt.loads[l];
+          const SlotBind& sb = slots[ls.slot];
+          lptr[l] = sb.origin + (j + ls.dj) * sb.sj + (k + ls.dk + sb.koff) * sb.sk;
+        }
+        double* optr = out.origin + j * out.sj + (k + out.koff) * out.sk;
+        for (int i = rect.i.lo; i < rect.i.hi; ++i) {
+          optr[i * out.si] = run_tape(stmt, lptr, lsi, pvals, i);
+        }
+      }
+    }
+    return;
+  }
+
+  // Value semantics: buffer the full apply volume, then commit.
+  const size_t vol = static_cast<size_t>(rect.i.size()) * rect.j.size() * (k_hi - k_lo);
+  scratch.resize(vol);
+  size_t idx = 0;
+  for (int k = k_lo; k < k_hi; ++k) {
+    for (int j = rect.j.lo; j < rect.j.hi; ++j) {
+      for (size_t l = 0; l < stmt.loads.size(); ++l) {
+        const LoadSite& ls = stmt.loads[l];
+        const SlotBind& sb = slots[ls.slot];
+        lptr[l] = sb.origin + (j + ls.dj) * sb.sj + (k + ls.dk + sb.koff) * sb.sk;
+      }
+      for (int i = rect.i.lo; i < rect.i.hi; ++i) {
+        scratch[idx++] = run_tape(stmt, lptr, lsi, pvals, i);
+      }
+    }
+  }
+  idx = 0;
+  for (int k = k_lo; k < k_hi; ++k) {
+    for (int j = rect.j.lo; j < rect.j.hi; ++j) {
+      double* optr = out.origin + j * out.sj + (k + out.koff) * out.sk;
+      for (int i = rect.i.lo; i < rect.i.hi; ++i) optr[i * out.si] = scratch[idx++];
+    }
+  }
+}
+
+}  // namespace
+
+double eval_tape(const CStmt& stmt, const double* const* plane_ptrs,
+                 const ptrdiff_t* plane_strides, const double* params, int i, double* stack) {
+  (void)stack;
+  std::vector<double*> lptr(stmt.loads.size());
+  std::vector<ptrdiff_t> lsi(stmt.loads.size());
+  for (size_t l = 0; l < stmt.loads.size(); ++l) {
+    lptr[l] = const_cast<double*>(plane_ptrs[l]);
+    lsi[l] = plane_strides[l];
+  }
+  return run_tape(stmt, lptr, lsi, params, i);
+}
+
+void CompiledStencil::run(FieldCatalog& catalog, const StencilArgs& args,
+                          const LaunchDomain& dom) const {
+  CY_REQUIRE_MSG(dom.ni > 0 && dom.nj > 0 && dom.nk > 0, "launch domain must be positive");
+
+  // Resolve slots. Temporaries come from a pool reused across launches with
+  // the same geometry (allocation off the critical path, as orchestration
+  // arranges); a geometry change rebuilds the pool.
+  const PoolKey key{dom.ni, dom.nj, dom.nk, std::max(dom.ext.ilo, dom.ext.ihi),
+                    std::max(dom.ext.jlo, dom.ext.jhi)};
+  std::vector<std::unique_ptr<FieldD>> local_temps;
+  std::vector<std::unique_ptr<FieldD>>* temps = &local_temps;
+  if (temp_pooling_) {
+    if (!(pool_key_ == key)) {
+      temp_pool_.clear();
+      pool_key_ = key;
+    }
+    temps = &temp_pool_;
+  }
+  const bool build_temps = temps->empty();
+
+  std::vector<SlotBind> slots(slot_names_.size());
+  size_t temp_idx = 0;
+  for (size_t s = 0; s < slot_names_.size(); ++s) {
+    FieldD* f = nullptr;
+    int koff = 0;
+    if (slot_is_temp_[s]) {
+      const TempAlloc& ta = slot_temp_alloc_[s];
+      if (build_temps) {
+        const int nk_alloc = dom.nk + (ta.k_hi - ta.k_lo);
+        const int halo_i = ta.halo_i + key.hi;
+        const int halo_j = ta.halo_j + key.hj;
+        temps->push_back(std::make_unique<FieldD>(
+            slot_names_[s], FieldShape(dom.ni, dom.nj, nk_alloc, HaloSpec{halo_i, halo_j})));
+      }
+      f = (*temps)[temp_idx++].get();
+      koff = -ta.k_lo;
+    } else {
+      f = &catalog.at(args.actual(slot_names_[s]));
+    }
+    const FieldShape& sh = f->shape();
+    SlotBind& sb = slots[s];
+    sb.origin = f->data() + sh.index(0, 0, 0);
+    sb.si = sh.stride_i();
+    sb.sj = sh.stride_j();
+    sb.sk = sh.stride_k();
+    sb.koff = koff;
+    sb.nk = sh.nk();
+    // Single-level fields broadcast over k (GT4Py IJ-field semantics): a
+    // zero k stride makes every level read/write the one plane.
+    if (sh.nk() == 1 && dom.nk > 1) {
+      sb.sk = 0;
+      sb.nk = dom.nk;
+    }
+  }
+
+  // Resolve parameter values.
+  std::vector<double> pvals(param_names_.size());
+  for (size_t p = 0; p < param_names_.size(); ++p) pvals[p] = args.param(param_names_[p]);
+
+  std::vector<double> scratch;
+  for (const auto& block : blocks_) {
+    switch (block.order) {
+      case IterOrder::Parallel: {
+        for (const auto& iv : block.intervals) {
+          const int k0 = iv.k_range.lo_level(dom.nk);
+          const int k1 = iv.k_range.hi_level(dom.nk);
+          for (const auto& stmt : iv.body) {
+            const int ext_k0 = k0 - stmt.info.ext_k_lo_levels;
+            const int ext_k1 = k1 + stmt.info.ext_k_hi_levels;
+            apply_cstmt(stmt, dom, slots, pvals, ext_k0, ext_k1, scratch);
+          }
+        }
+        break;
+      }
+      case IterOrder::Forward: {
+        for (const auto& iv : block.intervals) {
+          const int k0 = iv.k_range.lo_level(dom.nk);
+          const int k1 = iv.k_range.hi_level(dom.nk);
+          for (int k = k0; k < k1; ++k) {
+            for (const auto& stmt : iv.body) {
+              apply_cstmt(stmt, dom, slots, pvals, k, k + 1, scratch);
+            }
+          }
+        }
+        break;
+      }
+      case IterOrder::Backward: {
+        for (const auto& iv : block.intervals) {
+          const int k0 = iv.k_range.lo_level(dom.nk);
+          const int k1 = iv.k_range.hi_level(dom.nk);
+          for (int k = k1 - 1; k >= k0; --k) {
+            for (const auto& stmt : iv.body) {
+              apply_cstmt(stmt, dom, slots, pvals, k, k + 1, scratch);
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace cyclone::exec

@@ -1,0 +1,202 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/field/layout.hpp"
+#include "core/util/error.hpp"
+
+namespace cyclone {
+
+/// Halo width per horizontal dimension (K never carries a halo in FV3; the
+/// vertical is never distributed).
+struct HaloSpec {
+  int i = 3;
+  int j = 3;
+
+  friend bool operator==(const HaloSpec&, const HaloSpec&) = default;
+};
+
+/// Describes the geometry of one field allocation: compute-domain sizes,
+/// halos, memory layout and alignment. Implements the allocation scheme of
+/// the paper's Fig. 8: strides are padded so that rows start at aligned
+/// addresses, and the buffer is pre-padded so that the *first non-halo
+/// element* is aligned.
+class FieldShape {
+ public:
+  FieldShape() = default;
+
+  FieldShape(int ni, int nj, int nk, HaloSpec halo = {}, Layout layout = Layout::KJI,
+             int align_elems = 8)
+      : ni_(ni), nj_(nj), nk_(nk), halo_(halo), layout_(layout), align_(align_elems) {
+    CY_REQUIRE_MSG(ni >= 1 && nj >= 1 && nk >= 1, "field dims must be positive");
+    CY_REQUIRE_MSG(halo.i >= 0 && halo.j >= 0, "halos must be non-negative");
+    CY_REQUIRE_MSG(align_elems >= 1, "alignment must be >= 1");
+    compute_strides();
+  }
+
+  [[nodiscard]] int ni() const { return ni_; }
+  [[nodiscard]] int nj() const { return nj_; }
+  [[nodiscard]] int nk() const { return nk_; }
+  [[nodiscard]] const HaloSpec& halo() const { return halo_; }
+  [[nodiscard]] Layout layout() const { return layout_; }
+  [[nodiscard]] int alignment() const { return align_; }
+
+  /// Total extents including halos.
+  [[nodiscard]] int ext_i() const { return ni_ + 2 * halo_.i; }
+  [[nodiscard]] int ext_j() const { return nj_ + 2 * halo_.j; }
+  [[nodiscard]] int ext_k() const { return nk_; }
+
+  [[nodiscard]] ptrdiff_t stride_i() const { return strides_[0]; }
+  [[nodiscard]] ptrdiff_t stride_j() const { return strides_[1]; }
+  [[nodiscard]] ptrdiff_t stride_k() const { return strides_[2]; }
+
+  /// Number of elements to allocate (including stride padding + pre-pad).
+  [[nodiscard]] size_t alloc_elems() const { return alloc_elems_; }
+
+  /// Linear index of compute-domain point (i, j, k); i in [-halo.i,
+  /// ni+halo.i), j likewise, k in [0, nk).
+  [[nodiscard]] size_t index(int i, int j, int k) const {
+    return static_cast<size_t>(base_ + (i + halo_.i) * strides_[0] + (j + halo_.j) * strides_[1] +
+                               k * strides_[2]);
+  }
+
+  /// Offset of the first non-halo element — aligned by construction.
+  [[nodiscard]] size_t origin_offset() const { return index(0, 0, 0); }
+
+  /// Number of addressable elements (dense extents, ignoring padding).
+  [[nodiscard]] size_t volume_with_halo() const {
+    return static_cast<size_t>(ext_i()) * ext_j() * ext_k();
+  }
+
+  /// Compute-domain volume (no halos).
+  [[nodiscard]] size_t volume() const {
+    return static_cast<size_t>(ni_) * nj_ * nk_;
+  }
+
+  friend bool operator==(const FieldShape& a, const FieldShape& b) {
+    return a.ni_ == b.ni_ && a.nj_ == b.nj_ && a.nk_ == b.nk_ && a.halo_ == b.halo_ &&
+           a.layout_ == b.layout_ && a.align_ == b.align_;
+  }
+
+ private:
+  static ptrdiff_t round_up(ptrdiff_t v, ptrdiff_t a) { return (v + a - 1) / a * a; }
+
+  void compute_strides() {
+    const DimOrder order = layout_order(layout_);  // slowest..fastest
+    const int exts[3] = {ext_i(), ext_j(), ext_k()};
+    // Fastest dim has unit stride; its extent is padded up to the alignment
+    // so each "row" begins aligned (Fig. 8 stride padding).
+    ptrdiff_t stride = 1;
+    ptrdiff_t padded_fast = round_up(exts[order[2]], align_);
+    strides_[order[2]] = 1;
+    stride = padded_fast;
+    strides_[order[1]] = stride;
+    stride *= exts[order[1]];
+    strides_[order[0]] = stride;
+    stride *= exts[order[0]];
+    // Pre-padding: shift the base so the first non-halo element lands on an
+    // aligned offset (Fig. 8 pre-padding).
+    const ptrdiff_t raw_origin =
+        halo_.i * strides_[0] + halo_.j * strides_[1];  // k origin is 0
+    base_ = round_up(raw_origin, align_) - raw_origin;
+    alloc_elems_ = static_cast<size_t>(stride + base_);
+  }
+
+  int ni_ = 1, nj_ = 1, nk_ = 1;
+  HaloSpec halo_;
+  Layout layout_ = Layout::KJI;
+  int align_ = 8;
+  ptrdiff_t strides_[3] = {1, 1, 1};
+  ptrdiff_t base_ = 0;
+  size_t alloc_elems_ = 1;
+};
+
+/// A named, halo-carrying 3-D field of T. 2-D fields are represented with
+/// nk == 1 (FV3 keeps many purely horizontal fields).
+template <class T>
+class Field3D {
+ public:
+  Field3D() = default;
+
+  Field3D(std::string name, const FieldShape& shape)
+      : name_(std::move(name)), shape_(shape), data_(shape.alloc_elems(), T{}) {}
+
+  Field3D(std::string name, int ni, int nj, int nk, HaloSpec halo = {},
+          Layout layout = Layout::KJI, int align_elems = 8)
+      : Field3D(std::move(name), FieldShape(ni, nj, nk, halo, layout, align_elems)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const FieldShape& shape() const { return shape_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+
+  /// Element access; (0,0,0) is the first compute-domain point, halo points
+  /// are reached with negative / beyond-domain indices.
+  [[nodiscard]] T& operator()(int i, int j, int k) {
+    return data_[checked_index(i, j, k)];
+  }
+  [[nodiscard]] const T& operator()(int i, int j, int k) const {
+    return data_[checked_index(i, j, k)];
+  }
+
+  /// 2-D convenience accessor (k = 0).
+  [[nodiscard]] T& operator()(int i, int j) { return (*this)(i, j, 0); }
+  [[nodiscard]] const T& operator()(int i, int j) const { return (*this)(i, j, 0); }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Fill compute domain + halos with f(i, j, k).
+  template <class F>
+  void fill_with(F&& f) {
+    const auto& s = shape_;
+    for (int k = 0; k < s.nk(); ++k)
+      for (int j = -s.halo().j; j < s.nj() + s.halo().j; ++j)
+        for (int i = -s.halo().i; i < s.ni() + s.halo().i; ++i) (*this)(i, j, k) = f(i, j, k);
+  }
+
+  /// Copy all addressable elements from another field with identical shape.
+  void copy_from(const Field3D& other) {
+    CY_REQUIRE_MSG(shape_ == other.shape_, "copy_from requires identical shapes");
+    data_ = other.data_;
+  }
+
+  /// Max |a-b| over the compute domain (ignoring halos).
+  static double max_abs_diff(const Field3D& a, const Field3D& b, bool include_halo = false) {
+    CY_REQUIRE(a.shape_.ni() == b.shape_.ni() && a.shape_.nj() == b.shape_.nj() &&
+               a.shape_.nk() == b.shape_.nk());
+    const int hi = include_halo ? std::min(a.shape_.halo().i, b.shape_.halo().i) : 0;
+    const int hj = include_halo ? std::min(a.shape_.halo().j, b.shape_.halo().j) : 0;
+    double m = 0;
+    for (int k = 0; k < a.shape_.nk(); ++k)
+      for (int j = -hj; j < a.shape_.nj() + hj; ++j)
+        for (int i = -hi; i < a.shape_.ni() + hi; ++i)
+          m = std::max(m, std::abs(static_cast<double>(a(i, j, k)) - b(i, j, k)));
+    return m;
+  }
+
+ private:
+  [[nodiscard]] size_t checked_index(int i, int j, int k) const {
+#ifdef CYCLONE_BOUNDS_CHECK
+    CY_REQUIRE_MSG(i >= -shape_.halo().i && i < shape_.ni() + shape_.halo().i &&
+                       j >= -shape_.halo().j && j < shape_.nj() + shape_.halo().j && k >= 0 &&
+                       k < shape_.nk(),
+                   "out-of-bounds access to field '" << name_ << "' at (" << i << "," << j << ","
+                                                     << k << ")");
+#endif
+    return shape_.index(i, j, k);
+  }
+
+  std::string name_;
+  FieldShape shape_;
+  std::vector<T> data_;
+};
+
+using FieldD = Field3D<double>;
+
+}  // namespace cyclone

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "core/util/error.hpp"
+
+namespace cyclone {
+
+/// Memory layout of a 3-D field, named by dimension order from slowest to
+/// fastest varying. The paper (Sec. VI-A3) settles on FORTRAN layout, i.e.
+/// I-contiguous (`KJI` in this naming: K slowest, I fastest), because it
+/// produces wide loads along the largest dimension.
+enum class Layout {
+  KJI,  ///< I unit stride (FORTRAN / paper default)
+  IJK,  ///< K unit stride (typical C layout for [i][j][k])
+  KIJ,  ///< J unit stride
+  JIK,  ///< K unit stride, J slowest... (I middle)
+  IKJ,  ///< J unit stride, I slowest
+  JKI,  ///< I unit stride, J slowest
+};
+
+/// Dimension indices: 0 = I, 1 = J, 2 = K.
+using DimOrder = std::array<int, 3>;
+
+/// Returns the dims of `layout` ordered slowest..fastest varying.
+inline DimOrder layout_order(Layout layout) {
+  switch (layout) {
+    case Layout::KJI: return {2, 1, 0};
+    case Layout::IJK: return {0, 1, 2};
+    case Layout::KIJ: return {2, 0, 1};
+    case Layout::JIK: return {1, 0, 2};
+    case Layout::IKJ: return {0, 2, 1};
+    case Layout::JKI: return {1, 2, 0};
+  }
+  CY_ENSURE_MSG(false, "unknown layout");
+}
+
+inline const char* layout_name(Layout layout) {
+  switch (layout) {
+    case Layout::KJI: return "KJI";
+    case Layout::IJK: return "IJK";
+    case Layout::KIJ: return "KIJ";
+    case Layout::JIK: return "JIK";
+    case Layout::IKJ: return "IKJ";
+    case Layout::JKI: return "JKI";
+  }
+  return "?";
+}
+
+/// Which dimension (0=I,1=J,2=K) has unit stride under `layout`.
+inline int unit_stride_dim(Layout layout) { return layout_order(layout)[2]; }
+
+}  // namespace cyclone

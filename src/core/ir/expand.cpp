@@ -1,0 +1,274 @@
+#include "core/ir/expand.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/dsl/analysis.hpp"
+#include "core/util/strings.hpp"
+
+namespace cyclone::ir {
+
+using dsl::Extent;
+using dsl::IterOrder;
+using dsl::Stmt;
+
+namespace {
+
+/// A statement scheduled into a kernel group, with its interval.
+struct GroupStmt {
+  const Stmt* stmt;
+  dsl::Interval k_range;
+};
+
+/// Count distinct (field, offset) read sites of an expression.
+void count_read_sites(const dsl::ExprP& e, std::map<std::string, std::set<std::array<int, 3>>>& out) {
+  if (e->kind == dsl::ExprKind::FieldAccess) {
+    out[e->name].insert({e->off.i, e->off.j, e->off.k});
+  }
+  for (const auto& arg : e->args) count_read_sites(arg, out);
+}
+
+/// True if `consumer` reads any field in `written` at a nonzero *horizontal*
+/// offset — which would require cross-thread communication inside a kernel.
+bool horizontal_dependency(const Stmt& consumer, const std::set<std::string>& written) {
+  dsl::AccessInfo acc;
+  dsl::collect_accesses(consumer.rhs, acc);
+  for (const auto& [name, ext] : acc.reads) {
+    if (written.count(name) && !ext.horizontal_zero() && name != consumer.lhs) return true;
+  }
+  return false;
+}
+
+/// Usage data of the whole stencil, to decide temporary privacy.
+struct TempUsage {
+  int groups_touching = 0;
+  bool offset_read = false;
+};
+
+KernelDesc make_kernel(const SNode& node, const Program& program, const exec::LaunchDomain& dom,
+                       long invocations, IterOrder order, const std::vector<GroupStmt>& group,
+                       int kernel_idx, const std::map<std::string, int>& temp_group_count) {
+  const auto& stencil = *node.stencil;
+  KernelDesc k;
+  k.label = node.label + "#" + std::to_string(kernel_idx);
+  k.order = order;
+  k.iteration_order = node.schedule.iteration_order;
+  k.invocations = invocations;
+  k.num_ops = static_cast<int>(group.size());
+
+  // Iteration domain: union of interval level counts (overlaps are rare and
+  // merged conservatively), possibly restricted to a region.
+  long levels = 0;
+  {
+    std::set<int> ks;
+    for (const auto& gs : group) {
+      const int lo = gs.k_range.lo_level(dom.nk);
+      const int hi = gs.k_range.hi_level(dom.nk);
+      for (int kk = lo; kk < hi; ++kk) ks.insert(kk);
+    }
+    levels = static_cast<long>(ks.size());
+  }
+  k.levels = std::max<long>(levels, 1);
+
+  // Horizontal domain: full, unless this is a split-out region kernel.
+  long ni = dom.ni, nj = dom.nj;
+  const bool single_region =
+      group.size() == 1 && group[0].stmt->region &&
+      node.schedule.region_strategy == sched::RegionStrategy::SeparateKernels;
+  if (single_region) {
+    exec::Rect apply{{0, dom.ni}, {0, dom.nj}};
+    const exec::Rect r = exec::resolve_region(*group[0].stmt->region, dom, apply);
+    ni = std::max(r.i.size(), 1);
+    nj = std::max(r.j.size(), 1);
+    k.is_region_kernel = true;
+  }
+  k.ni = ni;
+  k.nj = nj;
+
+  k.predicated = !single_region && std::any_of(group.begin(), group.end(), [](const GroupStmt& g) {
+    return g.stmt->region.has_value();
+  });
+
+  // Exposed parallelism.
+  const bool vertical = order != IterOrder::Parallel;
+  const bool k_mapped = node.schedule.k_as_map && !vertical;
+  k.threads = ni * nj * (k_mapped ? k.levels : 1);
+
+  // Field usage. Temporaries private to this kernel (touched by no other
+  // kernel group and never read at an offset) live in registers and cause no
+  // global traffic.
+  std::map<std::string, std::set<std::array<int, 3>>> read_sites;
+  std::set<std::string> written;
+  for (const auto& gs : group) {
+    count_read_sites(gs.stmt->rhs, read_sites);
+    written.insert(gs.stmt->lhs);
+  }
+
+  // Which temps does *this* group touch, and are they touched elsewhere?
+  auto touched_elsewhere = [&](const std::string& temp) {
+    auto it = temp_group_count.find(temp);
+    return it != temp_group_count.end() && it->second > 1;
+  };
+  auto offset_read_here = [&](const std::string& name) {
+    auto it = read_sites.find(name);
+    if (it == read_sites.end()) return false;
+    for (const auto& off : it->second) {
+      // For vertical solvers, k offsets on carried values stay per-column
+      // (registers); horizontal offsets force memory.
+      if (off[0] != 0 || off[1] != 0) return true;
+      if (!vertical && off[2] != 0) return true;
+    }
+    return false;
+  };
+
+  std::set<std::string> all_fields;
+  for (const auto& [name, _] : read_sites) all_fields.insert(name);
+  for (const auto& name : written) all_fields.insert(name);
+
+  for (const auto& name : all_fields) {
+    const bool is_temp = stencil.is_temporary(name);
+    if (is_temp && !touched_elsewhere(name) && !offset_read_here(name)) {
+      continue;  // register-resident, no global traffic
+    }
+    KernelFieldUse use;
+    use.name = name;
+    const FieldMeta meta = program.meta_of(name);
+    long field_levels = meta.levels(static_cast<int>(k.levels));
+    if (meta.kind == FieldKind::Center3D) field_levels = k.levels;
+    if (meta.kind == FieldKind::Interface3D) field_levels = k.levels + 1;
+    use.elems = ni * nj * field_levels;
+    if (auto it = read_sites.find(name); it != read_sites.end()) {
+      use.read_sites = static_cast<int>(it->second.size());
+      if (vertical && node.schedule.vertical_cache != sched::CacheKind::None) {
+        // Loop-carried values cached in registers: multiple k-offset sites
+        // collapse to one load per element.
+        bool only_k_offsets = true;
+        for (const auto& off : it->second) {
+          if (off[0] != 0 || off[1] != 0) only_k_offsets = false;
+        }
+        if (only_k_offsets && it->second.size() > 1) {
+          use.carried_cached = true;
+        }
+      }
+    }
+    use.written = written.count(name) > 0;
+    k.fields.push_back(std::move(use));
+  }
+
+  // FLOP count: per statement, expression flops times applied points.
+  long flops = 0;
+  for (const auto& gs : group) {
+    long pts;
+    if (gs.stmt->region && node.schedule.region_strategy == sched::RegionStrategy::Predicated) {
+      exec::Rect apply{{0, dom.ni}, {0, dom.nj}};
+      const exec::Rect r = exec::resolve_region(*gs.stmt->region, dom, apply);
+      pts = static_cast<long>(std::max(r.i.size(), 0)) * std::max(r.j.size(), 0);
+    } else {
+      pts = ni * nj;
+    }
+    pts *= std::max<long>(gs.k_range.hi_level(dom.nk) - gs.k_range.lo_level(dom.nk), 1);
+    flops += dsl::expr_flops(gs.stmt->rhs) * pts;
+  }
+  k.flops = flops;
+  return k;
+}
+
+}  // namespace
+
+std::vector<KernelDesc> expand_node(const SNode& node, const Program& program,
+                                    const exec::LaunchDomain& dom_in, long invocations) {
+  std::vector<KernelDesc> kernels;
+  if (node.kind != SNode::Kind::Stencil) return kernels;
+  exec::LaunchDomain dom = dom_in;
+  // Model the extended iteration domain (placement is unaffected).
+  dom.ni += node.ext.ilo + node.ext.ihi;
+  dom.nj += node.ext.jlo + node.ext.jhi;
+  const auto& stencil = *node.stencil;
+  const auto& schedule = node.schedule;
+
+  // First pass: collect all kernel groups so temp privacy can be decided.
+  std::vector<std::pair<IterOrder, std::vector<GroupStmt>>> groups;
+
+  for (const auto& block : stencil.blocks()) {
+    const bool vertical = block.order != IterOrder::Parallel;
+
+    // Fields written anywhere in this block (for dependency splitting).
+    std::set<std::string> block_writes;
+    for (const auto& iv : block.intervals) {
+      for (const auto& stmt : iv.body) block_writes.insert(stmt.lhs);
+    }
+
+    std::vector<GroupStmt> current;
+    std::set<std::string> current_writes;
+    auto flush = [&] {
+      if (!current.empty()) groups.emplace_back(block.order, current);
+      current.clear();
+      current_writes.clear();
+    };
+
+    for (const auto& iv : block.intervals) {
+      // Without interval fusion, vertical blocks start a new kernel per
+      // interval; parallel blocks likewise (each interval is its own map).
+      if (!schedule.fuse_intervals || !vertical) flush();
+      for (const auto& stmt : iv.body) {
+        const bool separate_region =
+            stmt.region && schedule.region_strategy == sched::RegionStrategy::SeparateKernels;
+        const bool dependency = horizontal_dependency(stmt, current_writes);
+        const bool fusible = schedule.fuse_thread_level && !dependency && !separate_region;
+        if (!fusible) flush();
+        current.push_back(GroupStmt{&stmt, iv.k_range});
+        current_writes.insert(stmt.lhs);
+        if (separate_region || !schedule.fuse_thread_level) flush();
+      }
+    }
+    flush();
+  }
+
+  // How many kernel groups touch each temporary?
+  std::map<std::string, int> temp_group_count;
+  for (const auto& [order, group] : groups) {
+    std::set<std::string> touched;
+    for (const auto& gs : group) {
+      dsl::AccessInfo acc = dsl::analyze(*gs.stmt);
+      for (const auto& name : acc.fields()) {
+        if (stencil.is_temporary(name)) touched.insert(name);
+      }
+    }
+    for (const auto& name : touched) ++temp_group_count[name];
+  }
+
+  int idx = 0;
+  for (const auto& [order, group] : groups) {
+    kernels.push_back(
+        make_kernel(node, program, dom, invocations, order, group, idx++, temp_group_count));
+  }
+  return kernels;
+}
+
+std::vector<KernelDesc> expand_program(const Program& program, const exec::LaunchDomain& dom) {
+  std::vector<KernelDesc> out;
+  const auto invocations = program.state_invocations();
+  for (size_t s = 0; s < program.states().size(); ++s) {
+    if (invocations[s] == 0) continue;
+    for (const auto& node : program.states()[s].nodes) {
+      auto ks = expand_node(node, program, dom, invocations[s]);
+      out.insert(out.end(), std::make_move_iterator(ks.begin()),
+                 std::make_move_iterator(ks.end()));
+    }
+  }
+  return out;
+}
+
+ExpansionStats expansion_stats(const std::vector<KernelDesc>& kernels) {
+  ExpansionStats stats;
+  std::set<std::string> labels;
+  for (const auto& k : kernels) {
+    labels.insert(k.label);
+    stats.total_launches += k.invocations;
+  }
+  stats.unique_kernels = static_cast<long>(labels.size());
+  return stats;
+}
+
+}  // namespace cyclone::ir

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ir/program.hpp"
+
+namespace cyclone::ir {
+
+/// How one kernel touches one global field.
+struct KernelFieldUse {
+  std::string name;
+  long elems = 0;       ///< unique footprint elements in this kernel
+  int read_sites = 0;   ///< number of access sites reading the field
+  bool written = false;
+  /// Loop-carried vertical-solver value held in registers: repeated k-offset
+  /// loads collapse to one per column (paper Sec. VI-A2 local storage).
+  bool carried_cached = false;
+};
+
+/// A GPU kernel (expanded map) produced from a StencilComputation library
+/// node under its schedule — the unit the performance model and Fig. 10
+/// report operate on.
+struct KernelDesc {
+  std::string label;
+  dsl::IterOrder order = dsl::IterOrder::Parallel;
+  Layout iteration_order = Layout::KJI;  ///< schedule's unit-stride mapping
+  long invocations = 1;  ///< times launched per program run (loop trips)
+  long ni = 0, nj = 0;
+  long levels = 0;      ///< vertical levels the kernel covers
+  long threads = 0;     ///< parallel threads exposed
+  long flops = 0;       ///< per launch
+  int num_ops = 0;
+  bool predicated = false;      ///< contains index-masked region statements
+  bool is_region_kernel = false;  ///< small kernel over an edge sub-domain
+  std::vector<KernelFieldUse> fields;
+
+  [[nodiscard]] const KernelFieldUse* find_field(const std::string& name) const {
+    for (const auto& f : fields) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+};
+
+/// Expand one stencil node into kernels under its schedule.
+std::vector<KernelDesc> expand_node(const SNode& node, const Program& program,
+                                    const exec::LaunchDomain& dom, long invocations);
+
+/// Expand a whole program: every stencil node of every state, weighted by
+/// loop trip counts.
+std::vector<KernelDesc> expand_program(const Program& program, const exec::LaunchDomain& dom);
+
+/// Count distinct kernels (by label) and total launches.
+struct ExpansionStats {
+  long unique_kernels = 0;
+  long total_launches = 0;
+};
+ExpansionStats expansion_stats(const std::vector<KernelDesc>& kernels);
+
+}  // namespace cyclone::ir

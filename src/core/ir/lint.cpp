@@ -1,0 +1,185 @@
+#include "core/ir/lint.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "core/dsl/analysis.hpp"
+#include "core/xform/passes.hpp"
+
+namespace cyclone::ir {
+
+namespace {
+
+std::string loc(const State& state, const SNode& node) {
+  return state.name + "/" + node.label;
+}
+
+}  // namespace
+
+std::vector<LintIssue> lint(const Program& program) {
+  std::vector<LintIssue> issues;
+  auto warn = [&](const std::string& where, const std::string& msg) {
+    issues.push_back({LintIssue::Severity::Warning, where, msg});
+  };
+  auto error = [&](const std::string& where, const std::string& msg) {
+    issues.push_back({LintIssue::Severity::Error, where, msg});
+  };
+
+  // Collect every field any stencil writes (for the halo/transient checks).
+  std::set<std::string> written_somewhere;
+  for (const auto& state : program.states()) {
+    for (const auto& node : state.nodes) {
+      if (node.kind != SNode::Kind::Stencil) continue;
+      const dsl::AccessInfo acc = dsl::analyze(*node.stencil);
+      for (const auto& [formal, _] : acc.writes) {
+        written_somewhere.insert(node.args.actual(formal));
+      }
+    }
+  }
+
+  for (const auto& state : program.states()) {
+    if (state.nodes.empty()) warn(state.name, "state has no nodes");
+    for (const auto& node : state.nodes) {
+      switch (node.kind) {
+        case SNode::Kind::Callback:
+          if (!node.callback) error(loc(state, node), "callback node without a function");
+          break;
+        case SNode::Kind::HaloExchange:
+          if (node.halo_fields.empty()) {
+            warn(loc(state, node), "halo exchange with no fields");
+          }
+          for (const auto& f : node.halo_fields) {
+            if (!written_somewhere.count(f)) {
+              warn(loc(state, node),
+                   "halo exchange of '" + f + "' which no stencil writes");
+            }
+          }
+          if (node.halo_vector && node.halo_fields.size() % 2 != 0) {
+            error(loc(state, node), "vector halo exchange needs (u, v) pairs");
+          }
+          break;
+        case SNode::Kind::Stencil: {
+          // Unbound scalar parameters fail at launch time; catch them here.
+          for (const auto& p : node.stencil->params()) {
+            if (!node.args.params.count(p)) {
+              error(loc(state, node), "unbound scalar parameter '" + p + "'");
+            }
+          }
+          // Schedule validity for the node's dominant iteration order.
+          const bool vertical = xform::is_vertical_solver(*node.stencil);
+          const auto order = vertical ? dsl::IterOrder::Forward : dsl::IterOrder::Parallel;
+          if (!sched::is_valid(node.schedule, order)) {
+            error(loc(state, node),
+                  std::string("schedule invalid for ") + dsl::iter_order_name(order) +
+                      " node: " + node.schedule.describe());
+          }
+          // Transients read but never written anywhere: uninitialized data.
+          const dsl::AccessInfo acc = dsl::analyze(*node.stencil);
+          for (const auto& [formal, _] : acc.reads) {
+            const std::string actual = node.args.actual(formal);
+            if (node.stencil->is_temporary(formal)) continue;
+            if (program.meta_of(actual).transient && !written_somewhere.count(actual)) {
+              warn(loc(state, node),
+                   "reads transient '" + actual + "' which nothing writes");
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+  return issues;
+}
+
+std::string format_issues(const std::vector<LintIssue>& issues) {
+  std::ostringstream os;
+  for (const auto& issue : issues) {
+    os << (issue.severity == LintIssue::Severity::Error ? "error: " : "warning: ")
+       << issue.where << ": " << issue.message << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+void cf_to_json(std::ostringstream& os, const CFNode& node) {
+  switch (node.kind) {
+    case CFNode::Kind::State:
+      os << "{\"type\":\"state\",\"index\":" << node.state << "}";
+      return;
+    case CFNode::Kind::Loop:
+      os << "{\"type\":\"loop\",\"var\":";
+      json_escape(os, node.loop_var);
+      os << ",\"trips\":" << node.trips << ",\"body\":[";
+      break;
+    case CFNode::Kind::Sequence:
+      os << "{\"type\":\"sequence\",\"body\":[";
+      break;
+  }
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i) os << ',';
+    cf_to_json(os, node.children[i]);
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+std::string to_json(const Program& program) {
+  std::ostringstream os;
+  os << "{\"name\":";
+  json_escape(os, program.name());
+  os << ",\"states\":[";
+  for (size_t s = 0; s < program.states().size(); ++s) {
+    const auto& state = program.states()[s];
+    if (s) os << ',';
+    os << "{\"name\":";
+    json_escape(os, state.name);
+    os << ",\"nodes\":[";
+    for (size_t n = 0; n < state.nodes.size(); ++n) {
+      const auto& node = state.nodes[n];
+      if (n) os << ',';
+      os << "{\"label\":";
+      json_escape(os, node.label);
+      switch (node.kind) {
+        case SNode::Kind::Stencil: {
+          os << ",\"kind\":\"stencil\",\"stencil\":";
+          json_escape(os, node.stencil->name());
+          os << ",\"ops\":" << node.stencil->num_operations() << ",\"schedule\":";
+          json_escape(os, node.schedule.describe());
+          break;
+        }
+        case SNode::Kind::Callback:
+          os << ",\"kind\":\"callback\"";
+          break;
+        case SNode::Kind::HaloExchange: {
+          os << ",\"kind\":\"halo_exchange\",\"vector\":"
+             << (node.halo_vector ? "true" : "false") << ",\"fields\":[";
+          for (size_t f = 0; f < node.halo_fields.size(); ++f) {
+            if (f) os << ',';
+            json_escape(os, node.halo_fields[f]);
+          }
+          os << "]";
+          break;
+        }
+      }
+      os << "}";
+    }
+    os << "]}";
+  }
+  os << "],\"control_flow\":";
+  cf_to_json(os, program.control_flow());
+  os << "}";
+  return os.str();
+}
+
+}  // namespace cyclone::ir

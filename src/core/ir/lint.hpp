@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ir/program.hpp"
+
+namespace cyclone::ir {
+
+/// A program-level diagnostic from the lint pass.
+struct LintIssue {
+  enum class Severity { Warning, Error };
+  Severity severity = Severity::Warning;
+  std::string where;    ///< "state/node" location
+  std::string message;
+};
+
+/// Static checks on a whole program, catching mistakes that would otherwise
+/// surface as runtime failures deep inside a step:
+///  * unbound scalar parameters (Error),
+///  * schedules invalid for the node's iteration order (Error),
+///  * transient fields read before any writer in a full execution cycle
+///    (Warning: uninitialized data),
+///  * halo exchanges of fields no stencil ever writes (Warning),
+///  * empty states (Warning).
+std::vector<LintIssue> lint(const Program& program);
+
+/// Render issues for humans.
+std::string format_issues(const std::vector<LintIssue>& issues);
+
+/// JSON serialization of the program structure (states, nodes, schedules,
+/// control flow) for external tooling — the analog of DaCe's .sdfg files.
+std::string to_json(const Program& program);
+
+}  // namespace cyclone::ir

@@ -1,0 +1,39 @@
+#include "core/orch/orchestrate.hpp"
+
+#include "core/xform/fusion.hpp"
+
+namespace cyclone::orch {
+
+OrchestrationReport orchestrate(ir::Program& program) {
+  OrchestrationReport report;
+  int node_id = 0;
+  for (auto& state : program.states()) {
+    for (auto& node : state.nodes) {
+      switch (node.kind) {
+        case ir::SNode::Kind::Callback:
+          ++report.callbacks_registered;
+          break;
+        case ir::SNode::Kind::HaloExchange:
+          break;
+        case ir::SNode::Kind::Stencil: {
+          ++report.stencils_processed;
+          report.params_propagated += static_cast<int>(node.args.params.size());
+          report.bindings_resolved += static_cast<int>(node.args.bind.size());
+          // resolve_node performs closure resolution + constant propagation
+          // + folding in one pass; a unique temp prefix keeps temporaries
+          // collision-free across the whole program.
+          dsl::StencilFunc resolved =
+              xform::resolve_node(node, "o" + std::to_string(node_id++) + "__");
+          node.stencil = std::make_shared<const dsl::StencilFunc>(std::move(resolved));
+          node.args = exec::StencilArgs{};
+          break;
+        }
+      }
+    }
+  }
+  program.invalidate_compiled();
+  report.stats = program.stats();
+  return report;
+}
+
+}  // namespace cyclone::orch

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "core/ir/program.hpp"
+
+namespace cyclone::orch {
+
+/// Report of whole-program orchestration (paper Sec. V-B): the preprocessor
+/// that turns modular Python-style driver code into a single analyzable
+/// program — constant propagation into kernels, closure resolution (field
+/// renaming), dead-branch folding — plus the resulting program statistics.
+struct OrchestrationReport {
+  int stencils_processed = 0;
+  int params_propagated = 0;    ///< scalar parameters turned into literals
+  int bindings_resolved = 0;    ///< formal -> actual field renamings inlined
+  int callbacks_registered = 0;
+  ir::ProgramStats stats;
+};
+
+/// Orchestrate a program in place:
+///  * constant propagation: every bound scalar parameter is substituted as a
+///    literal into its stencil ("propagating constants into GPU kernels"),
+///  * closure resolution: field bindings are inlined so each node's stencil
+///    references catalog names directly (the Fig. 6 transformation),
+///  * constant folding of the resulting expressions.
+/// Loop unrolling of Python-level loops (the tracer dictionary) happens at
+/// program construction (see remap_nodes / tracer_2d), as in the paper.
+OrchestrationReport orchestrate(ir::Program& program);
+
+}  // namespace cyclone::orch

@@ -1,0 +1,45 @@
+#include "core/perf/machine.hpp"
+
+namespace cyclone::perf {
+
+MachineSpec p100() {
+  MachineSpec m;
+  m.name = "P100";
+  m.is_gpu = true;
+  m.dram_bw = 489.83e9 * 1.073741824;  // GiB/s measured copy -> B/s
+  m.flop_peak = 4.7e12;                // FP64 peak
+  m.launch_overhead = 4.0e-6;          // kernel launch latency
+  m.threads_half = 25000.0;            // small 2-D grids underutilize HBM
+  m.neighbor_miss = 0.14;              // L2/TEX mostly absorbs offset reads
+  m.predication_penalty = 0.30;        // divergent edge branches in hot kernels
+  m.uncoalesced_penalty = 2.2;
+  m.vertical_eff_cap = 0.24;           // latency-bound column solves
+  return m;
+}
+
+MachineSpec a100() {
+  MachineSpec m = p100();
+  m.name = "A100";
+  m.dram_bw = p100().dram_bw * 2.83;  // paper Sec. IX-B bandwidth ratio
+  m.flop_peak = 9.7e12;
+  m.launch_overhead = 3.0e-6;
+  m.threads_half = 38000.0;  // bigger GPU needs more parallelism
+  m.vertical_eff_cap = 0.26;
+  return m;
+}
+
+MachineSpec haswell() {
+  MachineSpec m;
+  m.name = "Haswell";
+  m.is_gpu = false;
+  m.dram_bw = 40.99e9 * 1.073741824;  // GiB/s measured copy -> B/s
+  m.flop_peak = 0.48e12;              // 12 cores AVX2 FMA
+  m.launch_overhead = 0.4e-6;         // loop-nest entry / OpenMP fork share
+  m.neighbor_miss = 0.45;             // LLC absorbs less of strided re-reads
+  m.cache_bytes = 2.0e6;              // effective per-rank L2 + LLC share
+  m.predication_penalty = 0.02;
+  m.column_stride_waste = 4.5;        // column sweeps waste cache lines
+  return m;
+}
+
+}  // namespace cyclone::perf

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+
+namespace cyclone::perf {
+
+/// Analytic machine description. Since this reproduction has no P100/A100 or
+/// Haswell node available, reported hardware timings are produced by
+/// evaluating this model on the *actual expanded, transformed IR* (see
+/// DESIGN.md, substitution table). Peak numbers follow the paper's Sec. VIII
+/// measurements.
+struct MachineSpec {
+  std::string name;
+  bool is_gpu = true;
+  double dram_bw = 0;           ///< sustained DRAM bandwidth [B/s]
+  double flop_peak = 0;         ///< double-precision peak [FLOP/s]
+  double launch_overhead = 0;   ///< per-kernel launch / loop-nest entry [s]
+  double threads_half = 0;      ///< threads at which BW efficiency is 50%
+  double neighbor_miss = 0;     ///< cache-miss fraction of extra offset reads
+  double cache_bytes = 0;       ///< CPU: effective per-rank cache capacity
+  double predication_penalty = 0;  ///< relative cost of index-masked kernels
+  /// CPU: traffic multiplier for vertical (column-order) solvers — strided
+  /// column access wastes most of each cache line under the I-contiguous
+  /// layout (the paper's Sec. VIII-B observation).
+  double column_stride_waste = 1.0;
+  /// GPU: traffic multiplier when the iteration's unit-stride dimension
+  /// does not match the storage layout's (uncoalesced global accesses).
+  double uncoalesced_penalty = 1.0;
+  /// GPU: bandwidth-efficiency cap for k-loop (vertical solver) kernels —
+  /// per-thread serial dependences make them latency- rather than
+  /// bandwidth-bound (the 20-40%% peak kernels of Fig. 10).
+  double vertical_eff_cap = 1.0;
+
+  /// Memory-bandwidth efficiency at a given exposed parallelism. GPUs need
+  /// enough resident threads to saturate HBM; CPUs are assumed saturated.
+  [[nodiscard]] double bw_efficiency(double threads) const {
+    if (!is_gpu || threads_half <= 0) return 1.0;
+    return threads / (threads + threads_half);
+  }
+};
+
+/// NVIDIA Tesla P100 (Piz Daint XC50): 501.1 GB/s peak, 489.83 GiB/s
+/// measured by the paper's copy stencil.
+MachineSpec p100();
+
+/// NVIDIA Tesla A100 (JUWELS Booster): 2.83x the P100 memory bandwidth.
+MachineSpec a100();
+
+/// Intel Xeon E5-2690 v3 (Haswell, Piz Daint host): 43.77 GB/s STREAM,
+/// 40.99 GiB/s measured copy; cache capacity models the L2+L3 share of one
+/// production rank (6 ranks/node).
+MachineSpec haswell();
+
+}  // namespace cyclone::perf

@@ -1,0 +1,132 @@
+#include "core/perf/model.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace cyclone::perf {
+
+namespace {
+constexpr double kElem = sizeof(double);
+}
+
+double unique_bytes(const ir::KernelDesc& k) {
+  double bytes = 0;
+  for (const auto& f : k.fields) {
+    if (f.read_sites > 0) bytes += static_cast<double>(f.elems) * kElem;
+    if (f.written) bytes += static_cast<double>(f.elems) * kElem;
+  }
+  return bytes;
+}
+
+double access_bytes(const ir::KernelDesc& k, const MachineSpec& m) {
+  double bytes = 0;
+  for (const auto& f : k.fields) {
+    if (f.read_sites > 0) {
+      const int effective_sites = f.carried_cached ? 1 : f.read_sites;
+      const double factor = 1.0 + m.neighbor_miss * (effective_sites - 1);
+      bytes += static_cast<double>(f.elems) * kElem * factor;
+    }
+    if (f.written) bytes += static_cast<double>(f.elems) * kElem;
+  }
+  return bytes;
+}
+
+KernelTime model_kernel(const ir::KernelDesc& k, const MachineSpec& m) {
+  KernelTime t;
+  double eff = m.bw_efficiency(static_cast<double>(k.threads));
+  // Vertical solvers iterate k serially per thread: dependent loads make
+  // them latency-bound well below streaming bandwidth.
+  if (k.order != dsl::IterOrder::Parallel && m.vertical_eff_cap < 1.0) {
+    eff = std::min(eff, m.vertical_eff_cap);
+  }
+  const double bw_eff = m.dram_bw * eff;
+  double traffic = access_bytes(k, m);
+  // Fields are stored I-contiguous (FORTRAN layout, Fig. 8); iterating with
+  // a different unit-stride dimension costs coalescing on the GPU.
+  if (m.is_gpu && unit_stride_dim(k.iteration_order) != 0) {
+    traffic *= m.uncoalesced_penalty;
+  }
+  const double mem_time = traffic / bw_eff;
+  const double flop_time = static_cast<double>(k.flops) / m.flop_peak;
+  double sim = std::max(mem_time, flop_time) + m.launch_overhead;
+  if (k.predicated) sim *= 1.0 + m.predication_penalty;
+  t.simulated = sim;
+  t.bound = unique_bytes(k) / m.dram_bw;
+  return t;
+}
+
+double model_program(const std::vector<ir::KernelDesc>& kernels, const MachineSpec& m) {
+  double total = 0;
+  for (const auto& k : kernels) {
+    total += model_kernel(k, m).simulated * static_cast<double>(k.invocations);
+  }
+  return total;
+}
+
+double model_module_cpu(const std::vector<ir::KernelDesc>& kernels, const MachineSpec& m) {
+  double total = 0;
+
+  // Group kernels per (module, invocation count): each module is one
+  // k-blocked sweep in the FORTRAN schedule, repeated by its loop count.
+  auto module_of = [](const std::string& label) {
+    const auto dot = label.find('.');
+    return dot == std::string::npos ? label : label.substr(0, dot);
+  };
+  std::map<std::pair<std::string, long>, std::vector<const ir::KernelDesc*>> by_module;
+  for (const auto& k : kernels) by_module[{module_of(k.label), k.invocations}].push_back(&k);
+
+  for (const auto& [key, group] : by_module) {
+    const long invocations = key.second;
+    // Per-plane working set: one 2-D slice of every distinct field touched.
+    std::map<std::string, double> plane_bytes;
+    double compulsory = 0;     // each unique element once
+    double streaming = 0;      // every kernel re-streams its operands
+    double column_traffic = 0;  // vertical solvers: strided column sweeps
+    double flops = 0;
+    long ops = 0;
+    std::set<std::string> counted;
+    for (const auto* k : group) {
+      if (k->order != dsl::IterOrder::Parallel) {
+        // Column-blocked vertical solver: strided access wastes most of
+        // each cache line, independent of cache capacity.
+        column_traffic += access_bytes(*k, m) * m.column_stride_waste;
+        flops += static_cast<double>(k->flops);
+        ops += k->num_ops;
+        continue;
+      }
+      for (const auto& f : k->fields) {
+        plane_bytes[f.name] =
+            std::max(plane_bytes[f.name], static_cast<double>(k->ni * k->nj) * kElem);
+        if (!counted.count(f.name)) {
+          counted.insert(f.name);
+          // Compulsory: the full 3-D footprint once (read and/or write).
+          compulsory += static_cast<double>(f.elems) * kElem *
+                        ((f.read_sites > 0 ? 1 : 0) + (f.written ? 1 : 0));
+        }
+      }
+      streaming += access_bytes(*k, m);
+      flops += static_cast<double>(k->flops);
+      ops += k->num_ops;
+    }
+    double working_set = 0;
+    for (const auto& [_, b] : plane_bytes) working_set += b;
+
+    // Cache-capacity interpolation: fully cached -> compulsory only;
+    // overflowing -> every kernel streams from DRAM.
+    double overflow = 0.0;
+    if (m.cache_bytes > 0 && working_set > m.cache_bytes) {
+      overflow = 1.0 - m.cache_bytes / working_set;
+    }
+    const double traffic =
+        compulsory + (std::max(streaming - compulsory, 0.0)) * overflow + column_traffic;
+    const double mem_time = traffic / m.dram_bw;
+    const double flop_time = flops / m.flop_peak;
+    const double per_iter =
+        std::max(mem_time, flop_time) + static_cast<double>(ops) * m.launch_overhead;
+    total += per_iter * static_cast<double>(invocations);
+  }
+  return total;
+}
+
+}  // namespace cyclone::perf

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "core/ir/expand.hpp"
+#include "core/perf/machine.hpp"
+
+namespace cyclone::perf {
+
+/// Modeled timing of one kernel launch.
+struct KernelTime {
+  double simulated = 0;  ///< predicted runtime [s]
+  double bound = 0;      ///< memory-bandwidth-bound lower bound [s]
+  /// bound / simulated: the "% of peak memory bandwidth" of Fig. 10.
+  [[nodiscard]] double utilization() const { return simulated > 0 ? bound / simulated : 1.0; }
+};
+
+/// Bytes the kernel moves assuming perfect reuse: every unique element read
+/// once and written once — the paper's 17-line bound model (Sec. VI-C).
+double unique_bytes(const ir::KernelDesc& k);
+
+/// Bytes the kernel actually moves under the given machine's cache behavior:
+/// extra offset access sites mostly hit cache, a `neighbor_miss` fraction
+/// spills to DRAM; register-cached carried values collapse to one load.
+double access_bytes(const ir::KernelDesc& k, const MachineSpec& m);
+
+/// Model one GPU kernel launch.
+KernelTime model_kernel(const ir::KernelDesc& k, const MachineSpec& m);
+
+/// Modeled total runtime of an expanded program on a GPU-like machine:
+/// sum over kernels of simulated time x invocations.
+double model_program(const std::vector<ir::KernelDesc>& kernels, const MachineSpec& m);
+
+/// Modeled runtime of a *module* under the FORTRAN-style k-blocked CPU
+/// schedule: all kernels of the module sweep 2-D planes together; if the
+/// per-plane working set fits in cache, only compulsory traffic reaches
+/// DRAM, otherwise each kernel re-streams its operands (the cache fall-off
+/// the paper demonstrates in Table II).
+double model_module_cpu(const std::vector<ir::KernelDesc>& kernels, const MachineSpec& m);
+
+}  // namespace cyclone::perf

@@ -1,0 +1,65 @@
+#include "core/perf/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "core/util/strings.hpp"
+
+namespace cyclone::perf {
+
+std::vector<KernelReport> bandwidth_report(const std::vector<ir::KernelDesc>& kernels,
+                                           const MachineSpec& m) {
+  struct Acc {
+    KernelReport row;
+    double largest_bytes = -1;
+  };
+  std::map<std::string, Acc> grouped;
+  for (const auto& k : kernels) {
+    const KernelTime t = model_kernel(k, m);
+    Acc& acc = grouped[k.label];
+    acc.row.label = k.label;
+    acc.row.launches += k.invocations;
+    acc.row.total_runtime += t.simulated * static_cast<double>(k.invocations);
+    acc.row.worst_kernel_time = std::max(acc.row.worst_kernel_time, t.simulated);
+    // Use the largest modeled configuration for the bound (Sec. VI-C).
+    const double bytes = unique_bytes(k);
+    if (bytes > acc.largest_bytes) {
+      acc.largest_bytes = bytes;
+      acc.row.peak_fraction = t.utilization();
+    }
+  }
+  std::vector<KernelReport> out;
+  out.reserve(grouped.size());
+  for (auto& [_, acc] : grouped) out.push_back(std::move(acc.row));
+  std::sort(out.begin(), out.end(), [](const KernelReport& a, const KernelReport& b) {
+    return a.total_runtime > b.total_runtime;
+  });
+  return out;
+}
+
+std::string format_report(const std::vector<KernelReport>& report, size_t max_rows) {
+  std::ostringstream os;
+  os << str::format("%-44s %9s %12s %12s %8s\n", "kernel", "launches", "total", "worst",
+                    "%peak");
+  for (size_t i = 0; i < report.size() && i < max_rows; ++i) {
+    const auto& r = report[i];
+    os << str::format("%-44s %9ld %12s %12s %7.1f%%\n", r.label.c_str(), r.launches,
+                      str::human_time(r.total_runtime).c_str(),
+                      str::human_time(r.worst_kernel_time).c_str(), r.peak_fraction * 100.0);
+  }
+  return os.str();
+}
+
+std::string report_to_csv(const std::vector<KernelReport>& report) {
+  std::ostringstream os;
+  os << "kernel,launches,total_seconds,worst_seconds,peak_fraction\n";
+  for (const auto& r : report) {
+    os << r.label << ',' << r.launches << ',' << str::format("%.9g", r.total_runtime) << ','
+       << str::format("%.9g", r.worst_kernel_time) << ','
+       << str::format("%.6f", r.peak_fraction) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cyclone::perf

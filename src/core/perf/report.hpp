@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/perf/model.hpp"
+
+namespace cyclone::perf {
+
+/// One row of the model-augmented kernel runtime overview (Fig. 10): kernels
+/// are grouped by type (label), ranked by total runtime, annotated with the
+/// fraction of peak memory bandwidth they achieve.
+struct KernelReport {
+  std::string label;
+  long launches = 0;
+  double total_runtime = 0;   ///< simulated runtime x invocations [s]
+  double worst_kernel_time = 0;  ///< max single-launch simulated time
+  double peak_fraction = 0;   ///< membound / simulated of the largest config
+};
+
+/// Build the report: group by kernel label, take the maximal runtime and
+/// largest modeled configuration per group (as Sec. VI-C prescribes), sort
+/// by summed runtime descending.
+std::vector<KernelReport> bandwidth_report(const std::vector<ir::KernelDesc>& kernels,
+                                           const MachineSpec& m);
+
+/// Render the report as an aligned text table (top `max_rows` rows).
+std::string format_report(const std::vector<KernelReport>& report, size_t max_rows = 20);
+
+/// Render the full report as CSV (label,launches,total_s,worst_s,peak_pct)
+/// for external plotting of Fig. 10-style charts.
+std::string report_to_csv(const std::vector<KernelReport>& report);
+
+}  // namespace cyclone::perf

@@ -1,0 +1,86 @@
+#include "core/sched/schedule.hpp"
+
+#include "core/util/strings.hpp"
+
+namespace cyclone::sched {
+
+std::string Schedule::describe() const {
+  std::vector<std::string> parts;
+  parts.push_back(std::string("order=") + layout_name(iteration_order));
+  if (tile_i || tile_j) parts.push_back(str::format("tile=%dx%d", tile_i, tile_j));
+  parts.push_back(k_as_map ? "k=map" : "k=loop");
+  if (fuse_thread_level) parts.push_back("fuse=thread");
+  if (fuse_intervals) parts.push_back("fuse=interval");
+  switch (vertical_cache) {
+    case CacheKind::Registers: parts.push_back("cache=reg"); break;
+    case CacheKind::SharedMemory: parts.push_back("cache=smem"); break;
+    case CacheKind::None: break;
+  }
+  parts.push_back(region_strategy == RegionStrategy::Predicated ? "regions=predicated"
+                                                                : "regions=split");
+  return str::join(parts, " ");
+}
+
+bool is_valid(const Schedule& s, dsl::IterOrder order) {
+  if (order != dsl::IterOrder::Parallel) {
+    // Vertical solvers iterate k sequentially by definition.
+    if (s.k_as_map) return false;
+  }
+  if (s.vertical_cache != CacheKind::None && s.k_as_map) return false;
+  if (s.tile_i < 0 || s.tile_j < 0) return false;
+  return true;
+}
+
+std::vector<Schedule> enumerate_valid(dsl::IterOrder order) {
+  std::vector<Schedule> out;
+  // Local storage (vertical_cache) and the region mapping strategy are
+  // deliberately not part of the schedule enumeration: the paper treats them
+  // as separate transformations (Sec. VI-A2 / Table III), applied on top of
+  // the chosen schedule.
+  for (Layout layout : {Layout::KJI, Layout::IJK, Layout::KIJ}) {
+    for (bool k_as_map : {true, false}) {
+      for (bool fuse_thread : {true, false}) {
+        Schedule s;
+        s.iteration_order = layout;
+        s.k_as_map = k_as_map;
+        s.fuse_thread_level = fuse_thread;
+        if (is_valid(s, order)) out.push_back(s);
+      }
+    }
+  }
+  return out;
+}
+
+Schedule tuned_horizontal() {
+  Schedule s;
+  s.iteration_order = Layout::KJI;  // threadIdx.x along I
+  s.k_as_map = true;
+  s.fuse_thread_level = true;
+  s.fuse_intervals = true;
+  s.region_strategy = RegionStrategy::SeparateKernels;
+  return s;
+}
+
+Schedule tuned_vertical() {
+  Schedule s;
+  s.iteration_order = Layout::KJI;
+  s.k_as_map = false;
+  s.fuse_thread_level = true;
+  s.fuse_intervals = true;
+  s.vertical_cache = CacheKind::Registers;
+  s.region_strategy = RegionStrategy::SeparateKernels;
+  return s;
+}
+
+Schedule default_schedule() {
+  Schedule s;
+  s.iteration_order = Layout::IJK;  // naive C-order starting point
+  s.k_as_map = true;                // DaCe maps every parallel dimension
+  s.fuse_thread_level = false;
+  s.fuse_intervals = false;
+  s.vertical_cache = CacheKind::None;
+  s.region_strategy = RegionStrategy::Predicated;
+  return s;
+}
+
+}  // namespace cyclone::sched

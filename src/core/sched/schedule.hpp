@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dsl/stencil.hpp"
+#include "core/field/layout.hpp"
+
+namespace cyclone::sched {
+
+/// How `horizontal(region[...])` statements are mapped to hardware
+/// (paper Sec. V-A): either each region becomes its own small kernel over
+/// the sub-domain, or one full-domain kernel predicates the statement on the
+/// thread index.
+enum class RegionStrategy { Predicated, SeparateKernels };
+
+/// Where values cached across vertical-solver iterations live.
+enum class CacheKind { None, Registers, SharedMemory };
+
+/// Schedule attributes of a StencilComputation library node — the knobs the
+/// paper lists in Sec. V-A: iteration order, tiling, map-vs-loop per
+/// dimension, cache placement, and region strategy.
+struct Schedule {
+  /// Which dimension has unit stride in the iteration (thread x maps here).
+  Layout iteration_order = Layout::KJI;
+  /// Tile sizes; 0 disables tiling in that dimension.
+  int tile_i = 0;
+  int tile_j = 0;
+  /// Iterate k as a parallel map (true) or sequential loop (false). Vertical
+  /// solvers are forced to loop-k.
+  bool k_as_map = true;
+  /// Fuse thread-level-compatible consecutive statements into one kernel.
+  bool fuse_thread_level = true;
+  /// Fuse consecutive intervals of FORWARD/BACKWARD solvers into one kernel
+  /// (avoids flushing carried values between interval loops).
+  bool fuse_intervals = true;
+  /// Cache loop-carried vertical-solver values locally instead of re-loading
+  /// from global memory each level.
+  CacheKind vertical_cache = CacheKind::None;
+  RegionStrategy region_strategy = RegionStrategy::Predicated;
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Schedule validity: vertical solvers cannot map k, and caching carried
+/// values requires k to be a loop.
+bool is_valid(const Schedule& s, dsl::IterOrder order);
+
+/// Enumerate the feasible schedules for a computation of the given iteration
+/// order (the "list of feasible options" of Sec. V-A).
+std::vector<Schedule> enumerate_valid(dsl::IterOrder order);
+
+/// The paper's tuned defaults (Sec. VI-A4): [Interval, Operation, K, J, I]
+/// for horizontal stencils and [J, I, Interval, Operation, K] for vertical
+/// solvers, on FORTRAN (I-contiguous) data layout, with register caching of
+/// carried values.
+Schedule tuned_horizontal();
+Schedule tuned_vertical();
+
+/// The pre-optimization defaults the toolchain starts from (Table III row
+/// "GT4Py + DaCe (Default)"): no fusion, no caching, predicated regions.
+Schedule default_schedule();
+
+}  // namespace cyclone::sched

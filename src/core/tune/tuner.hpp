@@ -1,0 +1,95 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ir/program.hpp"
+#include "core/perf/model.hpp"
+
+namespace cyclone::tune {
+
+/// The two fusion transformations transfer tuning searches over (paper
+/// Sec. VI-B): on-the-fly map fusion (recompute for memory) and subgraph
+/// fusion (common iteration spaces into one kernel).
+enum class TransformKind { OtfFusion, SubgraphFusion };
+
+const char* transform_name(TransformKind kind);
+
+/// An optimization pattern extracted from a tuned cutout: since stencils are
+/// named, a configuration "is sufficiently described by a set of labels of
+/// the candidates and which transformations were applied" (Sec. VI-B). We
+/// use the stencil *function* names so patterns found in one module (e.g.
+/// fv_tp_2d in FVT) generalize to every other use of the same motif.
+struct Pattern {
+  TransformKind kind = TransformKind::SubgraphFusion;
+  std::string producer;  ///< producer stencil function name
+  std::string consumer;  ///< consumer stencil function name
+  double cutout_speedup = 1.0;
+
+  friend bool operator==(const Pattern& a, const Pattern& b) {
+    return a.kind == b.kind && a.producer == b.producer && a.consumer == b.consumer;
+  }
+};
+
+struct TuningOptions {
+  exec::LaunchDomain dom;
+  perf::MachineSpec machine = perf::p100();
+  int top_m = 2;  ///< best-M configurations kept per cutout (paper: M = 2)
+};
+
+/// Result of exhaustively tuning one cutout (program state).
+struct CutoutResult {
+  std::string state_name;
+  int configs_tested = 0;
+  double best_speedup = 1.0;
+  std::vector<Pattern> best;
+};
+
+/// Phase 1 of transfer tuning: treat every state of `source` as a cutout,
+/// exhaustively try the given fusion kind on every dependent node pair, and
+/// keep the top-M locally-improving configurations as patterns.
+std::vector<CutoutResult> tune_cutouts(const ir::Program& source, const TuningOptions& options,
+                                       TransformKind kind);
+
+/// Flatten cutout results into a deduplicated pattern list (best speedup
+/// first).
+std::vector<Pattern> collect_patterns(const std::vector<CutoutResult>& cutouts);
+
+/// Phase 2: scan `target` for adjacent node pairs matching a pattern, apply
+/// the transformation tentatively, and keep it only if the modeled state
+/// time improves (the paper's guard against negative transfers). Only the
+/// first match per pattern and state is considered.
+struct TransferReport {
+  int candidates_found = 0;
+  int applied = 0;
+  double time_before = 0;
+  double time_after = 0;
+
+  [[nodiscard]] double speedup() const {
+    return time_after > 0 ? time_before / time_after : 1.0;
+  }
+};
+TransferReport transfer(ir::Program& target, const std::vector<Pattern>& patterns,
+                        const TuningOptions& options);
+
+/// Repeat transfer passes until no further transformation applies (the
+/// paper's "additional cycles could improve the performance further") or
+/// `max_passes` is reached. Counts are accumulated.
+TransferReport transfer_until_converged(ir::Program& target,
+                                        const std::vector<Pattern>& patterns,
+                                        const TuningOptions& options, int max_passes = 5);
+
+/// Local schedule auto-tuning (the Sec. VI-A "initial heuristics" step made
+/// automatic): for every stencil node, enumerate the valid schedules and
+/// assign the modeled-fastest one. Returns the number of nodes whose
+/// schedule changed.
+int autotune_schedules(ir::Program& program, const TuningOptions& options);
+
+/// Modeled time of a single state (sum over its expanded kernels).
+double model_state(const ir::Program& program, const ir::State& state,
+                   const TuningOptions& options);
+
+/// Modeled time of the whole program (invocation-weighted).
+double model_whole_program(const ir::Program& program, const TuningOptions& options);
+
+}  // namespace cyclone::tune

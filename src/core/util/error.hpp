@@ -1,0 +1,68 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cyclone {
+
+/// Base exception for all cyclone errors. Carries a human-readable message
+/// assembled at the throw site.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when user-provided DSL code fails semantic validation.
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const std::string& what) : Error(what) {}
+};
+
+/// Raised on malformed IR or illegal transformation application.
+class IrError : public Error {
+ public:
+  explicit IrError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* kind, const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace cyclone
+
+// Precondition / invariant checks in the spirit of the Core Guidelines'
+// Expects/Ensures. Always on: this library favors loud failure over UB.
+#define CY_REQUIRE(cond)                                                             \
+  do {                                                                               \
+    if (!(cond)) ::cyclone::detail::fail("precondition", #cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CY_REQUIRE_MSG(cond, msg)                                              \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::ostringstream cy_os_;                                               \
+      cy_os_ << msg;                                                           \
+      ::cyclone::detail::fail("precondition", #cond, __FILE__, __LINE__, cy_os_.str()); \
+    }                                                                          \
+  } while (0)
+
+#define CY_ENSURE(cond)                                                            \
+  do {                                                                             \
+    if (!(cond)) ::cyclone::detail::fail("invariant", #cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CY_ENSURE_MSG(cond, msg)                                              \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream cy_os_;                                              \
+      cy_os_ << msg;                                                          \
+      ::cyclone::detail::fail("invariant", #cond, __FILE__, __LINE__, cy_os_.str()); \
+    }                                                                         \
+  } while (0)

@@ -1,0 +1,54 @@
+#include "core/util/loc.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/util/strings.hpp"
+
+namespace cyclone::loc {
+
+Count count_file(const std::string& path) {
+  Count c;
+  std::ifstream in(path);
+  if (!in) return c;
+  c.files = 1;
+  std::string line;
+  bool in_block_comment = false;
+  while (std::getline(in, line)) {
+    ++c.total_lines;
+    std::string t = str::trim(line);
+    if (t.empty()) continue;
+    if (in_block_comment) {
+      if (t.find("*/") != std::string::npos) in_block_comment = false;
+      continue;
+    }
+    if (str::starts_with(t, "//")) continue;
+    if (str::starts_with(t, "/*")) {
+      if (t.find("*/") == std::string::npos) in_block_comment = true;
+      continue;
+    }
+    ++c.code_lines;
+  }
+  return c;
+}
+
+Count count_dir(const std::string& dir, const std::string& name_filter) {
+  Count total;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(dir, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file()) continue;
+    const std::string p = it->path().string();
+    if (!(str::ends_with(p, ".hpp") || str::ends_with(p, ".cpp"))) continue;
+    if (!name_filter.empty() && p.find(name_filter) == std::string::npos) continue;
+    const Count c = count_file(p);
+    total.files += c.files;
+    total.total_lines += c.total_lines;
+    total.code_lines += c.code_lines;
+  }
+  return total;
+}
+
+}  // namespace cyclone::loc

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cyclone::loc {
+
+/// Result of counting the source lines of a set of files.
+struct Count {
+  long files = 0;
+  long total_lines = 0;
+  long code_lines = 0;  ///< non-blank, non-comment lines
+};
+
+/// Count non-blank, non-comment lines of C++ code in a single file.
+Count count_file(const std::string& path);
+
+/// Recursively count .hpp/.cpp files under a directory. `name_filter`, if
+/// non-empty, keeps only files whose path contains the substring.
+Count count_dir(const std::string& dir, const std::string& name_filter = "");
+
+}  // namespace cyclone::loc

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <chrono>
+
+namespace cyclone {
+
+/// Simple wall-clock stopwatch used for measured (as opposed to modeled)
+/// timings in benches and the tuning harness.
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cyclone

@@ -1,0 +1,182 @@
+#include "core/xform/expr_rewrite.hpp"
+
+#include <cmath>
+#include <map>
+
+namespace cyclone::xform {
+
+using dsl::BinOp;
+using dsl::Expr;
+using dsl::ExprKind;
+using dsl::ExprP;
+using dsl::UnOp;
+
+namespace {
+
+/// Rebuild `e` with new arguments (shares the node when unchanged).
+ExprP with_args(const ExprP& e, std::vector<ExprP> args) {
+  bool same = args.size() == e->args.size();
+  if (same) {
+    for (size_t i = 0; i < args.size(); ++i) same = same && args[i] == e->args[i];
+  }
+  if (same) return e;
+  auto copy = std::make_shared<Expr>(*e);
+  copy->args = std::move(args);
+  return copy;
+}
+
+template <class Fn>
+ExprP map_expr(const ExprP& e, const Fn& fn) {
+  std::vector<ExprP> args;
+  args.reserve(e->args.size());
+  for (const auto& a : e->args) args.push_back(fn(a));
+  return with_args(e, std::move(args));
+}
+
+}  // namespace
+
+ExprP shift_expr(const ExprP& e, int di, int dj, int dk) {
+  if (e->kind == ExprKind::FieldAccess) {
+    if (di == 0 && dj == 0 && dk == 0) return e;
+    auto copy = std::make_shared<Expr>(*e);
+    copy->off.i += di;
+    copy->off.j += dj;
+    copy->off.k += dk;
+    return copy;
+  }
+  return map_expr(e, [&](const ExprP& a) { return shift_expr(a, di, dj, dk); });
+}
+
+ExprP substitute_accesses(const ExprP& e, const AccessResolver& resolver) {
+  if (e->kind == ExprKind::FieldAccess) {
+    if (auto repl = resolver(e->name, e->off)) return *repl;
+    return e;
+  }
+  return map_expr(e, [&](const ExprP& a) { return substitute_accesses(a, resolver); });
+}
+
+ExprP propagate_params(const ExprP& e, const std::map<std::string, double>& values) {
+  if (e->kind == ExprKind::Param) {
+    auto it = values.find(e->name);
+    if (it != values.end()) return Expr::literal(it->second);
+    return e;
+  }
+  return map_expr(e, [&](const ExprP& a) { return propagate_params(a, values); });
+}
+
+ExprP rename_fields(const ExprP& e, const std::map<std::string, std::string>& rename) {
+  if (e->kind == ExprKind::FieldAccess) {
+    auto it = rename.find(e->name);
+    if (it == rename.end()) return e;
+    auto copy = std::make_shared<Expr>(*e);
+    copy->name = it->second;
+    return copy;
+  }
+  return map_expr(e, [&](const ExprP& a) { return rename_fields(a, rename); });
+}
+
+ExprP strength_reduce_pow(const ExprP& e, int& count) {
+  ExprP rewritten = map_expr(e, [&](const ExprP& a) { return strength_reduce_pow(a, count); });
+  if (rewritten->kind != ExprKind::Binary || rewritten->bop != BinOp::Pow) return rewritten;
+  const ExprP& base = rewritten->args[0];
+  const ExprP& exponent = rewritten->args[1];
+  if (exponent->kind != ExprKind::Literal) return rewritten;
+  const double p = exponent->lit;
+
+  if (p == 0.5) {
+    ++count;
+    return Expr::unary(UnOp::Sqrt, base);
+  }
+  if (p == -0.5) {
+    ++count;
+    return Expr::binary(BinOp::Div, Expr::literal(1.0), Expr::unary(UnOp::Sqrt, base));
+  }
+  const double rounded = std::nearbyint(p);
+  if (rounded == p && std::abs(p) >= 1.0 && std::abs(p) <= 4.0) {
+    ++count;
+    const int n = static_cast<int>(std::abs(p));
+    ExprP prod = base;
+    for (int m = 1; m < n; ++m) prod = Expr::binary(BinOp::Mul, prod, base);
+    if (p < 0) return Expr::binary(BinOp::Div, Expr::literal(1.0), prod);
+    return prod;
+  }
+  return rewritten;
+}
+
+namespace {
+
+bool try_fold_unary(UnOp op, double a, double& out) {
+  switch (op) {
+    case UnOp::Neg: out = -a; return true;
+    case UnOp::Not: out = a == 0.0 ? 1.0 : 0.0; return true;
+    case UnOp::Abs: out = std::abs(a); return true;
+    case UnOp::Sqrt: out = std::sqrt(a); return true;
+    case UnOp::Exp: out = std::exp(a); return true;
+    case UnOp::Log: out = std::log(a); return true;
+    case UnOp::Sin: out = std::sin(a); return true;
+    case UnOp::Cos: out = std::cos(a); return true;
+    case UnOp::Floor: out = std::floor(a); return true;
+    case UnOp::Sign: out = (a > 0.0) - (a < 0.0); return true;
+  }
+  return false;
+}
+
+bool try_fold_binary(BinOp op, double a, double b, double& out) {
+  switch (op) {
+    case BinOp::Add: out = a + b; return true;
+    case BinOp::Sub: out = a - b; return true;
+    case BinOp::Mul: out = a * b; return true;
+    case BinOp::Div: out = a / b; return true;
+    case BinOp::Pow: out = std::pow(a, b); return true;
+    case BinOp::Min: out = std::min(a, b); return true;
+    case BinOp::Max: out = std::max(a, b); return true;
+    case BinOp::Lt: out = a < b; return true;
+    case BinOp::Le: out = a <= b; return true;
+    case BinOp::Gt: out = a > b; return true;
+    case BinOp::Ge: out = a >= b; return true;
+    case BinOp::Eq: out = a == b; return true;
+    case BinOp::Ne: out = a != b; return true;
+    case BinOp::And: out = (a != 0.0 && b != 0.0); return true;
+    case BinOp::Or: out = (a != 0.0 || b != 0.0); return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ExprP fold_constants(const ExprP& e) {
+  ExprP rewritten = map_expr(e, [](const ExprP& a) { return fold_constants(a); });
+  auto is_lit = [](const ExprP& x) { return x->kind == ExprKind::Literal; };
+  double out = 0;
+  switch (rewritten->kind) {
+    case ExprKind::Unary:
+      if (is_lit(rewritten->args[0]) &&
+          try_fold_unary(rewritten->uop, rewritten->args[0]->lit, out)) {
+        return Expr::literal(out);
+      }
+      break;
+    case ExprKind::Binary:
+      if (is_lit(rewritten->args[0]) && is_lit(rewritten->args[1]) &&
+          try_fold_binary(rewritten->bop, rewritten->args[0]->lit, rewritten->args[1]->lit,
+                          out)) {
+        return Expr::literal(out);
+      }
+      break;
+    case ExprKind::Select:
+      if (is_lit(rewritten->args[0])) {
+        return rewritten->args[0]->lit != 0.0 ? rewritten->args[1] : rewritten->args[2];
+      }
+      break;
+    default:
+      break;
+  }
+  return rewritten;
+}
+
+int count_pow(const ExprP& e) {
+  int n = e->kind == ExprKind::Binary && e->bop == BinOp::Pow ? 1 : 0;
+  for (const auto& a : e->args) n += count_pow(a);
+  return n;
+}
+
+}  // namespace cyclone::xform

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/dsl/ast.hpp"
+
+namespace cyclone::xform {
+
+/// Shift every field access in `e` by (di, dj, dk). Used by on-the-fly
+/// fusion to recompute a producer expression at a consumer's offset.
+dsl::ExprP shift_expr(const dsl::ExprP& e, int di, int dj, int dk);
+
+/// Replace field accesses for which `resolver` returns an expression; the
+/// returned expression is already expected to account for the access offset.
+/// Accesses the resolver declines are kept as-is.
+using AccessResolver =
+    std::function<std::optional<dsl::ExprP>(const std::string& name, const dsl::Offset& off)>;
+dsl::ExprP substitute_accesses(const dsl::ExprP& e, const AccessResolver& resolver);
+
+/// Replace scalar parameters by literal values (constant propagation into
+/// kernels, as orchestration performs). Parameters not in the map survive.
+dsl::ExprP propagate_params(const dsl::ExprP& e, const std::map<std::string, double>& values);
+
+/// Rename field accesses according to `rename` (formal -> actual binding
+/// resolution when stencils from different modules are merged).
+dsl::ExprP rename_fields(const dsl::ExprP& e, const std::map<std::string, std::string>& rename);
+
+/// Strength-reduce power operators (the paper's Smagorinsky case study,
+/// Sec. VI-C1): pow(x, +-n) for small integer n becomes a multiplication
+/// chain, pow(x, 0.5) becomes sqrt(x), pow(x, -0.5) becomes 1/sqrt(x).
+/// `count` accumulates the number of rewrites.
+dsl::ExprP strength_reduce_pow(const dsl::ExprP& e, int& count);
+
+/// Fold constant subexpressions (literal-only operands).
+dsl::ExprP fold_constants(const dsl::ExprP& e);
+
+/// Number of general-purpose pow call sites in the expression.
+int count_pow(const dsl::ExprP& e);
+
+}  // namespace cyclone::xform

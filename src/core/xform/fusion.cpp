@@ -1,0 +1,337 @@
+#include "core/xform/fusion.hpp"
+
+#include <algorithm>
+
+#include "core/dsl/analysis.hpp"
+#include "core/dsl/builder.hpp"
+#include "core/xform/expr_rewrite.hpp"
+
+namespace cyclone::xform {
+
+using dsl::ComputationBlock;
+using dsl::ExprP;
+using dsl::IntervalBlock;
+using dsl::IterOrder;
+using dsl::StencilFunc;
+using dsl::Stmt;
+
+StencilFunc resolve_node(const ir::SNode& node, const std::string& temp_prefix) {
+  CY_REQUIRE_MSG(node.kind == ir::SNode::Kind::Stencil, "resolve_node requires a stencil node");
+  const StencilFunc& s = *node.stencil;
+
+  // Build the rename map: formal -> actual for externals, formal ->
+  // prefixed name for temporaries.
+  std::map<std::string, std::string> rename;
+  const dsl::AccessInfo acc = dsl::analyze(s);
+  for (const auto& name : acc.fields()) {
+    if (s.is_temporary(name)) {
+      rename[name] = temp_prefix + name;
+    } else {
+      const std::string actual = node.args.actual(name);
+      if (actual != name) rename[name] = actual;
+    }
+  }
+
+  std::vector<ComputationBlock> blocks;
+  for (const auto& block : s.blocks()) {
+    ComputationBlock nb;
+    nb.order = block.order;
+    for (const auto& iv : block.intervals) {
+      IntervalBlock niv;
+      niv.k_range = iv.k_range;
+      for (const auto& stmt : iv.body) {
+        Stmt ns;
+        auto it = rename.find(stmt.lhs);
+        ns.lhs = it == rename.end() ? stmt.lhs : it->second;
+        ExprP rhs = rename_fields(stmt.rhs, rename);
+        rhs = propagate_params(rhs, node.args.params);
+        ns.rhs = fold_constants(rhs);
+        ns.region = stmt.region;
+        niv.body.push_back(std::move(ns));
+      }
+      nb.intervals.push_back(std::move(niv));
+    }
+    blocks.push_back(std::move(nb));
+  }
+
+  std::set<std::string> temps;
+  for (const auto& t : s.temporaries()) temps.insert(temp_prefix + t);
+
+  // Parameters not propagated (absent from args) survive.
+  std::set<std::string> params;
+  for (const auto& p : s.params()) {
+    if (!node.args.params.count(p)) params.insert(p);
+  }
+  return StencilFunc(s.name(), std::move(blocks), std::move(temps), std::move(params));
+}
+
+namespace {
+
+/// Map of producer statement per written (actual) field, or nullptr if the
+/// field is not inlinable: it must have exactly one defining statement, in a
+/// PARALLEL block over the *full* vertical interval, without region
+/// restriction or self reads — otherwise the definition is piecewise and
+/// substitution would apply the wrong branch.
+std::map<std::string, const Stmt*> inlinable_outputs(const StencilFunc& resolved) {
+  std::map<std::string, const Stmt*> out;
+  for (const auto& block : resolved.blocks()) {
+    for (const auto& iv : block.intervals) {
+      for (const auto& stmt : iv.body) {
+        const bool seen = out.count(stmt.lhs) > 0;
+        if (seen) {
+          out[stmt.lhs] = nullptr;  // multiple definitions: piecewise
+          continue;
+        }
+        if (block.order != IterOrder::Parallel || stmt.region.has_value() ||
+            !(iv.k_range == dsl::full_interval())) {
+          out[stmt.lhs] = nullptr;
+          continue;
+        }
+        dsl::AccessInfo acc;
+        dsl::collect_accesses(stmt.rhs, acc);
+        if (acc.reads_field(stmt.lhs)) {
+          out[stmt.lhs] = nullptr;  // self read: not a pure definition
+          continue;
+        }
+        out[stmt.lhs] = &stmt;
+      }
+    }
+  }
+  return out;
+}
+
+std::set<std::string> written_fields(const StencilFunc& s) {
+  std::set<std::string> out;
+  for (const auto& block : s.blocks()) {
+    for (const auto& iv : block.intervals) {
+      for (const auto& stmt : iv.body) out.insert(stmt.lhs);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FusionCheck can_fuse_subgraph(const ir::SNode& a, const ir::SNode& b) {
+  if (a.kind != ir::SNode::Kind::Stencil || b.kind != ir::SNode::Kind::Stencil) {
+    return {false, "both nodes must be stencil nodes"};
+  }
+  const StencilFunc ra = resolve_node(a, "fa__");
+  const StencilFunc rb = resolve_node(b, "fb__");
+  const std::set<std::string> a_writes = written_fields(ra);
+
+  // The consumer must not read producer outputs at nonzero horizontal
+  // offsets (a single fused kernel cannot synchronize across threads).
+  const dsl::AccessInfo b_acc = dsl::analyze(rb);
+  for (const auto& [name, ext] : b_acc.reads) {
+    if (a_writes.count(name) && !ext.horizontal_zero()) {
+      return {false, "consumer reads '" + name + "' at a horizontal offset (needs OTF)"};
+    }
+  }
+  return {true, ""};
+}
+
+FusionCheck can_fuse_otf(const ir::SNode& a, const ir::SNode& b) {
+  if (a.kind != ir::SNode::Kind::Stencil || b.kind != ir::SNode::Kind::Stencil) {
+    return {false, "both nodes must be stencil nodes"};
+  }
+  const StencilFunc ra = resolve_node(a, "fa__");
+  const StencilFunc rb = resolve_node(b, "fb__");
+  const auto producers = inlinable_outputs(ra);
+
+  const dsl::AccessInfo b_acc = dsl::analyze(rb);
+  bool any_dependency = false;
+  for (const auto& [name, ext] : b_acc.reads) {
+    auto it = producers.find(name);
+    if (it == producers.end()) continue;
+    any_dependency = true;
+    if (it->second == nullptr) {
+      return {false, "producer of '" + name + "' is not inlinable (region/vertical/self-read)"};
+    }
+    (void)ext;
+  }
+  if (!any_dependency) return {false, "no producer/consumer dependency to fuse over"};
+  return {true, ""};
+}
+
+namespace {
+
+/// Concatenate two resolved stencils and decide which intermediates become
+/// temporaries (dead after fusion elsewhere in the program).
+/// Merge consecutive single-interval PARALLEL computation blocks covering
+/// the same k range — their statements land in one interval list and can be
+/// grouped into a single kernel at expansion. Multi-interval blocks are
+/// left untouched (merging them could reorder cross-interval dependencies).
+void merge_parallel_blocks(std::vector<ComputationBlock>& blocks) {
+  std::vector<ComputationBlock> merged;
+  for (auto& block : blocks) {
+    const bool simple = block.order == IterOrder::Parallel && block.intervals.size() == 1;
+    const bool prev_simple = !merged.empty() &&
+                             merged.back().order == IterOrder::Parallel &&
+                             merged.back().intervals.size() == 1;
+    if (simple && prev_simple &&
+        merged.back().intervals[0].k_range == block.intervals[0].k_range) {
+      auto& body = merged.back().intervals[0].body;
+      body.insert(body.end(), block.intervals[0].body.begin(), block.intervals[0].body.end());
+    } else {
+      merged.push_back(std::move(block));
+    }
+  }
+  blocks = std::move(merged);
+}
+
+ir::SNode make_fused(const ir::SNode& a, const ir::SNode& b, const StencilFunc& ra,
+                     const StencilFunc& rb, const std::string& label,
+                     const std::set<std::string>& may_die) {
+  std::vector<ComputationBlock> blocks = ra.blocks();
+  blocks.insert(blocks.end(), rb.blocks().begin(), rb.blocks().end());
+  merge_parallel_blocks(blocks);
+
+  std::set<std::string> temps = ra.temporaries();
+  temps.insert(rb.temporaries().begin(), rb.temporaries().end());
+  for (const auto& dead : may_die) temps.insert(dead);
+
+  std::set<std::string> params = ra.params();
+  params.insert(rb.params().begin(), rb.params().end());
+
+  StencilFunc fused(label, std::move(blocks), std::move(temps), std::move(params));
+
+  // Drop temporaries that ended up unused (e.g. OTF removed their writes).
+  dsl::validate(fused);
+
+  ir::SNode node;
+  node.kind = ir::SNode::Kind::Stencil;
+  node.label = label;
+  node.stencil = std::make_shared<const StencilFunc>(std::move(fused));
+  node.schedule = a.schedule;
+  // The fused node keeps the *consumer's* compute-domain extension: the
+  // producer's extension is subsumed by intra-stencil extent propagation.
+  node.ext = b.ext;
+  // Bindings/params were resolved away.
+  return node;
+}
+
+}  // namespace
+
+ir::SNode fuse_subgraph(const ir::SNode& a, const ir::SNode& b, const std::string& label,
+                        const std::set<std::string>& may_die) {
+  const FusionCheck check = can_fuse_subgraph(a, b);
+  CY_REQUIRE_MSG(check.ok, "illegal subgraph fusion: " << check.reason);
+  const StencilFunc ra = resolve_node(a, "fa__");
+  const StencilFunc rb = resolve_node(b, "fb__");
+
+  // Only intermediates actually produced by `a` and allowed to die become
+  // temporaries.
+  const auto a_writes = written_fields(ra);
+  std::set<std::string> dying;
+  for (const auto& name : may_die) {
+    if (a_writes.count(name)) dying.insert(name);
+  }
+  return make_fused(a, b, ra, rb, label, dying);
+}
+
+ir::SNode fuse_otf(const ir::SNode& a, const ir::SNode& b, const std::string& label,
+                   const std::set<std::string>& may_die) {
+  const FusionCheck check = can_fuse_otf(a, b);
+  CY_REQUIRE_MSG(check.ok, "illegal OTF fusion: " << check.reason);
+  const StencilFunc ra = resolve_node(a, "fa__");
+  StencilFunc rb = resolve_node(b, "fb__");
+  const auto producers = inlinable_outputs(ra);
+
+  // Transitive inliner: replace reads of a-produced fields by the producer
+  // RHS shifted to the access offset; the producer RHS may itself read
+  // a-produced fields, so recurse.
+  std::function<ExprP(const ExprP&)> inline_all = [&](const ExprP& e) -> ExprP {
+    return substitute_accesses(e, [&](const std::string& name,
+                                      const dsl::Offset& off) -> std::optional<ExprP> {
+      auto it = producers.find(name);
+      if (it == producers.end() || it->second == nullptr) return std::nullopt;
+      ExprP shifted = shift_expr(it->second->rhs, off.i, off.j, off.k);
+      return inline_all(shifted);
+    });
+  };
+
+  for (auto& block : rb.blocks()) {
+    for (auto& iv : block.intervals) {
+      for (auto& stmt : iv.body) stmt.rhs = inline_all(stmt.rhs);
+    }
+  }
+
+  // Producer statements whose outputs may die and are now unread can go.
+  StencilFunc ra_pruned = ra;
+  std::set<std::string> live;
+  {
+    // Everything read by the (rewritten) consumer or not allowed to die.
+    dsl::AccessInfo rb_acc = dsl::analyze(rb);
+    for (const auto& [name, _] : rb_acc.reads) live.insert(name);
+    for (const auto& name : written_fields(ra)) {
+      if (!may_die.count(name)) live.insert(name);
+    }
+  }
+  eliminate_dead_writes(ra_pruned, live);
+
+  std::set<std::string> dying;
+  for (const auto& name : may_die) {
+    if (written_fields(ra_pruned).count(name)) dying.insert(name);
+  }
+  return make_fused(a, b, ra_pruned, rb, label, dying);
+}
+
+std::set<std::string> fields_referenced_elsewhere(
+    const ir::Program& program, const std::set<std::pair<int, int>>& excluded) {
+  std::set<std::string> out;
+  for (size_t s = 0; s < program.states().size(); ++s) {
+    const auto& state = program.states()[s];
+    for (size_t n = 0; n < state.nodes.size(); ++n) {
+      if (excluded.count({static_cast<int>(s), static_cast<int>(n)})) continue;
+      const auto& node = state.nodes[n];
+      if (node.kind == ir::SNode::Kind::Stencil) {
+        const dsl::AccessInfo acc = dsl::analyze(*node.stencil);
+        for (const auto& name : acc.fields()) out.insert(node.args.actual(name));
+      } else if (node.kind == ir::SNode::Kind::HaloExchange) {
+        out.insert(node.halo_fields.begin(), node.halo_fields.end());
+      }
+      // Callbacks may touch anything: callers must treat all fields as live
+      // across callbacks; we approximate by not excluding callback states.
+    }
+  }
+  return out;
+}
+
+int eliminate_dead_writes(StencilFunc& stencil, const std::set<std::string>& live_after) {
+  // A write is dead if the field is not in live_after and no *later*
+  // statement reads it. Iterate in reverse maintaining a live set.
+  std::set<std::string> live = live_after;
+  int removed = 0;
+  auto& blocks = stencil.blocks();
+  for (auto bit = blocks.rbegin(); bit != blocks.rend(); ++bit) {
+    for (auto ivit = bit->intervals.rbegin(); ivit != bit->intervals.rend(); ++ivit) {
+      auto& body = ivit->body;
+      for (auto sit = body.rbegin(); sit != body.rend();) {
+        const bool dead = !live.count(sit->lhs);
+        if (dead) {
+          ++removed;
+          sit = decltype(sit)(body.erase(std::next(sit).base()));
+          continue;
+        }
+        dsl::AccessInfo acc;
+        dsl::collect_accesses(sit->rhs, acc);
+        for (const auto& [name, _] : acc.reads) live.insert(name);
+        ++sit;
+      }
+    }
+  }
+  // Remove empty interval blocks / computation blocks left behind.
+  for (auto& block : blocks) {
+    auto& ivs = block.intervals;
+    ivs.erase(std::remove_if(ivs.begin(), ivs.end(),
+                             [](const IntervalBlock& iv) { return iv.body.empty(); }),
+              ivs.end());
+  }
+  blocks.erase(std::remove_if(blocks.begin(), blocks.end(),
+                              [](const ComputationBlock& b) { return b.intervals.empty(); }),
+               blocks.end());
+  return removed;
+}
+
+}  // namespace cyclone::xform

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "core/ir/program.hpp"
+
+namespace cyclone::xform {
+
+/// Result of a fusion legality check.
+struct FusionCheck {
+  bool ok = false;
+  std::string reason;
+};
+
+/// Resolve a stencil node into a standalone StencilFunc in *actual* (catalog)
+/// field names with scalar parameters constant-propagated to literals and
+/// temporaries prefixed for uniqueness. This is the closure-resolution /
+/// constant-propagation step orchestration performs before global
+/// optimization (paper Sec. V-B).
+dsl::StencilFunc resolve_node(const ir::SNode& node, const std::string& temp_prefix);
+
+/// Subgraph fusion (SGF) legality: both nodes must be stencil nodes and the
+/// consumer must not read any producer output at a nonzero horizontal offset
+/// (that case needs OTF). Vertical-solver blocks mixing with parallel blocks
+/// is allowed (states execute blocks in order).
+FusionCheck can_fuse_subgraph(const ir::SNode& a, const ir::SNode& b);
+
+/// On-the-fly (OTF) fusion legality: `b` reads outputs of `a` at offsets;
+/// the producer statements must be inlinable (parallel order, no region
+/// restriction on the produced fields, no self reads).
+FusionCheck can_fuse_otf(const ir::SNode& a, const ir::SNode& b);
+
+/// Fuse `b` after `a` by concatenation (SGF). Fields in `may_die` that are
+/// not read anywhere else become temporaries of the fused stencil (register
+/// candidates at expansion). Schedules are taken from `a`.
+ir::SNode fuse_subgraph(const ir::SNode& a, const ir::SNode& b, const std::string& label,
+                        const std::set<std::string>& may_die);
+
+/// Fuse `b` after `a` with on-the-fly recomputation: accesses in `b` to
+/// fields produced by `a` are replaced by `a`'s (shifted, transitively
+/// inlined) producer expressions — trading memory traffic for recomputation.
+/// Producer statements whose outputs are in `may_die` and now unread are
+/// removed (dead-code elimination).
+ir::SNode fuse_otf(const ir::SNode& a, const ir::SNode& b, const std::string& label,
+                   const std::set<std::string>& may_die);
+
+/// Fields referenced by any stencil node of the program other than the
+/// excluded (state, node) positions. Used to compute `may_die` sets.
+std::set<std::string> fields_referenced_elsewhere(
+    const ir::Program& program, const std::set<std::pair<int, int>>& excluded);
+
+/// Remove statements writing fields that are never read afterwards (within
+/// the stencil) and are not in `live_after`. Returns removed count.
+int eliminate_dead_writes(dsl::StencilFunc& stencil, const std::set<std::string>& live_after);
+
+}  // namespace cyclone::xform

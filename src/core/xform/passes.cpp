@@ -1,0 +1,164 @@
+#include "core/xform/passes.hpp"
+
+#include <algorithm>
+
+#include "core/xform/expr_rewrite.hpp"
+
+namespace cyclone::xform {
+
+using dsl::IterOrder;
+using dsl::StencilFunc;
+
+bool is_vertical_solver(const StencilFunc& stencil) {
+  return std::any_of(stencil.blocks().begin(), stencil.blocks().end(),
+                     [](const dsl::ComputationBlock& b) {
+                       return b.order != IterOrder::Parallel;
+                     });
+}
+
+void mutate_stencil(ir::SNode& node, const std::function<void(StencilFunc&)>& fn) {
+  CY_REQUIRE(node.kind == ir::SNode::Kind::Stencil);
+  auto copy = std::make_shared<StencilFunc>(*node.stencil);
+  fn(*copy);
+  node.stencil = std::move(copy);
+}
+
+void apply_schedules(ir::Program& program, const sched::Schedule& horizontal,
+                     const sched::Schedule& vertical) {
+  for (auto& state : program.states()) {
+    for (auto& node : state.nodes) {
+      if (node.kind != ir::SNode::Kind::Stencil) continue;
+      node.schedule = is_vertical_solver(*node.stencil) ? vertical : horizontal;
+    }
+  }
+}
+
+void set_region_strategy(ir::Program& program, sched::RegionStrategy strategy) {
+  for (auto& state : program.states()) {
+    for (auto& node : state.nodes) {
+      if (node.kind == ir::SNode::Kind::Stencil) node.schedule.region_strategy = strategy;
+    }
+  }
+}
+
+void set_vertical_cache(ir::Program& program, sched::CacheKind kind) {
+  for (auto& state : program.states()) {
+    for (auto& node : state.nodes) {
+      if (node.kind != ir::SNode::Kind::Stencil) continue;
+      if (is_vertical_solver(*node.stencil) && !node.schedule.k_as_map) {
+        node.schedule.vertical_cache = kind;
+      }
+    }
+  }
+}
+
+int strength_reduce_program(ir::Program& program) {
+  int count = 0;
+  for (auto& state : program.states()) {
+    for (auto& node : state.nodes) {
+      if (node.kind != ir::SNode::Kind::Stencil) continue;
+      // Cheap pre-check avoids cloning untouched stencils.
+      bool has_pow = false;
+      for (const auto& block : node.stencil->blocks()) {
+        for (const auto& iv : block.intervals) {
+          for (const auto& stmt : iv.body) has_pow = has_pow || count_pow(stmt.rhs) > 0;
+        }
+      }
+      if (!has_pow) continue;
+      mutate_stencil(node, [&](StencilFunc& s) {
+        for (auto& block : s.blocks()) {
+          for (auto& iv : block.intervals) {
+            for (auto& stmt : iv.body) stmt.rhs = strength_reduce_pow(stmt.rhs, count);
+          }
+        }
+      });
+    }
+  }
+  program.invalidate_compiled();
+  return count;
+}
+
+int prune_regions(ir::Program& program, const exec::LaunchDomain& dom) {
+  int removed = 0;
+  for (auto& state : program.states()) {
+    for (auto& node : state.nodes) {
+      if (node.kind != ir::SNode::Kind::Stencil) continue;
+      bool has_region = false;
+      for (const auto& block : node.stencil->blocks()) {
+        for (const auto& iv : block.intervals) {
+          for (const auto& stmt : iv.body) has_region = has_region || stmt.region.has_value();
+        }
+      }
+      if (!has_region) continue;
+      mutate_stencil(node, [&](StencilFunc& s) {
+        for (auto& block : s.blocks()) {
+          for (auto& iv : block.intervals) {
+            auto& body = iv.body;
+            // Drop empty-region statements for this placement.
+            body.erase(std::remove_if(body.begin(), body.end(),
+                                      [&](const dsl::Stmt& stmt) {
+                                        if (!stmt.region) return false;
+                                        exec::Rect apply{{0, dom.ni}, {0, dom.nj}};
+                                        const exec::Rect r =
+                                            exec::resolve_region(*stmt.region, dom, apply);
+                                        if (r.empty()) {
+                                          ++removed;
+                                          return true;
+                                        }
+                                        return false;
+                                      }),
+                       body.end());
+            // Deduplicate exactly-identical region statements.
+            for (size_t i = 0; i + 1 < body.size(); ++i) {
+              for (size_t j = i + 1; j < body.size(); ++j) {
+                if (body[i].region && body[j].region && body[i].region == body[j].region &&
+                    body[i].lhs == body[j].lhs &&
+                    dsl::expr_equal(body[i].rhs, body[j].rhs)) {
+                  body.erase(body.begin() + static_cast<long>(j));
+                  ++removed;
+                  --j;
+                }
+              }
+            }
+          }
+          auto& ivs = block.intervals;
+          ivs.erase(std::remove_if(ivs.begin(), ivs.end(),
+                                   [](const dsl::IntervalBlock& iv) { return iv.body.empty(); }),
+                    ivs.end());
+        }
+        auto& blocks = s.blocks();
+        blocks.erase(
+            std::remove_if(blocks.begin(), blocks.end(),
+                           [](const dsl::ComputationBlock& b) { return b.intervals.empty(); }),
+            blocks.end());
+      });
+    }
+    // A node whose statements were all pruned away disappears entirely.
+    auto& nodes = state.nodes;
+    nodes.erase(std::remove_if(nodes.begin(), nodes.end(),
+                               [](const ir::SNode& n) {
+                                 return n.kind == ir::SNode::Kind::Stencil &&
+                                        n.stencil->blocks().empty();
+                               }),
+                nodes.end());
+  }
+  program.invalidate_compiled();
+  return removed;
+}
+
+int count_region_stmts(const ir::Program& program) {
+  int count = 0;
+  for (const auto& state : program.states()) {
+    for (const auto& node : state.nodes) {
+      if (node.kind != ir::SNode::Kind::Stencil) continue;
+      for (const auto& block : node.stencil->blocks()) {
+        for (const auto& iv : block.intervals) {
+          for (const auto& stmt : iv.body) count += stmt.region.has_value();
+        }
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace cyclone::xform

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "core/exec/launch.hpp"
+#include "core/ir/program.hpp"
+
+namespace cyclone::xform {
+
+/// True if the stencil contains any FORWARD/BACKWARD computation.
+bool is_vertical_solver(const dsl::StencilFunc& stencil);
+
+/// Apply `horizontal` to plain stencil nodes and `vertical` to vertical
+/// solvers across the program (the Sec. VI-A "initial heuristics" step).
+void apply_schedules(ir::Program& program, const sched::Schedule& horizontal,
+                     const sched::Schedule& vertical);
+
+/// Set the region mapping strategy on every node (Table III "split regions
+/// to multiple kernels").
+void set_region_strategy(ir::Program& program, sched::RegionStrategy strategy);
+
+/// Enable register caching of loop-carried vertical-solver values
+/// (Table III "local caching").
+void set_vertical_cache(ir::Program& program, sched::CacheKind kind);
+
+/// Strength-reduce power operators in every stencil of the program
+/// (Table III "optimize power operator"); returns the number of rewrites.
+int strength_reduce_program(ir::Program& program);
+
+/// Remove region-restricted statements whose region is empty for the given
+/// rank placement, and deduplicate identical region statements (Table III
+/// "region pruning"). Returns the number of statements removed.
+int prune_regions(ir::Program& program, const exec::LaunchDomain& dom);
+
+/// Count region-restricted statements across the program.
+int count_region_stmts(const ir::Program& program);
+
+/// Apply an arbitrary stencil rewrite to one node (clone-on-write).
+void mutate_stencil(ir::SNode& node, const std::function<void(dsl::StencilFunc&)>& fn);
+
+}  // namespace cyclone::xform

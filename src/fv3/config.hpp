@@ -1,0 +1,50 @@
+#pragma once
+
+#include "core/util/error.hpp"
+
+namespace cyclone::fv3 {
+
+/// Namelist-style configuration of the dynamical core. Mirrors the FV3
+/// sub-stepping structure (paper Sec. II): the physics timestep `dt` is
+/// split into `k_split` remapping steps, each containing `n_split` acoustic
+/// substeps.
+struct FvConfig {
+  int npx = 48;       ///< cells per cubed-sphere tile side
+  int npz = 16;       ///< vertical levels
+  int k_split = 2;    ///< remapping substeps per physics step
+  int n_split = 4;    ///< acoustic substeps per remapping step
+  int ntracers = 4;   ///< advected tracer count
+  double dt = 900.0;  ///< physics timestep [s]
+
+  bool hydrostatic = false;  ///< only the nonhydrostatic path is implemented
+  bool do_smagorinsky = true;
+  bool do_riem_solver3 = true;  ///< second (D-grid) Riemann solve per substep
+  bool do_fillz = true;         ///< vertical positivity filling for tracers
+  double rf_cutoff = 8.0e3;     ///< Rayleigh damping below this pressure [Pa]
+  double rf_coeff = 2.0e-4;     ///< Rayleigh damping rate at the top [1/s]
+  double tracer_diffusion = 0.0;  ///< del2_cubed coefficient (0 = off)
+  int tracer_diffusion_ntimes = 1;
+  double smag_coeff = 0.2;     ///< Smagorinsky damping coefficient
+  double divergence_damp = 0.12;  ///< divergence-damping coefficient
+  /// Order of the divergence damping: 0 = grad(div), 1 = grad(Laplacian of
+  /// div) (FV3's del-4 analog). Halo width 3 admits nord <= 1 — the same
+  /// halo/nord coupling the production model has.
+  int nord = 1;
+  double ptop = 300.0;         ///< model-top pressure [Pa]
+  double p_surf = 1.0e5;       ///< reference surface pressure [Pa]
+  double t_mean = 280.0;       ///< reference temperature for sound-speed terms [K]
+
+  [[nodiscard]] double dt_remap() const { return dt / k_split; }
+  [[nodiscard]] double dt_acoustic() const { return dt / k_split / n_split; }
+
+  void validate() const {
+    CY_REQUIRE_MSG(npx > 0 && npz > 2, "grid sizes too small");
+    CY_REQUIRE_MSG(k_split >= 1 && n_split >= 1, "sub-stepping counts must be >= 1");
+    CY_REQUIRE_MSG(ntracers >= 0, "negative tracer count");
+    CY_REQUIRE_MSG(dt > 0, "timestep must be positive");
+    CY_REQUIRE_MSG(nord == 0 || nord == 1, "halo width 3 admits nord in {0, 1}");
+    CY_REQUIRE_MSG(!hydrostatic, "hydrostatic mode is not part of this reproduction");
+  }
+};
+
+}  // namespace cyclone::fv3

@@ -1,0 +1,133 @@
+#include "fv3/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cyclone::fv3 {
+
+bool GlobalDiagnostics::finite() const {
+  for (double v : {total_mass, tracer_mass_q0, max_wind, max_w, mean_pt}) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+DistributedModel::DistributedModel(const FvConfig& config, int num_ranks,
+                                   const DycoreSchedules& schedules)
+    : config_(config),
+      part_(grid::Partitioner::for_ranks(config.npx, num_ranks)),
+      comm_(part_.num_ranks()),
+      halo_(part_, 3) {
+  for (int r = 0; r < part_.num_ranks(); ++r) {
+    states_.push_back(std::make_unique<ModelState>(config_, part_, r));
+  }
+  program_ = build_dycore_program(*states_[0], schedules);
+}
+
+void DistributedModel::run_halo_node(const ir::SNode& node) {
+  if (node.halo_vector) {
+    CY_REQUIRE_MSG(node.halo_fields.size() % 2 == 0,
+                   "vector halo exchange needs (u, v) pairs");
+    for (size_t p = 0; p < node.halo_fields.size(); p += 2) {
+      std::vector<FieldD*> u, v;
+      u.reserve(states_.size());
+      v.reserve(states_.size());
+      for (auto& st : states_) {
+        u.push_back(&st->f(node.halo_fields[p]));
+        v.push_back(&st->f(node.halo_fields[p + 1]));
+      }
+      halo_.exchange_vector(u, v, comm_);
+      halo_.fill_cube_corners(u, comm::CornerFill::XDir);
+      halo_.fill_cube_corners(v, comm::CornerFill::YDir);
+    }
+    return;
+  }
+  // Scalars of one exchange node travel coalesced: one message per
+  // neighbor pair for the whole group (FV3's grouped halo updates).
+  std::vector<std::vector<FieldD*>> groups;
+  for (const auto& name : node.halo_fields) {
+    std::vector<FieldD*> fields;
+    fields.reserve(states_.size());
+    for (auto& st : states_) fields.push_back(&st->f(name));
+    groups.push_back(std::move(fields));
+  }
+  if (groups.size() == 1) {
+    halo_.exchange_scalar(groups[0], comm_);
+  } else {
+    halo_.exchange_group(groups, comm_);
+  }
+  for (auto& fields : groups) halo_.fill_cube_corners(fields, comm::CornerFill::XDir);
+}
+
+void DistributedModel::step() {
+  const auto order = program_.flatten_execution_order();
+  for (int sidx : order) {
+    const ir::State& st = program_.states()[static_cast<size_t>(sidx)];
+    const bool halo_only =
+        !st.nodes.empty() && std::all_of(st.nodes.begin(), st.nodes.end(), [](const ir::SNode& n) {
+          return n.kind == ir::SNode::Kind::HaloExchange;
+        });
+    if (halo_only) {
+      for (const auto& node : st.nodes) run_halo_node(node);
+      continue;
+    }
+    for (auto& state : states_) {
+      program_.execute_state(sidx, state->catalog(), state->domain());
+    }
+  }
+}
+
+void DistributedModel::exchange_prognostics() {
+  const auto progs = ModelState::prognostic_names(config_.ntracers);
+  // Winds go as a rotated vector pair, the rest as scalars.
+  {
+    std::vector<FieldD*> u, v;
+    for (auto& st : states_) {
+      u.push_back(&st->f("u"));
+      v.push_back(&st->f("v"));
+    }
+    halo_.exchange_vector(u, v, comm_);
+    halo_.fill_cube_corners(u, comm::CornerFill::XDir);
+    halo_.fill_cube_corners(v, comm::CornerFill::YDir);
+  }
+  for (const auto& name : progs) {
+    if (name == "u" || name == "v") continue;
+    std::vector<FieldD*> fields;
+    for (auto& st : states_) fields.push_back(&st->f(name));
+    halo_.exchange_scalar(fields, comm_);
+    halo_.fill_cube_corners(fields, comm::CornerFill::XDir);
+  }
+}
+
+GlobalDiagnostics DistributedModel::diagnostics() const {
+  GlobalDiagnostics d;
+  double pt_sum = 0;
+  long pt_count = 0;
+  for (const auto& st : states_) {
+    const auto& dom = st->domain();
+    const FieldD& delp = st->f("delp");
+    const FieldD& area = st->f("area");
+    const FieldD& u = st->f("u");
+    const FieldD& v = st->f("v");
+    const FieldD& w = st->f("w");
+    const FieldD& pt = st->f("pt");
+    const bool has_q0 = config_.ntracers > 0;
+    for (int k = 0; k < dom.nk; ++k) {
+      for (int j = 0; j < dom.nj; ++j) {
+        for (int i = 0; i < dom.ni; ++i) {
+          const double cell = delp(i, j, k) * area(i, j, 0);
+          d.total_mass += cell;
+          if (has_q0) d.tracer_mass_q0 += st->f("q0")(i, j, k) * cell;
+          d.max_wind = std::max({d.max_wind, std::abs(u(i, j, k)), std::abs(v(i, j, k))});
+          d.max_w = std::max(d.max_w, std::abs(w(i, j, k)));
+          pt_sum += pt(i, j, k);
+          ++pt_count;
+        }
+      }
+    }
+  }
+  d.mean_pt = pt_count ? pt_sum / static_cast<double>(pt_count) : 0.0;
+  return d;
+}
+
+}  // namespace cyclone::fv3

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "comm/halo.hpp"
+#include "fv3/dyn_core.hpp"
+#include "fv3/state.hpp"
+#include "grid/partitioner.hpp"
+
+namespace cyclone::fv3 {
+
+/// Global integrals used for validation (mass conservation, stability).
+struct GlobalDiagnostics {
+  double total_mass = 0;        ///< sum delp * area (propto air mass)
+  double tracer_mass_q0 = 0;    ///< sum q0 * delp * area
+  double max_wind = 0;          ///< max |u|, |v|
+  double max_w = 0;
+  double mean_pt = 0;
+
+  [[nodiscard]] bool finite() const;
+};
+
+/// Runs the dycore on all ranks of a simulated cubed-sphere decomposition in
+/// lockstep: compute states execute per rank, halo-exchange states
+/// synchronize across ranks through the simulated MPI layer. The program is
+/// shared — horizontal regions resolve per rank through the launch domain's
+/// global placement, exactly as in the distributed GT4Py model.
+class DistributedModel {
+ public:
+  DistributedModel(const FvConfig& config, int num_ranks,
+                   const DycoreSchedules& schedules = DycoreSchedules::tuned());
+
+  [[nodiscard]] const grid::Partitioner& partitioner() const { return part_; }
+  [[nodiscard]] int num_ranks() const { return part_.num_ranks(); }
+  [[nodiscard]] ModelState& state(int rank) { return *states_[static_cast<size_t>(rank)]; }
+  [[nodiscard]] const ir::Program& program() const { return program_; }
+  [[nodiscard]] ir::Program& program() { return program_; }
+  [[nodiscard]] comm::SimComm& comm() { return comm_; }
+  [[nodiscard]] const comm::HaloUpdater& halo_updater() const { return halo_; }
+
+  /// Advance one physics timestep on every rank.
+  void step();
+
+  /// Exchange the prognostic fields' halos (used after initialization).
+  void exchange_prognostics();
+
+  [[nodiscard]] GlobalDiagnostics diagnostics() const;
+
+ private:
+  void run_halo_node(const ir::SNode& node);
+
+  FvConfig config_;
+  grid::Partitioner part_;
+  std::vector<std::unique_ptr<ModelState>> states_;
+  ir::Program program_;
+  comm::SimComm comm_;
+  comm::HaloUpdater halo_;
+};
+
+}  // namespace cyclone::fv3

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "core/ir/program.hpp"
+#include "fv3/config.hpp"
+#include "fv3/state.hpp"
+
+namespace cyclone::fv3 {
+
+/// Schedules used when building the dycore program.
+struct DycoreSchedules {
+  sched::Schedule horizontal = sched::default_schedule();
+  sched::Schedule vertical = sched::default_schedule();
+
+  static DycoreSchedules defaults() { return {}; }
+  static DycoreSchedules tuned() {
+    return {sched::tuned_horizontal(), sched::tuned_vertical()};
+  }
+};
+
+/// Build the acoustic-substep portion of the dycore (the paper's Fig. 2 blue
+/// region) as program states appended to `program`; returns the CF subtree
+/// for one acoustic iteration.
+std::vector<ir::CFNode> build_acoustic_states(ir::Program& program, const FvConfig& config,
+                                              const DycoreSchedules& schedules);
+
+/// Build the tracer-advection + remapping portion (red + green hexagons).
+std::vector<ir::CFNode> build_remap_step_states(ir::Program& program, const FvConfig& config,
+                                                const DycoreSchedules& schedules);
+
+/// Build the complete dynamical-core program for one physics timestep:
+///   loop k_split { loop n_split { acoustic } ; tracers ; remap }
+/// with halo-exchange states at the Fig. 2 communication points. Field
+/// staggering metadata is taken from `state`.
+ir::Program build_dycore_program(const ModelState& state,
+                                 const DycoreSchedules& schedules = DycoreSchedules::tuned());
+
+}  // namespace cyclone::fv3

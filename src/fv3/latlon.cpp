@@ -1,0 +1,106 @@
+#include "fv3/latlon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "grid/cube_topology.hpp"
+
+namespace cyclone::fv3 {
+
+namespace {
+
+using Vec3 = std::array<double, 3>;
+
+Vec3 norm3(Vec3 v) {
+  const double m = std::sqrt(v[0] * v[0] + v[1] * v[1] + v[2] * v[2]);
+  return {v[0] / m, v[1] / m, v[2] / m};
+}
+
+void grid_basis(int tile, double ic, double jc, int n, Vec3& ei, Vec3& ej) {
+  constexpr double kH = 1e-4;
+  const Vec3 p0 = grid::cell_center_xyz(tile, ic, jc, n);
+  const Vec3 pi = grid::cell_center_xyz(tile, ic + kH, jc, n);
+  const Vec3 pj = grid::cell_center_xyz(tile, ic, jc + kH, n);
+  ei = norm3({pi[0] - p0[0], pi[1] - p0[1], pi[2] - p0[2]});
+  ej = norm3({pj[0] - p0[0], pj[1] - p0[1], pj[2] - p0[2]});
+}
+
+}  // namespace
+
+void winds_to_earth(const ModelState& state, const grid::Partitioner& part, int level,
+                    FieldD& u_east, FieldD& v_north) {
+  const grid::RankInfo& info = state.geometry().rank_info;
+  const FieldD& u = state.f("u");
+  const FieldD& v = state.f("v");
+  const int n = part.n();
+  for (int j = 0; j < info.nj; ++j) {
+    for (int i = 0; i < info.ni; ++i) {
+      const double ic = info.i0 + i, jc = info.j0 + j;
+      Vec3 ei, ej;
+      grid_basis(info.tile, ic, jc, n, ei, ej);
+      const Vec3 wind = {u(i, j, level) * ei[0] + v(i, j, level) * ej[0],
+                         u(i, j, level) * ei[1] + v(i, j, level) * ej[1],
+                         u(i, j, level) * ei[2] + v(i, j, level) * ej[2]};
+      const grid::LatLon ll = grid::cell_center_latlon(info.tile, ic, jc, n);
+      const Vec3 east = {-std::sin(ll.lon), std::cos(ll.lon), 0.0};
+      const Vec3 north = {-std::sin(ll.lat) * std::cos(ll.lon),
+                          -std::sin(ll.lat) * std::sin(ll.lon), std::cos(ll.lat)};
+      u_east(i, j, 0) = wind[0] * east[0] + wind[1] * east[1] + wind[2] * east[2];
+      v_north(i, j, 0) = wind[0] * north[0] + wind[1] * north[1] + wind[2] * north[2];
+    }
+  }
+}
+
+LatLonGrid sample_latlon(DistributedModel& model, const std::string& field, int level,
+                         int nlat, int nlon) {
+  LatLonGrid out;
+  out.nlat = nlat;
+  out.nlon = nlon;
+  out.values.assign(static_cast<size_t>(nlat) * nlon, 0.0);
+
+  const grid::Partitioner& part = model.partitioner();
+  const int n = part.n();
+  for (int la = 0; la < nlat; ++la) {
+    const double lat = -M_PI / 2 + (la + 0.5) * M_PI / nlat;
+    for (int lo = 0; lo < nlon; ++lo) {
+      const double lon = -M_PI + (lo + 0.5) * 2.0 * M_PI / nlon;
+      // Direction -> owning face -> nearest cell.
+      const Vec3 p = {std::cos(lat) * std::cos(lon), std::cos(lat) * std::sin(lon),
+                      std::sin(lat)};
+      const grid::FacePoint fp = grid::xyz_to_face(p);
+      const int ci = std::clamp(static_cast<int>(std::floor((fp.a + 1.0) * n / 2.0)), 0, n - 1);
+      const int cj = std::clamp(static_cast<int>(std::floor((fp.b + 1.0) * n / 2.0)), 0, n - 1);
+      const int rank = part.owner(fp.face, ci, cj);
+      const grid::RankInfo info = part.info(rank);
+      out.at(la, lo) =
+          model.state(rank).f(field)(ci - info.i0, cj - info.j0, level);
+    }
+  }
+  return out;
+}
+
+std::string ascii_map(const LatLonGrid& grid, const std::string& levels) {
+  double lo = std::numeric_limits<double>::max();
+  double hi = std::numeric_limits<double>::lowest();
+  for (double v : grid.values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+  std::ostringstream os;
+  // Print north at the top.
+  for (int la = grid.nlat - 1; la >= 0; --la) {
+    for (int lo_idx = 0; lo_idx < grid.nlon; ++lo_idx) {
+      const double t = (grid.at(la, lo_idx) - lo) / span;
+      const size_t idx = std::min(levels.size() - 1,
+                                  static_cast<size_t>(t * static_cast<double>(levels.size())));
+      os << levels[idx];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cyclone::fv3

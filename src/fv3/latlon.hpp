@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fv3/driver.hpp"
+
+namespace cyclone::fv3 {
+
+/// Cubed-to-lat-lon diagnostics (FV3's c2l): projects the grid-local wind
+/// components onto east/north unit vectors and samples any field onto a
+/// regular latitude-longitude raster — the post-processing step the paper's
+/// Python-interoperability argument is about (Sec. II-B). Also powers the
+/// in-situ "visualization callback" example.
+struct LatLonGrid {
+  int nlat = 0;
+  int nlon = 0;
+  std::vector<double> values;  ///< row-major [lat][lon]
+
+  [[nodiscard]] double& at(int lat, int lon) {
+    return values[static_cast<size_t>(lat) * nlon + lon];
+  }
+  [[nodiscard]] double at(int lat, int lon) const {
+    return values[static_cast<size_t>(lat) * nlon + lon];
+  }
+};
+
+/// Convert a rank's grid-local wind components to (east, north) at every
+/// interior cell, writing into the provided fields.
+void winds_to_earth(const ModelState& state, const grid::Partitioner& part, int level,
+                    FieldD& u_east, FieldD& v_north);
+
+/// Sample one level of a named field of a distributed model onto an
+/// nlat x nlon raster (nearest cubed-sphere cell per raster point).
+LatLonGrid sample_latlon(DistributedModel& model, const std::string& field, int level,
+                         int nlat, int nlon);
+
+/// Render a raster as an ASCII contour map (for terminal visualization /
+/// the callback example). `levels` characters map the value range.
+std::string ascii_map(const LatLonGrid& grid, const std::string& levels = " .:-=+*#%@");
+
+}  // namespace cyclone::fv3

@@ -1,0 +1,76 @@
+#include "fv3/stencils/c_sw.hpp"
+
+#include "core/dsl/builder.hpp"
+
+namespace cyclone::fv3 {
+
+using namespace dsl;  // NOLINT: stencil definitions read like the math
+
+dsl::StencilFunc build_c_sw_winds() {
+  StencilBuilder b("c_sw_winds");
+  auto u = b.field("u");
+  auto v = b.field("v");
+  auto ut = b.field("ut");
+  auto vt = b.field("vt");
+  auto uc = b.field("uc");
+  auto vc = b.field("vc");
+  auto cosa = b.field("cosa");
+  auto sina = b.field("sina");
+
+  auto c = b.parallel().full();
+  // Covariant wind components on the non-orthogonal gnomonic grid — the
+  // paper's horizontal-region example (Sec. IV-B): on tile edges the grid is
+  // locally orthogonalized and the correction is dropped.
+  c.assign(ut, (E(u) - E(v) * E(cosa)) / E(sina));
+  c.assign_in(region_j_start(1), ut, E(u));
+  c.assign_in(region_j_end(1), ut, E(u));
+  c.assign(vt, (E(v) - E(u) * E(cosa)) / E(sina));
+  c.assign_in(region_i_start(1), vt, E(v));
+  c.assign_in(region_i_end(1), vt, E(v));
+  // Face-averaged advective winds (C grid).
+  c.assign(uc, (ut(-1, 0) + E(ut)) * 0.5);
+  c.assign(vc, (vt(0, -1) + E(vt)) * 0.5);
+  return b.build();
+}
+
+dsl::StencilFunc build_c_sw_divergence() {
+  StencilBuilder b("c_sw_divergence");
+  auto uc = b.field("uc");
+  auto vc = b.field("vc");
+  auto divg = b.field("divg");
+  auto delp = b.field("delp");
+  auto pt = b.field("pt");
+  auto w = b.field("w");
+  auto delpc = b.field("delpc");
+  auto ptc = b.field("ptc");
+  auto wc = b.field("wc");
+  auto rdx = b.field("rdx");
+  auto rdy = b.field("rdy");
+  auto dt2 = b.param("dt2");
+
+  auto c = b.parallel().full();
+  c.assign(divg, (uc(1, 0) - E(uc)) * E(rdx) + (vc(0, 1) - E(vc)) * E(rdy));
+  c.assign(delpc, E(delp) - E(dt2) * E(delp) * E(divg));
+  c.assign(ptc, E(pt) - E(dt2) * E(pt) * E(divg));
+  c.assign(wc, E(w) - E(dt2) * E(w) * E(divg));
+  return b.build();
+}
+
+std::vector<ir::SNode> c_sw_nodes(const FvConfig& config, double dt_acoustic,
+                                  const sched::Schedule& horizontal_schedule) {
+  (void)config;
+  exec::StencilArgs div_args;
+  div_args.params["dt2"] = dt_acoustic * 0.5;
+
+  std::vector<ir::SNode> nodes;
+  nodes.push_back(
+      ir::SNode::make_stencil("c_sw.winds", build_c_sw_winds(), {}, horizontal_schedule));
+  // The divergence node differences uc(i+1) / vc(j+1): the winds node must
+  // compute the extra face row (per-call extended domain).
+  nodes.back().ext = exec::DomainExt{0, 1, 0, 1};
+  nodes.push_back(ir::SNode::make_stencil("c_sw.divergence", build_c_sw_divergence(), div_args,
+                                          horizontal_schedule));
+  return nodes;
+}
+
+}  // namespace cyclone::fv3

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "core/dsl/stencil.hpp"
+#include "core/ir/program.hpp"
+#include "fv3/config.hpp"
+
+namespace cyclone::fv3 {
+
+/// C-grid shallow-water half step `c_sw`: derives advective (C-grid) winds
+/// from the prognostic winds — including the non-orthogonality correction
+/// with the tile-edge regions exactly as the paper's Sec. IV-B example —
+/// then advances delp/pt/w by half an acoustic step with the resulting
+/// divergence.
+///
+/// Fields: u, v, delp, pt, w (read); uc, vc, ut, vt, divg, delpc, ptc, wc
+/// (written intermediates / half-step values); metric terms cosa, sina,
+/// rdx, rdy (read).
+dsl::StencilFunc build_c_sw_winds();
+dsl::StencilFunc build_c_sw_divergence();
+
+/// The two module nodes in execution order with `dt2 = dt_acoustic / 2`.
+std::vector<ir::SNode> c_sw_nodes(const FvConfig& config, double dt_acoustic,
+                                  const sched::Schedule& horizontal_schedule);
+
+}  // namespace cyclone::fv3

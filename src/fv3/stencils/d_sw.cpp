@@ -1,0 +1,177 @@
+#include "fv3/stencils/d_sw.hpp"
+
+#include "core/dsl/builder.hpp"
+#include "fv3/stencils/functions.hpp"
+#include "fv3/stencils/fv_tp2d.hpp"
+#include "grid/geometry.hpp"
+
+#include <cmath>
+
+namespace cyclone::fv3 {
+
+using namespace dsl;  // NOLINT: stencil definitions read like the math
+
+dsl::StencilFunc build_d_sw_prep() {
+  StencilBuilder b("d_sw_prep");
+  auto u = b.field("u");
+  auto v = b.field("v");
+  auto vort = b.field("vort");
+  auto ke = b.field("ke");
+  auto divg = b.field("divg");
+  auto rdx = b.field("rdx");
+  auto rdy = b.field("rdy");
+
+  auto c = b.parallel().full();
+  c.assign(vort, fn::vorticity(u, v, rdx, rdy));
+  c.assign(ke, fn::kinetic_energy(u, v));
+  c.assign(divg, fn::divergence(u, v, rdx, rdy));
+  return b.build();
+}
+
+dsl::StencilFunc build_d_sw_courant() {
+  StencilBuilder b("d_sw_courant");
+  auto u = b.field("u");
+  auto v = b.field("v");
+  auto crx = b.field("crx");
+  auto cry = b.field("cry");
+  auto rdx = b.field("rdx");
+  auto rdy = b.field("rdy");
+  auto dt = b.param("dt");
+
+  auto c = b.parallel().full();
+  // Face Courant numbers from cell-centered winds.
+  c.assign(crx, E(dt) * fn::avg_x(u) * E(rdx));
+  c.assign(cry, E(dt) * fn::avg_y(v) * E(rdy));
+  return b.build();
+}
+
+dsl::StencilFunc build_smagorinsky_diffusion() {
+  StencilBuilder b("smagorinsky_diffusion");
+  auto delpc = b.field("delpc");
+  auto vort = b.field("vort");
+  auto dt = b.param("dt");
+  // Verbatim pattern from the paper (Sec. VI-C1) — the general-purpose pow
+  // calls are exactly what the strength-reduction transformation targets.
+  b.parallel().full().assign(vort, E(dt) * pow(pow(E(delpc), 2.0) + pow(E(vort), 2.0), 0.5));
+  return b.build();
+}
+
+dsl::StencilFunc build_d_sw_wind_update() {
+  StencilBuilder b("d_sw_wind_update");
+  auto u = b.field("u");
+  auto v = b.field("v");
+  auto ut = b.field("ut");
+  auto vt = b.field("vt");
+  auto vort = b.field("vort");
+  auto ke = b.field("ke");
+  auto fcor = b.field("fcor");
+  auto rdx = b.field("rdx");
+  auto rdy = b.field("rdy");
+  auto dt = b.param("dt");
+
+  auto c = b.parallel().full();
+  c.assign(ut, E(u) + E(dt) * ((E(fcor) + E(vort)) * E(v) -
+                               (ke(1, 0) - ke(-1, 0)) * 0.5 * E(rdx)));
+  c.assign(vt, E(v) - E(dt) * ((E(fcor) + E(vort)) * E(u) +
+                               (ke(0, 1) - ke(0, -1)) * 0.5 * E(rdy)));
+  return b.build();
+}
+
+dsl::StencilFunc build_damping_apply() {
+  StencilBuilder b("damping_apply");
+  auto ut = b.field("ut");
+  auto vt = b.field("vt");
+  auto u = b.field("u");
+  auto v = b.field("v");
+  auto vort = b.field("vort");  // now the Smagorinsky coefficient
+  auto divg = b.field("divg");
+  auto damp = b.field("damp");
+  auto smag = b.param("smag");
+  auto dd = b.param("dd");
+
+  auto c = b.parallel().full();
+  c.assign(damp, E(dd) * E(divg));
+  c.assign(u, E(ut) +
+                  min(E(smag) * E(vort), 0.2) *
+                      (ut(1, 0) + ut(-1, 0) + ut(0, 1) + ut(0, -1) - 4.0 * E(ut)) +
+                  (damp(1, 0) - damp(-1, 0)) * 0.5);
+  c.assign(v, E(vt) +
+                  min(E(smag) * E(vort), 0.2) *
+                      (vt(1, 0) + vt(-1, 0) + vt(0, 1) + vt(0, -1) - 4.0 * E(vt)) +
+                  (damp(0, 1) - damp(0, -1)) * 0.5);
+  return b.build();
+}
+
+dsl::StencilFunc build_divergence_laplacian() {
+  StencilBuilder b("divergence_laplacian");
+  auto divg = b.field("divg");
+  auto divg2 = b.field("divg2");
+  auto rdx = b.field("rdx");
+  auto rdy = b.field("rdy");
+  auto c = b.parallel().full();
+  c.assign(divg2, fn::laplacian(divg, rdx, rdy));
+  return b.build();
+}
+
+std::vector<ir::SNode> d_sw_nodes(const FvConfig& config, double dt_acoustic,
+                                  const sched::Schedule& horizontal_schedule) {
+  exec::StencilArgs dt_args;
+  dt_args.params["dt"] = dt_acoustic;
+
+  exec::StencilArgs damp_args;
+  damp_args.params["smag"] = config.do_smagorinsky ? config.smag_coeff : 0.0;
+  damp_args.params["dd"] = config.divergence_damp;
+
+  // The smagorinsky stencil reads the divergence through its formal name
+  // "delpc" (as the paper's snippet does).
+  exec::StencilArgs smag_args;
+  smag_args.params["dt"] = dt_acoustic;
+  smag_args.bind["delpc"] = "divg";
+
+  std::vector<ir::SNode> nodes;
+  // Extended compute domains (GT4Py per-call `domain=`): producers must
+  // cover their consumers' offset reads — ke/divg feed +-1 gradients of the
+  // (itself +-1-extended) wind update, Courant numbers feed the transport
+  // operator's reach of [-2, +2].
+  nodes.push_back(
+      ir::SNode::make_stencil("d_sw.prep", build_d_sw_prep(), {}, horizontal_schedule));
+  nodes.back().ext = exec::DomainExt{2, 2, 2, 2};
+  nodes.push_back(ir::SNode::make_stencil("d_sw.courant", build_d_sw_courant(), dt_args,
+                                          horizontal_schedule));
+  nodes.back().ext = exec::DomainExt{2, 2, 2, 2};
+  // Each transport is immediately followed by its flux-form update (the
+  // paper's recurring producer/consumer motif that transfer tuning fuses).
+  nodes.push_back(fv_tp2d_node("d_sw.fvtp_delp", "delp", "fx", "fy", horizontal_schedule));
+  nodes.push_back(
+      flux_update_node("d_sw.delp_update", "delp", "fx", "fy", horizontal_schedule));
+  nodes.push_back(fv_tp2d_node("d_sw.fvtp_pt", "pt", "fx2", "fy2", horizontal_schedule));
+  nodes.push_back(
+      flux_update_node("d_sw.pt_update", "pt", "fx2", "fy2", horizontal_schedule));
+  nodes.push_back(fv_tp2d_node("d_sw.fvtp_w", "w", "fxw", "fyw", horizontal_schedule));
+  nodes.push_back(flux_update_node("d_sw.w_update", "w", "fxw", "fyw", horizontal_schedule));
+  nodes.push_back(ir::SNode::make_stencil("d_sw.wind_update", build_d_sw_wind_update(), dt_args,
+                                          horizontal_schedule));
+  nodes.back().ext = exec::DomainExt{1, 1, 1, 1};
+  nodes.push_back(ir::SNode::make_stencil("d_sw.smagorinsky_diffusion",
+                                          build_smagorinsky_diffusion(), smag_args,
+                                          horizontal_schedule));
+  if (config.nord >= 1) {
+    // Higher-order damping: damp the *Laplacian* of the divergence (del-4
+    // analog). The extra ring it needs comes from d_sw.prep's extension.
+    ir::SNode lap = ir::SNode::make_stencil("d_sw.divergence_laplacian",
+                                            build_divergence_laplacian(), {},
+                                            horizontal_schedule);
+    lap.ext = exec::DomainExt{1, 1, 1, 1};
+    nodes.push_back(lap);
+    damp_args.bind["divg"] = "divg2";
+    // The del-4 coefficient carries a typical cell area so both orders damp
+    // at comparable rates; the sign opposes the extra Laplacian.
+    const double dx_typ = 2.0 * M_PI * grid::kEarthRadius / (4.0 * config.npx);
+    damp_args.params["dd"] = -config.divergence_damp * dx_typ * dx_typ;
+  }
+  nodes.push_back(ir::SNode::make_stencil("d_sw.damping_apply", build_damping_apply(),
+                                          damp_args, horizontal_schedule));
+  return nodes;
+}
+
+}  // namespace cyclone::fv3

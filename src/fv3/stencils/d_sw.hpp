@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "core/dsl/stencil.hpp"
+#include "core/ir/program.hpp"
+#include "fv3/config.hpp"
+
+namespace cyclone::fv3 {
+
+/// D-grid (full) shallow-water step `d_sw`: vorticity / kinetic energy,
+/// Courant numbers, finite-volume transport of delp / pt / w, wind update
+/// with vorticity and kinetic-energy gradients, Smagorinsky diffusion (the
+/// paper's pow-operator case study, Sec. VI-C1) and divergence damping.
+dsl::StencilFunc build_d_sw_prep();
+dsl::StencilFunc build_d_sw_courant();
+
+/// The exact stencil of the paper's Smagorinsky case study:
+/// `vort = dt * (delpc ** 2.0 + vort ** 2.0) ** 0.5`.
+dsl::StencilFunc build_smagorinsky_diffusion();
+
+dsl::StencilFunc build_d_sw_wind_update();
+
+/// Applies Smagorinsky diffusion (with the coefficient the smagorinsky
+/// stencil left in `vort`) and divergence damping to the winds.
+dsl::StencilFunc build_damping_apply();
+
+/// One Laplacian pass for higher-order divergence damping (nord = 1):
+/// divg2 = Laplacian(divg).
+dsl::StencilFunc build_divergence_laplacian();
+
+/// All d_sw nodes in execution order (including three fv_tp_2d transports).
+std::vector<ir::SNode> d_sw_nodes(const FvConfig& config, double dt_acoustic,
+                                  const sched::Schedule& horizontal_schedule);
+
+}  // namespace cyclone::fv3

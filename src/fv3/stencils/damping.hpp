@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "core/dsl/stencil.hpp"
+#include "core/ir/program.hpp"
+#include "fv3/config.hpp"
+
+namespace cyclone::fv3 {
+
+/// Rayleigh damping (Fig. 2 of the paper): winds and vertical velocity are
+/// relaxed toward zero in the uppermost (low-pressure) layers, with a
+/// damping rate ramping in below the `rf_cutoff` pressure. A sponge layer
+/// against wave reflection at the model top.
+dsl::StencilFunc build_rayleigh_damping();
+
+ir::SNode rayleigh_damping_node(const FvConfig& config, double dt_remap,
+                                const sched::Schedule& horizontal_schedule);
+
+/// del2-cubed tracer diffusion: `cd * Laplacian` smoothing applied to a
+/// tracer, sub-cycled `ntimes` per call (FV3's del2_cubed). Used as weak
+/// monotonicity-preserving mixing on the cubed sphere.
+dsl::StencilFunc build_del2_cubed(const std::string& name = "del2_cubed");
+
+std::vector<ir::SNode> del2_cubed_nodes(const FvConfig& config, double coefficient, int ntimes,
+                                        const sched::Schedule& horizontal_schedule);
+
+/// Vertical tracer filling (FV3's fillz): negative tracer values created by
+/// the flux-form update borrow mass from the level below, sweeping top-down
+/// — a FORWARD solver with the positivity invariant the tests check.
+dsl::StencilFunc build_fillz(const std::string& name = "fillz");
+
+std::vector<ir::SNode> fillz_nodes(const FvConfig& config,
+                                   const sched::Schedule& vertical_schedule);
+
+}  // namespace cyclone::fv3

@@ -1,0 +1,79 @@
+#pragma once
+
+#include "core/dsl/expr_builder.hpp"
+
+namespace cyclone::fv3::fn {
+
+// Reusable stencil subexpressions — the analog of GT4Py's `@gtscript.function`
+// library that FV3's Python port builds its stencils from. Each helper
+// returns an expression tree that inlines into the calling stencil (exactly
+// like gtscript functions inline before lowering).
+
+using dsl::E;
+using dsl::FieldVar;
+
+/// Centered x gradient: (f(i+1) - f(i-1)) / 2 * rdx.
+inline E grad_x(const FieldVar& f, const FieldVar& rdx) {
+  return (f(1, 0) - f(-1, 0)) * 0.5 * E(rdx);
+}
+
+/// Centered y gradient.
+inline E grad_y(const FieldVar& f, const FieldVar& rdy) {
+  return (f(0, 1) - f(0, -1)) * 0.5 * E(rdy);
+}
+
+/// Five-point Laplacian with metric terms.
+inline E laplacian(const FieldVar& f, const FieldVar& rdx, const FieldVar& rdy) {
+  return (f(1, 0) - 2.0 * E(f) + f(-1, 0)) * E(rdx) * E(rdx) +
+         (f(0, 1) - 2.0 * E(f) + f(0, -1)) * E(rdy) * E(rdy);
+}
+
+/// Face average toward -i (value at the face between i-1 and i).
+inline E avg_x(const FieldVar& f) { return (f(-1, 0) + E(f)) * 0.5; }
+
+/// Face average toward -j.
+inline E avg_y(const FieldVar& f) { return (f(0, -1) + E(f)) * 0.5; }
+
+/// Vertical midpoint of an interface field at cell k.
+inline E mid_k(const FieldVar& f) { return (E(f) + f.at_k(1)) * 0.5; }
+
+/// First-order upwind face value in x given a face Courant number.
+inline E upwind_x(const FieldVar& q, const FieldVar& cr) {
+  return dsl::select(E(cr) > 0.0, q(-1, 0), E(q));
+}
+
+/// First-order upwind face value in y.
+inline E upwind_y(const FieldVar& q, const FieldVar& cr) {
+  return dsl::select(E(cr) > 0.0, q(0, -1), E(q));
+}
+
+/// Flux-form divergence update increment: (fx - fx(i+1)) + (fy - fy(j+1)).
+inline E flux_divergence(const FieldVar& fx, const FieldVar& fy) {
+  return (E(fx) - fx(1, 0)) + (E(fy) - fy(0, 1));
+}
+
+/// Smooth ramp in [0, 1]: sin^2(pi/2 * clamp((edge - x) / width)).
+inline E sponge_ramp(const E& x, const E& edge, const E& width) {
+  E t = dsl::min(dsl::max((edge - x) / width, E(0.0)), E(1.0));
+  E s = dsl::sin(E(1.5707963267948966) * t);
+  return s * s;
+}
+
+/// Relative-vorticity expression.
+inline E vorticity(const FieldVar& u, const FieldVar& v, const FieldVar& rdx,
+                   const FieldVar& rdy) {
+  return grad_x(v, rdx) - grad_y(u, rdy);
+}
+
+/// Horizontal divergence expression.
+inline E divergence(const FieldVar& u, const FieldVar& v, const FieldVar& rdx,
+                    const FieldVar& rdy) {
+  return grad_x(u, rdx) + grad_y(v, rdy);
+}
+
+/// Kinetic energy per unit mass.
+inline E kinetic_energy(const FieldVar& u, const FieldVar& v) {
+  return (E(u) * E(u) + E(v) * E(v)) * 0.5;
+}
+
+}  // namespace cyclone::fv3::fn

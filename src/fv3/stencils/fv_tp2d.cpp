@@ -1,0 +1,124 @@
+#include "fv3/stencils/fv_tp2d.hpp"
+
+#include "core/dsl/builder.hpp"
+#include "fv3/stencils/functions.hpp"
+
+namespace cyclone::fv3 {
+
+using namespace dsl;  // NOLINT: stencil definitions read like the math
+
+namespace {
+
+/// Monotone (van Leer) slope of `q` along i: the centered difference
+/// limited by twice the one-sided differences, zero at extrema.
+E mono_slope_x(const FieldVar& q) {
+  E dql = E(q) - q(-1, 0);
+  E dqr = q(1, 0) - E(q);
+  E centered = (q(1, 0) - q(-1, 0)) * 0.5;
+  E limited = min(abs(centered), min(abs(dql) * 2.0, abs(dqr) * 2.0));
+  // sign(dql) + sign(dqr) vanishes at extrema, giving a zero slope.
+  return (sign(dql) + sign(dqr)) * 0.5 * limited;
+}
+
+E mono_slope_y(const FieldVar& q) {
+  E dql = E(q) - q(0, -1);
+  E dqr = q(0, 1) - E(q);
+  E centered = (q(0, 1) - q(0, -1)) * 0.5;
+  E limited = min(abs(centered), min(abs(dql) * 2.0, abs(dqr) * 2.0));
+  return (sign(dql) + sign(dqr)) * 0.5 * limited;
+}
+
+/// Second-order upwind face value at face i (between cells i-1 and i).
+E upwind_face_x(const FieldVar& q, const FieldVar& slope, const FieldVar& crx) {
+  return select(E(crx) > 0.0, q(-1, 0) + (1.0 - E(crx)) * 0.5 * slope(-1, 0),
+                E(q) - (1.0 + E(crx)) * 0.5 * E(slope));
+}
+
+E upwind_face_y(const FieldVar& q, const FieldVar& slope, const FieldVar& cry) {
+  return select(E(cry) > 0.0, q(0, -1) + (1.0 - E(cry)) * 0.5 * slope(0, -1),
+                E(q) - (1.0 + E(cry)) * 0.5 * E(slope));
+}
+
+}  // namespace
+
+dsl::StencilFunc build_fv_tp2d(const std::string& name) {
+  StencilBuilder b(name);
+  auto q = b.field("q");
+  auto crx = b.field("crx");
+  auto cry = b.field("cry");
+  auto fx = b.field("fx");
+  auto fy = b.field("fy");
+
+  auto dmx = b.temp("dmx");
+  auto dmy = b.temp("dmy");
+  auto fxv = b.temp("fxv");
+  auto fyv = b.temp("fyv");
+  auto qx = b.temp("qx");
+  auto qy = b.temp("qy");
+  auto dmx2 = b.temp("dmx2");
+  auto dmy2 = b.temp("dmy2");
+
+  auto c = b.parallel().full();
+  // --- First sweep: inner fluxes on the raw field -------------------------
+  c.assign(dmx, mono_slope_x(q));
+  // FV3 drops to one-sided (zero) slopes in the rows next to tile edges,
+  // where the PPM reconstruction lacks symmetric neighbors.
+  c.assign_in(region_i_start(1), dmx, 0.0);
+  c.assign_in(region_i_end(1), dmx, 0.0);
+  c.assign(dmy, mono_slope_y(q));
+  c.assign_in(region_j_start(1), dmy, 0.0);
+  c.assign_in(region_j_end(1), dmy, 0.0);
+  c.assign(fxv, upwind_face_x(q, dmx, crx));
+  c.assign(fyv, upwind_face_y(q, dmy, cry));
+
+  // --- Transverse (inner) half-updates (Lin & Rood splitting) -------------
+  c.assign(qx, E(q) + (E(crx) * E(fxv) - crx(1, 0) * fxv(1, 0)) * 0.5);
+  c.assign(qy, E(q) + (E(cry) * E(fyv) - cry(0, 1) * fyv(0, 1)) * 0.5);
+
+  // --- Final fluxes on the cross-updated fields ---------------------------
+  c.assign(dmx2, mono_slope_x(qy));
+  c.assign_in(region_i_start(1), dmx2, 0.0);
+  c.assign_in(region_i_end(1), dmx2, 0.0);
+  c.assign(dmy2, mono_slope_y(qx));
+  c.assign_in(region_j_start(1), dmy2, 0.0);
+  c.assign_in(region_j_end(1), dmy2, 0.0);
+  c.assign(fx, E(crx) * upwind_face_x(qy, dmx2, crx));
+  c.assign(fy, E(cry) * upwind_face_y(qx, dmy2, cry));
+  return b.build();
+}
+
+ir::SNode fv_tp2d_node(const std::string& label, const std::string& q_name,
+                       const std::string& fx_name, const std::string& fy_name,
+                       const sched::Schedule& schedule) {
+  exec::StencilArgs args;
+  args.bind["q"] = q_name;
+  args.bind["fx"] = fx_name;
+  args.bind["fy"] = fy_name;
+  ir::SNode node =
+      ir::SNode::make_stencil(label, build_fv_tp2d(), std::move(args), schedule);
+  // Fluxes are face quantities: compute one extra row so the flux-form
+  // update can difference fx(i+1) / fy(j+1) (GT4Py per-call domain).
+  node.ext = exec::DomainExt{0, 1, 0, 1};
+  return node;
+}
+
+dsl::StencilFunc build_flux_update(const std::string& name) {
+  StencilBuilder b(name);
+  auto q = b.field("q");
+  auto fx = b.field("fx");
+  auto fy = b.field("fy");
+  b.parallel().full().assign(q, E(q) + fn::flux_divergence(fx, fy));
+  return b.build();
+}
+
+ir::SNode flux_update_node(const std::string& label, const std::string& q_name,
+                           const std::string& fx_name, const std::string& fy_name,
+                           const sched::Schedule& schedule) {
+  exec::StencilArgs args;
+  args.bind["q"] = q_name;
+  args.bind["fx"] = fx_name;
+  args.bind["fy"] = fy_name;
+  return ir::SNode::make_stencil(label, build_flux_update(), std::move(args), schedule);
+}
+
+}  // namespace cyclone::fv3

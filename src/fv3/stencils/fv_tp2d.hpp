@@ -1,0 +1,36 @@
+#pragma once
+
+#include "core/dsl/stencil.hpp"
+#include "core/ir/program.hpp"
+#include "fv3/config.hpp"
+
+namespace cyclone::fv3 {
+
+/// Finite-volume transport operator `fv_tp_2d` (Putman & Lin; paper
+/// Sec. VIII-C): computes directionally-split, monotone second-order
+/// upwind-biased fluxes of a transported scalar.
+///
+/// Formal fields:
+///   q          transported scalar (read)
+///   crx, cry   face Courant numbers (read; crx(i) is the face between
+///              cells i-1 and i)
+///   fx, fy     face mass fluxes (written)
+///
+/// The stencil applies one-sided (first-order) slopes in the rows adjacent
+/// to tile edges via horizontal regions, mirroring FV3's edge treatment of
+/// the PPM reconstruction.
+dsl::StencilFunc build_fv_tp2d(const std::string& name = "fv_tp_2d");
+
+/// Stencil node transporting `q_name`, writing fluxes `fx_name`/`fy_name`.
+ir::SNode fv_tp2d_node(const std::string& label, const std::string& q_name,
+                       const std::string& fx_name, const std::string& fy_name,
+                       const sched::Schedule& schedule);
+
+/// Flux-form update stencil: q += (fx - fx(i+1)) + (fy - fy(j+1)).
+dsl::StencilFunc build_flux_update(const std::string& name = "flux_update");
+
+ir::SNode flux_update_node(const std::string& label, const std::string& q_name,
+                           const std::string& fx_name, const std::string& fy_name,
+                           const sched::Schedule& schedule);
+
+}  // namespace cyclone::fv3

@@ -1,0 +1,112 @@
+#include "fv3/stencils/pressure.hpp"
+
+#include "core/dsl/builder.hpp"
+#include "grid/geometry.hpp"
+
+namespace cyclone::fv3 {
+
+using namespace dsl;  // NOLINT: stencil definitions read like the math
+
+namespace {
+/// Interval covering interface levels [1, nk+1) — one past the launch
+/// domain's nk; executors clip against the (nk+1)-level interface fields.
+Interval interface_tail() { return make_interval(KBound{1, false}, KBound{1, true}); }
+Interval interface_last() { return make_interval(KBound{0, true}, KBound{1, true}); }
+}  // namespace
+
+dsl::StencilFunc build_pe_update(const FvConfig& config) {
+  (void)config;
+  StencilBuilder b("pe_update");
+  auto pe = b.field("pe");
+  auto delp = b.field("delp");
+  auto ptop = b.param("ptop");
+
+  auto f = b.forward();
+  f.interval(first_levels(1)).assign(pe, E(ptop));
+  f.interval(interface_tail()).assign(pe, pe.at_k(-1) + delp.at_k(-1));
+  return b.build();
+}
+
+dsl::StencilFunc build_pk_peln(const FvConfig& config) {
+  (void)config;
+  StencilBuilder b("pk_peln");
+  auto pe = b.field("pe");
+  auto pk = b.field("pk");
+  auto peln = b.field("peln");
+  auto ps = b.field("ps");
+
+  auto c = b.parallel();
+  // pe ** kappa: general-purpose pow the Smagorinsky-style transformation
+  // cannot reduce (kappa is not an integer or 0.5) — it stays expensive, as
+  // in the production model.
+  c.interval(make_interval(KBound{0, false}, KBound{1, true}))
+      .assign(pk, pow(E(pe), grid::kKappa))
+      .assign(peln, log(E(pe)));
+  auto s = b.parallel();
+  s.interval(first_levels(1)).assign(ps, pe.at_k(config.npz));
+  return b.build();
+}
+
+dsl::StencilFunc build_gz_update() {
+  StencilBuilder b("gz_update");
+  auto gz = b.field("gz");
+  auto delz = b.field("delz");
+
+  auto bwd = b.backward();
+  bwd.interval(interface_last()).assign(gz, 0.0);
+  bwd.interval(make_interval(KBound{0, false}, KBound{0, true}))
+      .assign(gz, gz.at_k(1) + E(delz) * grid::kGravity);
+  return b.build();
+}
+
+dsl::StencilFunc build_nh_p_grad() {
+  StencilBuilder b("nh_p_grad");
+  auto u = b.field("u");
+  auto v = b.field("v");
+  auto pp = b.field("pp");
+  auto pk = b.field("pk");
+  auto delp = b.field("delp");
+  auto rdx = b.field("rdx");
+  auto rdy = b.field("rdy");
+  auto dt = b.param("dt");
+
+  auto c = b.parallel().full();
+  // Perturbation + Exner-gradient force; 1/rho ~ g dz/dp absorbed into the
+  // delp normalization.
+  c.assign(u, E(u) - E(dt) * E(rdx) *
+                         ((pp(1, 0) - pp(-1, 0)) * 0.5 + (pk(1, 0) - pk(-1, 0)) * 0.5) /
+                         E(delp));
+  c.assign(v, E(v) - E(dt) * E(rdy) *
+                         ((pp(0, 1) - pp(0, -1)) * 0.5 + (pk(0, 1) - pk(0, -1)) * 0.5) /
+                         E(delp));
+  return b.build();
+}
+
+std::vector<ir::SNode> pressure_nodes(const FvConfig& config,
+                                      const sched::Schedule& vertical_schedule,
+                                      const sched::Schedule& horizontal_schedule) {
+  exec::StencilArgs pe_args;
+  pe_args.params["ptop"] = config.ptop;
+
+  std::vector<ir::SNode> nodes;
+  // nh_p_grad differentiates pk horizontally: pe and pk extend one ring.
+  nodes.push_back(ir::SNode::make_stencil("pressure.pe_update", build_pe_update(config),
+                                          pe_args, vertical_schedule));
+  nodes.back().ext = exec::DomainExt{1, 1, 1, 1};
+  nodes.push_back(ir::SNode::make_stencil("pressure.pk_peln", build_pk_peln(config), {},
+                                          horizontal_schedule));
+  nodes.back().ext = exec::DomainExt{1, 1, 1, 1};
+  nodes.push_back(ir::SNode::make_stencil("pressure.gz_update", build_gz_update(), {},
+                                          vertical_schedule));
+  return nodes;
+}
+
+ir::SNode nh_p_grad_node(const FvConfig& config, double dt_acoustic,
+                         const sched::Schedule& horizontal_schedule) {
+  (void)config;
+  exec::StencilArgs args;
+  args.params["dt"] = dt_acoustic;
+  return ir::SNode::make_stencil("nh_p_grad", build_nh_p_grad(), args, horizontal_schedule);
+}
+
+}  // namespace cyclone::fv3

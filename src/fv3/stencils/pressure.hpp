@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "core/dsl/stencil.hpp"
+#include "core/ir/program.hpp"
+#include "fv3/config.hpp"
+
+namespace cyclone::fv3 {
+
+/// Pressure-variable update: hydrostatic integration of the interface
+/// pressure `pe` (FORWARD solver over nk+1 levels), the Exner-like power
+/// `pk = pe ** kappa` (a genuinely non-reducible pow), `peln = log(pe)`,
+/// surface pressure `ps`, and the geopotential `gz` (BACKWARD solver).
+dsl::StencilFunc build_pe_update(const FvConfig& config);
+dsl::StencilFunc build_pk_peln(const FvConfig& config);
+dsl::StencilFunc build_gz_update();
+
+/// Nonhydrostatic pressure-gradient force on the winds from the solved
+/// perturbation `pp` and the Exner gradient.
+dsl::StencilFunc build_nh_p_grad();
+
+std::vector<ir::SNode> pressure_nodes(const FvConfig& config,
+                                      const sched::Schedule& vertical_schedule,
+                                      const sched::Schedule& horizontal_schedule);
+
+ir::SNode nh_p_grad_node(const FvConfig& config, double dt_acoustic,
+                         const sched::Schedule& horizontal_schedule);
+
+}  // namespace cyclone::fv3

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "core/dsl/stencil.hpp"
+#include "core/ir/program.hpp"
+#include "fv3/config.hpp"
+
+namespace cyclone::fv3 {
+
+/// Lagrangian-to-Eulerian vertical remapping (paper Fig. 2, green hexagon):
+/// after the acoustic loop deformed the Lagrangian surfaces, fields are
+/// remapped to the reference hybrid coordinate pe_ref(k) = ak + bk * ps.
+/// The remap is a first-order upwind flux across the interface displacement
+/// (pe - pe_ref) — a simplification of FV3's PPM remap that preserves the
+/// data-movement pattern: one vertical sweep per remapped field
+/// (see DESIGN.md substitution table).
+dsl::StencilFunc build_remap_prep();
+
+/// Remap one field: q := (q * delp + fz - fz(k+1)) / dpr.
+dsl::StencilFunc build_remap_field(const std::string& name = "remap_field");
+
+/// Finalize: delz rescaled by the new thickness, delp := dpr.
+dsl::StencilFunc build_remap_finalize();
+
+/// The remap node sequence for all prognostic fields + tracers (the tracer
+/// list is unrolled at build time, mirroring orchestration's constant
+/// propagation of the tracer dictionary).
+std::vector<ir::SNode> remap_nodes(const FvConfig& config,
+                                   const sched::Schedule& vertical_schedule);
+
+}  // namespace cyclone::fv3

@@ -1,0 +1,118 @@
+#include "fv3/stencils/riem_solver.hpp"
+
+#include "core/dsl/builder.hpp"
+#include "grid/geometry.hpp"
+
+namespace cyclone::fv3 {
+
+using namespace dsl;  // NOLINT: stencil definitions read like the math
+
+dsl::StencilFunc build_riem_precompute(const FvConfig& config) {
+  (void)config;
+  StencilBuilder b("riem_precompute");
+  auto delz = b.field("delz");
+  auto w = b.field("w");
+  auto aa = b.field("aa");
+  auto bb = b.field("bb");
+  auto cc = b.field("cc");
+  auto rhs = b.field("rhs");
+  auto dt = b.param("dt");
+  auto cs2 = b.param("cs2");
+
+  // Sub-diagonal coupling to k-1 (zero on the top level).
+  auto c = b.parallel();
+  c.interval(first_levels(1)).assign(aa, 0.0);
+  c.interval(inner_levels(1, 0))
+      .assign(aa, E(dt) * E(dt) * E(cs2) / (E(delz) * 0.5 * (E(delz) + delz.at_k(-1))));
+  // Super-diagonal coupling to k+1 (zero on the bottom level).
+  auto c2 = b.parallel();
+  c2.interval(inner_levels(0, 1))
+      .assign(cc, E(dt) * E(dt) * E(cs2) / (E(delz) * 0.5 * (E(delz) + delz.at_k(1))));
+  c2.interval(last_levels(1)).assign(cc, 0.0);
+
+  // Diagonal and right-hand side (acoustic forcing from w convergence).
+  auto c3 = b.parallel();
+  c3.interval(full_interval()).assign(bb, 1.0 + E(aa) + E(cc));
+  c3.interval(first_levels(1)).assign(rhs, -E(dt) * E(cs2) * (w.at_k(1) - E(w)) / E(delz));
+  c3.interval(inner_levels(1, 1))
+      .assign(rhs, -E(dt) * E(cs2) * (w.at_k(1) - w.at_k(-1)) * 0.5 / E(delz));
+  c3.interval(last_levels(1)).assign(rhs, -E(dt) * E(cs2) * (E(w) - w.at_k(-1)) / E(delz));
+  return b.build();
+}
+
+dsl::StencilFunc build_riem_forward(const FvConfig& config) {
+  (void)config;
+  StencilBuilder b("riem_forward");
+  auto aa = b.field("aa");
+  auto bb = b.field("bb");
+  auto cc = b.field("cc");
+  auto rhs = b.field("rhs");
+  auto gam = b.field("gam");
+  auto pp = b.field("pp");
+
+  auto f = b.forward();
+  f.interval(first_levels(1)).assign(gam, E(cc) / E(bb)).assign(pp, E(rhs) / E(bb));
+  f.interval(inner_levels(1, 0))
+      .assign(gam, E(cc) / (E(bb) - E(aa) * gam.at_k(-1)))
+      .assign(pp, (E(rhs) + E(aa) * pp.at_k(-1)) / (E(bb) - E(aa) * gam.at_k(-1)));
+  return b.build();
+}
+
+dsl::StencilFunc build_riem_backward(const FvConfig& config) {
+  (void)config;
+  StencilBuilder b("riem_backward");
+  auto gam = b.field("gam");
+  auto pp = b.field("pp");
+  auto w = b.field("w");
+  auto delp = b.field("delp");
+  auto dt = b.param("dt");
+
+  auto bwd = b.backward();
+  bwd.interval(inner_levels(0, 1)).assign(pp, E(pp) + E(gam) * pp.at_k(1));
+
+  // Velocity update from the solved pressure-perturbation gradient:
+  // dw/dt = -(1/rho) dpp/dz = g * (pp(k-1) - pp(k)) / delp.
+  auto upd = b.parallel();
+  upd.interval(first_levels(1))
+      .assign(w, E(w) - E(dt) * grid::kGravity * E(pp) / E(delp));
+  upd.interval(inner_levels(1, 0))
+      .assign(w, E(w) + E(dt) * grid::kGravity * (pp.at_k(-1) - E(pp)) / E(delp));
+  return b.build();
+}
+
+std::vector<ir::SNode> riem_solver_nodes(const FvConfig& config, double dt_acoustic,
+                                         const sched::Schedule& vertical_schedule,
+                                         const std::string& label_prefix,
+                                         const std::string& w_rhs) {
+  const double cs2 = grid::kRdGas * config.t_mean;  // isothermal sound speed^2
+
+  exec::StencilArgs pre_args;
+  pre_args.params["dt"] = dt_acoustic;
+  pre_args.params["cs2"] = cs2;
+  if (w_rhs != "w") pre_args.bind["w"] = w_rhs;
+
+  // The precompute stencil is horizontal (PARALLEL everywhere); it keeps the
+  // module's tuned horizontal-ish schedule via the vertical one for locality
+  // of the k-neighbor reads — follow the paper and schedule the whole module
+  // as a vertical solver.
+  exec::StencilArgs solve_args;
+  exec::StencilArgs back_args;
+  back_args.params["dt"] = dt_acoustic;
+
+  std::vector<ir::SNode> nodes;
+  nodes.push_back(ir::SNode::make_stencil(label_prefix + ".precompute",
+                                          build_riem_precompute(config), pre_args,
+                                          vertical_schedule));
+  nodes.push_back(ir::SNode::make_stencil(label_prefix + ".forward", build_riem_forward(config),
+                                          solve_args, vertical_schedule));
+  nodes.push_back(ir::SNode::make_stencil(label_prefix + ".backward",
+                                          build_riem_backward(config), back_args,
+                                          vertical_schedule));
+  return nodes;
+}
+
+std::vector<std::string> riem_solver_intermediates() {
+  return {"aa", "bb", "cc", "rhs", "gam"};
+}
+
+}  // namespace cyclone::fv3

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "core/dsl/stencil.hpp"
+#include "core/ir/program.hpp"
+#include "fv3/config.hpp"
+
+namespace cyclone::fv3 {
+
+/// Semi-implicit Riemann solver `riem_solver_c` (paper Sec. VIII-B): solves
+/// the vertically-implicit equation for the nonhydrostatic pressure
+/// perturbation per column,
+///
+///   -aa(k) pp(k-1) + bb(k) pp(k) - cc(k) pp(k+1) = rhs(k),
+///
+/// with the Thomas algorithm, then updates vertical velocity. As in the
+/// paper, the module is split into three stencils: coefficient precompute
+/// (PARALLEL), forward elimination (FORWARD) and backward substitution +
+/// velocity update (BACKWARD/PARALLEL).
+///
+/// Formal fields: delz, w (read); pp (solution, written); aa, bb, cc, rhs,
+/// gam (intermediates, externally allocated so the three stencils share
+/// them).
+///
+/// Scalar parameters: dt (acoustic step), cs2 (squared sound speed).
+dsl::StencilFunc build_riem_precompute(const FvConfig& config);
+dsl::StencilFunc build_riem_forward(const FvConfig& config);
+dsl::StencilFunc build_riem_backward(const FvConfig& config);
+
+/// The three solver nodes plus the w-update node, in execution order, with
+/// parameters bound for acoustic timestep `dt_acoustic`. `w_rhs` names the
+/// field whose vertical convergence forces the solve: the C-grid instance
+/// uses the half-stepped `wc`, the D-grid instance the prognostic `w`.
+std::vector<ir::SNode> riem_solver_nodes(const FvConfig& config, double dt_acoustic,
+                                         const sched::Schedule& vertical_schedule,
+                                         const std::string& label_prefix = "riem_solver_c",
+                                         const std::string& w_rhs = "w");
+
+/// Names of the intermediate fields the solver shares across its stencils
+/// (the caller's state must provide them as Center3D fields).
+std::vector<std::string> riem_solver_intermediates();
+
+}  // namespace cyclone::fv3

@@ -1,0 +1,80 @@
+#include "fv3/stencils/tracer.hpp"
+
+#include "core/dsl/builder.hpp"
+#include "fv3/stencils/functions.hpp"
+#include "fv3/stencils/fv_tp2d.hpp"
+
+namespace cyclone::fv3 {
+
+using namespace dsl;  // NOLINT: stencil definitions read like the math
+
+dsl::StencilFunc build_tracer_mass(const std::string& name) {
+  StencilBuilder b(name);
+  auto q = b.field("q");
+  auto delp = b.field("delp");
+  auto qm = b.field("qm");
+  b.parallel().full().assign(qm, E(q) * E(delp));
+  return b.build();
+}
+
+dsl::StencilFunc build_tracer_from_mass(const std::string& name) {
+  StencilBuilder b(name);
+  auto q = b.field("q");
+  auto qm = b.field("qm");
+  auto dp2 = b.field("dp2");
+  b.parallel().full().assign(q, E(qm) / E(dp2));
+  return b.build();
+}
+
+dsl::StencilFunc build_dp_adv(const std::string& name) {
+  StencilBuilder b(name);
+  auto delp = b.field("delp");
+  auto dp2 = b.field("dp2");
+  auto fx = b.field("fx");
+  auto fy = b.field("fy");
+  b.parallel().full().assign(dp2, E(delp) + fn::flux_divergence(fx, fy));
+  return b.build();
+}
+
+std::vector<ir::SNode> tracer_2d_nodes(const FvConfig& config,
+                                       const sched::Schedule& horizontal_schedule) {
+  std::vector<ir::SNode> nodes;
+
+  // Air-mass advection for the consistency denominator.
+  nodes.push_back(fv_tp2d_node("tracer_2d.fvtp_delp", "delp", "fx2", "fy2",
+                               horizontal_schedule));
+  {
+    exec::StencilArgs args;
+    args.bind["fx"] = "fx2";
+    args.bind["fy"] = "fy2";
+    nodes.push_back(ir::SNode::make_stencil("tracer_2d.dp_adv", build_dp_adv(), args,
+                                            horizontal_schedule));
+  }
+
+  for (int t = 0; t < config.ntracers; ++t) {
+    const std::string q = "q" + std::to_string(t);
+    {
+      exec::StencilArgs args;
+      args.bind["q"] = q;
+      ir::SNode node = ir::SNode::make_stencil("tracer_2d.mass_" + q, build_tracer_mass(),
+                                               args, horizontal_schedule);
+      // The transport operator reads qm out to its full reach.
+      node.ext = exec::DomainExt{3, 3, 3, 3};
+      nodes.push_back(node);
+    }
+    nodes.push_back(
+        fv_tp2d_node("tracer_2d.fvtp_" + q, "qm", "fx", "fy", horizontal_schedule));
+    nodes.push_back(
+        flux_update_node("tracer_2d.update_" + q, "qm", "fx", "fy", horizontal_schedule));
+    {
+      exec::StencilArgs args;
+      args.bind["q"] = q;
+      nodes.push_back(ir::SNode::make_stencil("tracer_2d.ratio_" + q,
+                                              build_tracer_from_mass(), args,
+                                              horizontal_schedule));
+    }
+  }
+  return nodes;
+}
+
+}  // namespace cyclone::fv3

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "core/dsl/stencil.hpp"
+#include "core/ir/program.hpp"
+#include "fv3/config.hpp"
+
+namespace cyclone::fv3 {
+
+/// Mass-weighted tracer transport (FV3's tracer_2d): tracers are advected
+/// as tracer mass q*delp alongside a consistently advected air mass, and
+/// recovered as the ratio — keeping mixing ratios bounded even where the
+/// discrete flow converges:
+///
+///   dp2       = delp + div(F_delp)
+///   (q delp)' = q delp + div(F_{q delp})
+///   q         = (q delp)' / dp2
+///
+/// F uses the same monotone fv_tp_2d fluxes; dp2 is transport-internal (the
+/// prognostic delp evolves in d_sw), exactly as FV3's dp1/dp2 bookkeeping.
+dsl::StencilFunc build_tracer_mass(const std::string& name = "tracer_mass");
+dsl::StencilFunc build_tracer_from_mass(const std::string& name = "tracer_from_mass");
+dsl::StencilFunc build_dp_adv(const std::string& name = "dp_adv");
+
+/// The complete tracer-advection node sequence (the tracer loop is unrolled
+/// at build time, as orchestration's constant propagation would).
+std::vector<ir::SNode> tracer_2d_nodes(const FvConfig& config,
+                                       const sched::Schedule& horizontal_schedule);
+
+}  // namespace cyclone::fv3

@@ -1,0 +1,33 @@
+#include "fv3/stencils/update_dz.hpp"
+
+#include "core/dsl/builder.hpp"
+
+namespace cyclone::fv3 {
+
+using namespace dsl;  // NOLINT: stencil definitions read like the math
+
+dsl::StencilFunc build_update_dz() {
+  StencilBuilder b("update_dz");
+  auto delz = b.field("delz");
+  auto w = b.field("w");
+  auto dt = b.param("dt");
+  auto dzmin = b.param("dzmin");
+
+  auto c = b.parallel();
+  // Layer thickness changes with the divergence of w across the layer.
+  c.interval(inner_levels(0, 1))
+      .assign(delz, max(E(delz) + E(dt) * (w.at_k(1) - E(w)), E(dzmin)));
+  c.interval(last_levels(1)).assign(delz, max(E(delz) - E(dt) * E(w), E(dzmin)));
+  return b.build();
+}
+
+ir::SNode update_dz_node(const FvConfig& config, double dt_acoustic,
+                         const sched::Schedule& horizontal_schedule) {
+  (void)config;
+  exec::StencilArgs args;
+  args.params["dt"] = dt_acoustic;
+  args.params["dzmin"] = 2.0;
+  return ir::SNode::make_stencil("update_dz", build_update_dz(), args, horizontal_schedule);
+}
+
+}  // namespace cyclone::fv3

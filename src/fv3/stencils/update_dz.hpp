@@ -1,0 +1,17 @@
+#pragma once
+
+#include "core/dsl/stencil.hpp"
+#include "core/ir/program.hpp"
+#include "fv3/config.hpp"
+
+namespace cyclone::fv3 {
+
+/// Height update `update_dz`: advances the Lagrangian layer thickness from
+/// the vertical-velocity convergence, with a floor keeping layers from
+/// collapsing (FV3's dz_min analog).
+dsl::StencilFunc build_update_dz();
+
+ir::SNode update_dz_node(const FvConfig& config, double dt_acoustic,
+                         const sched::Schedule& horizontal_schedule);
+
+}  // namespace cyclone::fv3

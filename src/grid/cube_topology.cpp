@@ -1,0 +1,180 @@
+#include "core/util/error.hpp"
+#include "grid/cube_topology.hpp"
+
+#include <cmath>
+
+namespace cyclone::grid {
+
+std::array<double, 3> face_to_xyz(int face, double a, double b) {
+  switch (face) {
+    case 0: return {1.0, a, b};
+    case 1: return {-a, 1.0, b};
+    case 2: return {-1.0, -a, b};
+    case 3: return {a, -1.0, b};
+    case 4: return {-b, a, 1.0};
+    case 5: return {b, a, -1.0};
+    default: CY_REQUIRE_MSG(false, "face must be in [0, 6)"); return {};
+  }
+}
+
+FacePoint xyz_to_face(const std::array<double, 3>& p) {
+  const double ax = std::abs(p[0]), ay = std::abs(p[1]), az = std::abs(p[2]);
+  if (ax >= ay && ax >= az) {
+    if (p[0] > 0) return {0, p[1] / p[0], p[2] / p[0]};
+    return {2, p[1] / p[0], -p[2] / p[0]};
+  }
+  if (ay >= ax && ay >= az) {
+    if (p[1] > 0) return {1, -p[0] / p[1], p[2] / p[1]};
+    return {3, -p[0] / p[1], -p[2] / p[1]};
+  }
+  if (p[2] > 0) return {4, p[1] / p[2], -p[0] / p[2]};
+  return {5, -p[1] / p[2], -p[0] / p[2]};
+}
+
+namespace {
+
+enum Edge { kWest = 0, kEast = 1, kSouth = 2, kNorth = 3 };
+
+/// Connectivity of one tile edge: which tile lies across it, which of that
+/// tile's edges is shared, and whether the tangential index runs backwards.
+struct EdgeLink {
+  int nbr_tile = -1;
+  Edge nbr_edge = kWest;
+  bool reversed = false;
+};
+
+/// Discover the link for (tile, edge) numerically: step slightly across the
+/// edge at two tangential positions, identify the face that owns the points,
+/// and infer edge identity + tangential direction. Topology is static, so
+/// this runs once.
+EdgeLink discover(int tile, Edge edge) {
+  constexpr double kEps = 0.02;
+  auto probe = [&](double t) {  // t in (-1, 1): tangential position
+    double a = 0, b = 0;
+    switch (edge) {
+      case kWest: a = -1.0 - kEps; b = t; break;
+      case kEast: a = 1.0 + kEps; b = t; break;
+      case kSouth: a = t; b = -1.0 - kEps; break;
+      case kNorth: a = t; b = 1.0 + kEps; break;
+    }
+    return xyz_to_face(face_to_xyz(tile, a, b));
+  };
+
+  const FacePoint p0 = probe(-0.5);
+  const FacePoint p1 = probe(0.5);
+  CY_ENSURE_MSG(p0.face == p1.face, "cube edge probes landed on different faces");
+  EdgeLink link;
+  link.nbr_tile = p0.face;
+
+  // Which neighbor coordinate is pinned near +-1 (the shared edge)?
+  const bool a_pinned = std::abs(std::abs(p0.a) - 1.0) < 2 * kEps + 1e-9;
+  double tang0, tang1;
+  if (a_pinned) {
+    link.nbr_edge = p0.a < 0 ? kWest : kEast;
+    tang0 = p0.b;
+    tang1 = p1.b;
+  } else {
+    link.nbr_edge = p0.b < 0 ? kSouth : kNorth;
+    tang0 = p0.a;
+    tang1 = p1.a;
+  }
+  link.reversed = tang1 < tang0;
+  return link;
+}
+
+const EdgeLink& edge_link(int tile, Edge edge) {
+  static const auto table = [] {
+    std::array<std::array<EdgeLink, 4>, kNumFaces> t;
+    for (int f = 0; f < kNumFaces; ++f) {
+      for (int e = 0; e < 4; ++e) t[f][e] = discover(f, static_cast<Edge>(e));
+    }
+    return t;
+  }();
+  return table[tile][edge];
+}
+
+}  // namespace
+
+std::optional<CellAddr> resolve_cell(int tile, int i, int j, int n) {
+  CY_REQUIRE(n > 0);
+  const bool i_out = i < 0 || i >= n;
+  const bool j_out = j < 0 || j >= n;
+  if (!i_out && !j_out) return CellAddr{tile, i, j};
+  if (i_out && j_out) return std::nullopt;  // cube-corner diagonal: no owner
+
+  Edge edge;
+  int depth, tang;
+  if (i < 0) {
+    edge = kWest;
+    depth = -1 - i;
+    tang = j;
+  } else if (i >= n) {
+    edge = kEast;
+    depth = i - n;
+    tang = j;
+  } else if (j < 0) {
+    edge = kSouth;
+    depth = -1 - j;
+    tang = i;
+  } else {
+    edge = kNorth;
+    depth = j - n;
+    tang = i;
+  }
+  if (depth >= n) return std::nullopt;  // reaches past the neighbor tile
+
+  const EdgeLink& link = edge_link(tile, edge);
+  const int t = link.reversed ? n - 1 - tang : tang;
+  switch (link.nbr_edge) {
+    case kWest: return CellAddr{link.nbr_tile, depth, t};
+    case kEast: return CellAddr{link.nbr_tile, n - 1 - depth, t};
+    case kSouth: return CellAddr{link.nbr_tile, t, depth};
+    case kNorth: return CellAddr{link.nbr_tile, t, n - 1 - depth};
+  }
+  return std::nullopt;
+}
+
+std::array<double, 3> cell_center_xyz(int tile, double icell, double jcell, int n) {
+  const double a = (icell + 0.5) * 2.0 / n - 1.0;
+  const double b = (jcell + 0.5) * 2.0 / n - 1.0;
+  auto p = face_to_xyz(tile, a, b);
+  const double norm = std::sqrt(p[0] * p[0] + p[1] * p[1] + p[2] * p[2]);
+  return {p[0] / norm, p[1] / norm, p[2] / norm};
+}
+
+LatLon cell_center_latlon(int tile, double icell, double jcell, int n) {
+  const auto p = cell_center_xyz(tile, icell, jcell, n);
+  return {std::asin(p[2]), std::atan2(p[1], p[0])};
+}
+
+std::array<double, 4> halo_vector_transform(int dest_tile, int i, int j, int n) {
+  // The transform is the *index-level* Jacobian of the resolve mapping,
+  // exactly as FV3 identifies wind components across tile edges: moving one
+  // cell along the destination's i axis moves (di'/di, dj'/di) cells in the
+  // source's index space, so the source components project onto the
+  // destination axes with that (integer, signed-permutation) matrix. This is
+  // exact by construction, unlike geometric tangent comparisons which become
+  // ambiguous near cube corners.
+  const auto c0 = resolve_cell(dest_tile, i, j, n);
+  if (!c0 || c0->tile == dest_tile) return {1, 0, 0, 1};
+
+  auto derivative = [&](int di, int dj) -> std::array<int, 2> {
+    auto step = resolve_cell(dest_tile, i + di, j + dj, n);
+    int sign = 1;
+    if (!step || step->tile != c0->tile) {
+      step = resolve_cell(dest_tile, i - di, j - dj, n);
+      sign = -1;
+      CY_ENSURE_MSG(step && step->tile == c0->tile,
+                    "cannot form index derivative for halo vector transform");
+    }
+    return {sign * (step->i - c0->i), sign * (step->j - c0->j)};
+  };
+
+  const auto d_i = derivative(1, 0);  // source index motion per dest +i
+  const auto d_j = derivative(0, 1);  // source index motion per dest +j
+  // u_dest = (di'/di) u_src + (dj'/di) v_src ; v_dest likewise along j.
+  return {static_cast<double>(d_i[0]), static_cast<double>(d_i[1]),
+          static_cast<double>(d_j[0]), static_cast<double>(d_j[1])};
+}
+
+}  // namespace cyclone::grid

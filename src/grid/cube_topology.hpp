@@ -1,0 +1,63 @@
+#pragma once
+
+#include <array>
+#include <optional>
+
+namespace cyclone::grid {
+
+/// Identifies one of the 6 cubed-sphere faces (tiles).
+/// Layout: 0..3 form the equatorial ring (+X, +Y, -X, -Y), 4 is the north
+/// (+Z) and 5 the south (-Z) polar face.
+constexpr int kNumFaces = 6;
+
+/// Map face-local coordinates (a, b) in [-1, 1]^2 to a point on the cube
+/// surface (not normalized). The parameterization is the equidistant
+/// gnomonic mapping (see DESIGN.md for the substitution note vs. FV3's
+/// equal-edge gnomonic grid — topology and orientation handling are
+/// identical, only the point spacing differs slightly).
+std::array<double, 3> face_to_xyz(int face, double a, double b);
+
+/// Which face owns direction `p` (dominant axis), and its local (a, b).
+struct FacePoint {
+  int face;
+  double a;
+  double b;
+};
+FacePoint xyz_to_face(const std::array<double, 3>& p);
+
+/// A global cell address on the cubed sphere: tile + cell indices in
+/// [0, n)^2.
+struct CellAddr {
+  int tile = 0;
+  int i = 0;
+  int j = 0;
+
+  friend bool operator==(const CellAddr&, const CellAddr&) = default;
+};
+
+/// Resolve a possibly out-of-range cell address (halo cell) to the owning
+/// tile's in-range address, following the cube topology. Returns nullopt for
+/// cube-corner diagonal cells, which have no unique owner (FV3 fills these
+/// with its fill_corners routines instead).
+std::optional<CellAddr> resolve_cell(int tile, int i, int j, int n);
+
+/// Latitude/longitude (radians) of the cell *center* (i+0.5, j+0.5)/n.
+struct LatLon {
+  double lat;
+  double lon;
+};
+LatLon cell_center_latlon(int tile, double icell, double jcell, int n);
+
+/// Unit-sphere position of a cell center.
+std::array<double, 3> cell_center_xyz(int tile, double icell, double jcell, int n);
+
+/// Transform for vector components stored at a halo cell: `(i, j)` is an
+/// out-of-range cell of `dest_tile`; the data lives on the owning tile in
+/// *its* local frame. Returns the 2x2 signed permutation M such that
+///   u_dest = M[0]*u_src + M[1]*v_src ;  v_dest = M[2]*u_src + M[3]*v_src.
+/// Computed as the integer Jacobian of the index resolve mapping (paper
+/// Sec. IV-C: halo data "transformed according to the orientation of the
+/// coordinate system of the adjoining faces").
+std::array<double, 4> halo_vector_transform(int dest_tile, int i, int j, int n);
+
+}  // namespace cyclone::grid

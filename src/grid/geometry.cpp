@@ -1,0 +1,100 @@
+#include "grid/geometry.hpp"
+
+#include <cmath>
+
+namespace cyclone::grid {
+
+namespace {
+
+using Vec3 = std::array<double, 3>;
+
+Vec3 sphere_point(int tile, double icell, double jcell, int n) {
+  return cell_center_xyz(tile, icell, jcell, n);
+}
+
+Vec3 sub(const Vec3& a, const Vec3& b) { return {a[0] - b[0], a[1] - b[1], a[2] - b[2]}; }
+Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2], a[0] * b[1] - a[1] * b[0]};
+}
+double norm(const Vec3& a) { return std::sqrt(a[0] * a[0] + a[1] * a[1] + a[2] * a[2]); }
+double dot(const Vec3& a, const Vec3& b) { return a[0] * b[0] + a[1] * b[1] + a[2] * b[2]; }
+
+/// Per-cell metric data computed from the gnomonic mapping.
+struct CellMetric {
+  double lat, lon, area, dx, dy, cosa, sina;
+};
+
+CellMetric metric_at(int tile, double icell, double jcell, int n) {
+  constexpr double kH = 1e-3;  // finite-difference step in cell units
+  const Vec3 p = sphere_point(tile, icell, jcell, n);
+  const Vec3 pi = sphere_point(tile, icell + kH, jcell, n);
+  const Vec3 pj = sphere_point(tile, icell, jcell + kH, n);
+
+  Vec3 ti = sub(pi, p);
+  Vec3 tj = sub(pj, p);
+  // Tangents per unit cell index, scaled to meters.
+  for (auto& c : ti) c *= kEarthRadius / kH;
+  for (auto& c : tj) c *= kEarthRadius / kH;
+
+  CellMetric m;
+  m.lat = std::asin(p[2]);
+  m.lon = std::atan2(p[1], p[0]);
+  m.dx = norm(ti);
+  m.dy = norm(tj);
+  m.area = norm(cross(ti, tj));  // |ti x tj| * (1 cell)^2
+  const double ca = dot(ti, tj) / (m.dx * m.dy);
+  m.cosa = ca;
+  m.sina = std::sqrt(std::max(1.0 - ca * ca, 1e-12));
+  return m;
+}
+
+}  // namespace
+
+GridGeometry GridGeometry::build(const Partitioner& part, int rank, int halo) {
+  GridGeometry g;
+  g.rank_info = part.info(rank);
+  g.halo = halo;
+  const int ni = g.rank_info.ni, nj = g.rank_info.nj;
+  const HaloSpec hs{halo, halo};
+  const FieldShape shape(ni, nj, 1, hs);
+  g.lat = FieldD("lat", shape);
+  g.lon = FieldD("lon", shape);
+  g.area = FieldD("area", shape);
+  g.rarea = FieldD("rarea", shape);
+  g.dx = FieldD("dx", shape);
+  g.dy = FieldD("dy", shape);
+  g.cosa = FieldD("cosa", shape);
+  g.sina = FieldD("sina", shape);
+  g.fcor = FieldD("fcor", shape);
+
+  const int n = part.n();
+  for (int lj = -halo; lj < nj + halo; ++lj) {
+    for (int li = -halo; li < ni + halo; ++li) {
+      const int gi = g.rank_info.i0 + li;
+      const int gj = g.rank_info.j0 + lj;
+      // Use the owning tile's metric for halo cells when one exists so
+      // exchanged data and local metric agree; extend the own mapping at
+      // cube-corner diagonals.
+      int tile = g.rank_info.tile;
+      double ic = gi, jc = gj;
+      if (const auto cell = resolve_cell(g.rank_info.tile, gi, gj, n)) {
+        tile = cell->tile;
+        ic = cell->i;
+        jc = cell->j;
+      }
+      const CellMetric m = metric_at(tile, ic, jc, n);
+      g.lat(li, lj) = m.lat;
+      g.lon(li, lj) = m.lon;
+      g.area(li, lj) = m.area;
+      g.rarea(li, lj) = 1.0 / m.area;
+      g.dx(li, lj) = m.dx;
+      g.dy(li, lj) = m.dy;
+      g.cosa(li, lj) = m.cosa;
+      g.sina(li, lj) = m.sina;
+      g.fcor(li, lj) = 2.0 * kOmega * std::sin(m.lat);
+    }
+  }
+  return g;
+}
+
+}  // namespace cyclone::grid

@@ -1,0 +1,65 @@
+#include "grid/partitioner.hpp"
+
+#include <cmath>
+
+#include "core/util/error.hpp"
+
+namespace cyclone::grid {
+
+Partitioner::Partitioner(int n, int px, int py) : n_(n), px_(px), py_(py) {
+  CY_REQUIRE_MSG(n > 0 && px > 0 && py > 0, "partitioner sizes must be positive");
+  CY_REQUIRE_MSG(n % px == 0 && n % py == 0,
+                 "tile size " << n << " not divisible by " << px << "x" << py);
+  sub_ni_ = n / px;
+  sub_nj_ = n / py;
+}
+
+RankInfo Partitioner::info(int rank) const {
+  CY_REQUIRE_MSG(rank >= 0 && rank < num_ranks(), "rank " << rank << " out of range");
+  RankInfo r;
+  r.rank = rank;
+  const int per_tile = px_ * py_;
+  r.tile = rank / per_tile;
+  const int within = rank % per_tile;
+  r.sub_j = within / px_;
+  r.sub_i = within % px_;
+  r.i0 = r.sub_i * sub_ni_;
+  r.j0 = r.sub_j * sub_nj_;
+  r.ni = sub_ni_;
+  r.nj = sub_nj_;
+  return r;
+}
+
+int Partitioner::owner(int tile, int i, int j) const {
+  CY_REQUIRE(tile >= 0 && tile < kNumFaces && i >= 0 && i < n_ && j >= 0 && j < n_);
+  const int si = i / sub_ni_;
+  const int sj = j / sub_nj_;
+  return tile * px_ * py_ + sj * px_ + si;
+}
+
+std::optional<Partitioner::Resolved> Partitioner::resolve(int rank, int li, int lj) const {
+  const RankInfo me = info(rank);
+  const int gi = me.i0 + li;
+  const int gj = me.j0 + lj;
+  const auto cell = resolve_cell(me.tile, gi, gj, n_);
+  if (!cell) return std::nullopt;
+  const int owner_rank = owner(cell->tile, cell->i, cell->j);
+  const RankInfo oi = info(owner_rank);
+  return Resolved{owner_rank, cell->i - oi.i0, cell->j - oi.j0, cell->tile, cell->i, cell->j};
+}
+
+Partitioner Partitioner::for_ranks(int n, int num_ranks) {
+  CY_REQUIRE_MSG(num_ranks % kNumFaces == 0, "rank count must be a multiple of 6");
+  const int per_tile = num_ranks / kNumFaces;
+  // Pick the most square px x py factorization.
+  int best_px = 1;
+  for (int px = 1; px * px <= per_tile; ++px) {
+    if (per_tile % px == 0 && n % px == 0 && n % (per_tile / px) == 0) best_px = px;
+  }
+  const int py = per_tile / best_px;
+  CY_REQUIRE_MSG(n % best_px == 0 && n % py == 0,
+                 "no valid decomposition of " << n << " cells for " << num_ranks << " ranks");
+  return Partitioner(n, best_px, py);
+}
+
+}  // namespace cyclone::grid

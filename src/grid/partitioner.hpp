@@ -1,0 +1,67 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "grid/cube_topology.hpp"
+
+namespace cyclone::grid {
+
+/// Placement of one rank's subdomain on the cubed sphere.
+struct RankInfo {
+  int rank = 0;
+  int tile = 0;
+  int sub_i = 0;  ///< subdomain column within the tile
+  int sub_j = 0;  ///< subdomain row within the tile
+  int i0 = 0;     ///< global tile index of the first owned column
+  int j0 = 0;
+  int ni = 0;
+  int nj = 0;
+
+  [[nodiscard]] bool owns_tile_edge_w() const { return i0 == 0; }
+  [[nodiscard]] bool owns_tile_edge_s() const { return j0 == 0; }
+};
+
+/// Two-dimensional domain decomposition of the six cubed-sphere tiles, the
+/// "standard partitioner" of the paper (Sec. IV-A): each tile splits into
+/// px x py equal rectangular subdomains; total ranks = 6 * px * py.
+class Partitioner {
+ public:
+  /// `n` = cells per tile side; `px`, `py` = subdomains per tile side.
+  Partitioner(int n, int px, int py);
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] int px() const { return px_; }
+  [[nodiscard]] int py() const { return py_; }
+  [[nodiscard]] int num_ranks() const { return kNumFaces * px_ * py_; }
+
+  [[nodiscard]] RankInfo info(int rank) const;
+
+  /// Rank owning the given in-range global cell of a tile.
+  [[nodiscard]] int owner(int tile, int i, int j) const;
+
+  /// Resolve a rank-local (possibly halo) cell to its owning rank and that
+  /// rank's local cell indices. nullopt for cube-corner diagonals.
+  struct Resolved {
+    int rank;
+    int li;
+    int lj;
+    int tile;
+    int gi;  ///< owning tile global indices
+    int gj;
+  };
+  [[nodiscard]] std::optional<Resolved> resolve(int rank, int li, int lj) const;
+
+  /// Construct a partitioner with approximately square subdomains for a
+  /// given total rank count (must be 6 * px * py for integers px, py).
+  static Partitioner for_ranks(int n, int num_ranks);
+
+ private:
+  int n_;
+  int px_;
+  int py_;
+  int sub_ni_;
+  int sub_nj_;
+};
+
+}  // namespace cyclone::grid

@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dsl/builder.hpp"
+#include "core/exec/interpreter.hpp"
+#include "core/exec/tape.hpp"
+#include "core/util/rng.hpp"
+
+namespace cyclone::exec {
+namespace {
+
+using dsl::E;
+using dsl::FieldVar;
+using dsl::StencilBuilder;
+
+/// Fill a field with reproducible pseudo-random values (halo included).
+void randomize(FieldD& f, uint64_t seed) {
+  Rng rng(seed);
+  f.fill_with([&](int, int, int) { return rng.uniform(0.1, 2.0); });
+}
+
+dsl::StencilFunc laplacian() {
+  StencilBuilder b("lap");
+  auto in = b.field("in");
+  auto out = b.field("out");
+  b.parallel().full().assign(out,
+                             in(-1, 0) + in(1, 0) + in(0, -1) + in(0, 1) - 4.0 * E(in));
+  return b.build();
+}
+
+TEST(RefExecutor, LaplacianValues) {
+  FieldCatalog cat;
+  auto& in = cat.create("in", 4, 4, 2, HaloSpec{1, 1});
+  cat.create("out", 4, 4, 2, HaloSpec{1, 1});
+  in.fill_with([](int i, int j, int k) { return i * i + j * j + 10.0 * k; });
+
+  RefExecutor exec(laplacian());
+  exec.run(cat, LaunchDomain{4, 4, 2});
+
+  // Laplacian of i^2 + j^2 is exactly 4 on this discrete stencil.
+  for (int k = 0; k < 2; ++k)
+    for (int j = 0; j < 4; ++j)
+      for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(cat.at("out")(i, j, k), 4.0);
+}
+
+TEST(RefExecutor, ParamBinding) {
+  StencilBuilder b("scale");
+  auto q = b.field("q");
+  auto f = b.param("factor");
+  b.parallel().full().assign(q, E(q) * E(f));
+
+  FieldCatalog cat;
+  cat.create("q", 3, 3, 1).fill(2.0);
+  StencilArgs args;
+  args.params["factor"] = 2.5;
+  RefExecutor exec(b.build());
+  exec.run(cat, args, LaunchDomain{3, 3, 1});
+  EXPECT_DOUBLE_EQ(cat.at("q")(1, 1, 0), 5.0);
+}
+
+TEST(RefExecutor, MissingParamThrows) {
+  StencilBuilder b("scale");
+  auto q = b.field("q");
+  auto f = b.param("factor");
+  b.parallel().full().assign(q, E(q) * E(f));
+  FieldCatalog cat;
+  cat.create("q", 3, 3, 1);
+  RefExecutor exec(b.build());
+  EXPECT_THROW(exec.run(cat, LaunchDomain{3, 3, 1}), Error);
+}
+
+TEST(RefExecutor, FieldRenamingViaBind) {
+  StencilBuilder b("copy");
+  auto src = b.field("src");
+  auto dst = b.field("dst");
+  b.parallel().full().assign(dst, E(src));
+
+  FieldCatalog cat;
+  cat.create("model_u", 3, 3, 1).fill(7.0);
+  cat.create("scratch", 3, 3, 1);
+  StencilArgs args;
+  args.bind["src"] = "model_u";
+  args.bind["dst"] = "scratch";
+  RefExecutor(b.build()).run(cat, args, LaunchDomain{3, 3, 1});
+  EXPECT_DOUBLE_EQ(cat.at("scratch")(2, 2, 0), 7.0);
+}
+
+TEST(RefExecutor, HaloTooSmallThrows) {
+  FieldCatalog cat;
+  cat.create("in", 4, 4, 1, HaloSpec{0, 0});
+  cat.create("out", 4, 4, 1, HaloSpec{0, 0});
+  RefExecutor exec(laplacian());
+  EXPECT_THROW(exec.run(cat, LaunchDomain{4, 4, 1}), Error);
+}
+
+TEST(RefExecutor, SelfReadUsesPreAssignmentValues) {
+  // q = q[i+1] over the plane must shift values left by one everywhere, not
+  // cascade (value semantics even though execution sweeps i ascending).
+  StencilBuilder b("shift");
+  auto q = b.field("q");
+  b.parallel().full().assign(q, q(1, 0));
+
+  FieldCatalog cat;
+  auto& q_f = cat.create("q", 4, 1, 1, HaloSpec{1, 0});
+  q_f.fill_with([](int i, int, int) { return static_cast<double>(i); });
+  RefExecutor(b.build()).run(cat, LaunchDomain{4, 1, 1});
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(q_f(i, 0, 0), i + 1.0);
+}
+
+TEST(RefExecutor, TemporaryChainWithExtents) {
+  // tmp needs an extended compute domain so out's offset reads see values.
+  StencilBuilder b("chain");
+  auto in = b.field("in");
+  auto out = b.field("out");
+  auto tmp = b.temp("tmp");
+  b.parallel()
+      .full()
+      .assign(tmp, in(-1, 0) + in(1, 0))
+      .assign(out, tmp(-1, 0) + tmp(1, 0));
+
+  FieldCatalog cat;
+  auto& in_f = cat.create("in", 6, 3, 1, HaloSpec{2, 2});
+  cat.create("out", 6, 3, 1, HaloSpec{2, 2});
+  in_f.fill_with([](int i, int, int) { return static_cast<double>(i); });
+  RefExecutor(b.build()).run(cat, LaunchDomain{6, 3, 1});
+  // out = (in[i-2]+in[i]) + (in[i]+in[i+2]) = 4*i
+  for (int i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(cat.at("out")(i, 1, 0), 4.0 * i);
+}
+
+TEST(RefExecutor, ForwardSolverAccumulates) {
+  // a[k] = a[k-1] + inc for k >= 1 builds a running sum down the column.
+  StencilBuilder b("cumsum");
+  auto a = b.field("a");
+  auto inc = b.field("inc");
+  b.forward().interval(dsl::inner_levels(1, 0)).assign(a, a.at_k(-1) + E(inc));
+
+  FieldCatalog cat;
+  auto& a_f = cat.create("a", 2, 2, 5);
+  auto& inc_f = cat.create("inc", 2, 2, 5);
+  a_f.fill(0.0);
+  inc_f.fill(1.0);
+  RefExecutor(b.build()).run(cat, LaunchDomain{2, 2, 5});
+  for (int k = 0; k < 5; ++k) EXPECT_DOUBLE_EQ(a_f(0, 0, k), static_cast<double>(k));
+}
+
+TEST(RefExecutor, BackwardSolverAccumulates) {
+  StencilBuilder b("back");
+  auto a = b.field("a");
+  b.backward().interval(dsl::inner_levels(0, 1)).assign(a, a.at_k(1) + 1.0);
+
+  FieldCatalog cat;
+  auto& a_f = cat.create("a", 2, 2, 5);
+  a_f.fill(0.0);
+  RefExecutor(b.build()).run(cat, LaunchDomain{2, 2, 5});
+  for (int k = 0; k < 5; ++k) EXPECT_DOUBLE_EQ(a_f(0, 0, k), static_cast<double>(4 - k));
+}
+
+TEST(RefExecutor, MultipleIntervals) {
+  StencilBuilder b("intervals");
+  auto q = b.field("q");
+  auto c = b.computation(dsl::IterOrder::Parallel);
+  c.interval(dsl::first_levels(1)).assign(q, 10.0);
+  c.interval(dsl::inner_levels(1, 1)).assign(q, 20.0);
+  c.interval(dsl::last_levels(1)).assign(q, 30.0);
+
+  FieldCatalog cat;
+  cat.create("q", 2, 2, 4).fill(0.0);
+  RefExecutor(b.build()).run(cat, LaunchDomain{2, 2, 4});
+  EXPECT_DOUBLE_EQ(cat.at("q")(0, 0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(cat.at("q")(0, 0, 1), 20.0);
+  EXPECT_DOUBLE_EQ(cat.at("q")(0, 0, 2), 20.0);
+  EXPECT_DOUBLE_EQ(cat.at("q")(0, 0, 3), 30.0);
+}
+
+TEST(RefExecutor, RegionRestrictsWrites) {
+  StencilBuilder b("edge");
+  auto q = b.field("q");
+  b.parallel().full().assign_in(dsl::region_j_start(1), q, 99.0);
+
+  FieldCatalog cat;
+  cat.create("q", 4, 4, 1).fill(0.0);
+  RefExecutor(b.build()).run(cat, LaunchDomain{4, 4, 1});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(cat.at("q")(i, 0, 0), 99.0);
+    EXPECT_DOUBLE_EQ(cat.at("q")(i, 1, 0), 0.0);
+  }
+}
+
+TEST(RefExecutor, RegionUsesGlobalPlacement) {
+  // The same stencil on a subdomain NOT containing the tile's j-start edge
+  // must not write anything (paper Sec. IV-B: regions are global).
+  StencilBuilder b("edge");
+  auto q = b.field("q");
+  b.parallel().full().assign_in(dsl::region_j_start(1), q, 99.0);
+
+  FieldCatalog cat;
+  cat.create("q", 4, 4, 1).fill(0.0);
+  LaunchDomain dom{4, 4, 1};
+  dom.gj0 = 4;  // this subdomain starts at global j=4
+  dom.gni = 8;
+  dom.gnj = 8;
+  RefExecutor(b.build()).run(cat, dom);
+  for (int j = 0; j < 4; ++j)
+    for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(cat.at("q")(i, j, 0), 0.0);
+
+  // ...and a subdomain containing the j-end edge applies a j_end region.
+  StencilBuilder b2("edge2");
+  auto q2 = b2.field("q");
+  b2.parallel().full().assign_in(dsl::region_j_end(1), q2, 55.0);
+  LaunchDomain dom2{4, 4, 1};
+  dom2.gj0 = 4;
+  dom2.gni = 8;
+  dom2.gnj = 8;
+  RefExecutor(b2.build()).run(cat, dom2);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(cat.at("q")(i, 3, 0), 55.0);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(cat.at("q")(i, 2, 0), 0.0);
+}
+
+TEST(RefExecutor, SequentialStatementsSeeUpdates) {
+  StencilBuilder b("seq");
+  auto a = b.field("a");
+  auto c = b.field("c");
+  b.parallel().full().assign(a, 3.0).assign(c, E(a) * 2.0);
+  FieldCatalog cat;
+  cat.create("a", 2, 2, 1).fill(0.0);
+  cat.create("c", 2, 2, 1).fill(0.0);
+  RefExecutor(b.build()).run(cat, LaunchDomain{2, 2, 1});
+  EXPECT_DOUBLE_EQ(cat.at("c")(0, 0, 0), 6.0);
+}
+
+// --- Tape executor: must agree with the reference interpreter -------------
+
+class TapeVsRef : public ::testing::TestWithParam<int> {};
+
+dsl::StencilFunc random_ish_stencil(int variant) {
+  StencilBuilder b("var" + std::to_string(variant));
+  auto in = b.field("in");
+  auto out = b.field("out");
+  auto w = b.field("w");
+  auto dt = b.param("dt");
+  switch (variant) {
+    case 0:
+      b.parallel().full().assign(out, in(-1, 0) * 0.25 + in(1, 0) * 0.75 - E(dt));
+      break;
+    case 1: {
+      auto tmp = b.temp("tmp");
+      b.parallel()
+          .full()
+          .assign(tmp, dsl::max(E(in), E(w)) - dsl::min(E(in), E(w)))
+          .assign(out, tmp(0, -1) + tmp(0, 1) * E(dt));
+      break;
+    }
+    case 2:
+      b.parallel().full().assign(out, dsl::select(E(in) > E(w), sqrt(dsl::abs(E(in))),
+                                                  pow(E(w), 2.0)));
+      break;
+    case 3: {
+      b.forward()
+          .interval(dsl::first_levels(1))
+          .assign(out, E(in));
+      b.forward()
+          .interval(dsl::inner_levels(1, 0))
+          .assign(out, out.at_k(-1) * 0.5 + E(in) * E(dt));
+      break;
+    }
+    case 4: {
+      b.backward().interval(dsl::last_levels(1)).assign(out, E(w));
+      b.backward()
+          .interval(dsl::inner_levels(0, 1))
+          .assign(out, out.at_k(1) * 0.9 + in(1, 1) * 0.1);
+      break;
+    }
+    case 5:
+      b.parallel().full().assign_in(dsl::region_i_start(2), out, E(in) * 5.0).assign(
+          out, E(out) + exp(E(w) * 0.01));
+      break;
+    default:
+      b.parallel().full().assign(out, log(E(in) + 1.5) + sin(E(w)) * cos(E(in)));
+      break;
+  }
+  return b.build();
+}
+
+TEST_P(TapeVsRef, AgreesWithReference) {
+  const auto stencil = random_ish_stencil(GetParam());
+
+  auto make_cat = [](FieldCatalog& cat) {
+    auto& in = cat.create("in", 7, 6, 5, HaloSpec{2, 2});
+    auto& w = cat.create("w", 7, 6, 5, HaloSpec{2, 2});
+    auto& out = cat.create("out", 7, 6, 5, HaloSpec{2, 2});
+    randomize(in, 11);
+    randomize(w, 22);
+    randomize(out, 33);
+  };
+
+  FieldCatalog ref_cat, tape_cat;
+  make_cat(ref_cat);
+  make_cat(tape_cat);
+
+  StencilArgs args;
+  args.params["dt"] = 0.125;
+  const LaunchDomain dom{7, 6, 5};
+
+  RefExecutor(stencil).run(ref_cat, args, dom);
+  CompiledStencil(stencil).run(tape_cat, args, dom);
+
+  EXPECT_EQ(FieldD::max_abs_diff(ref_cat.at("out"), tape_cat.at("out")), 0.0)
+      << "variant " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, TapeVsRef, ::testing::Range(0, 7));
+
+TEST(Tape, CompiledLaplacianMatchesClosedForm) {
+  FieldCatalog cat;
+  auto& in = cat.create("in", 8, 8, 3, HaloSpec{1, 1});
+  cat.create("out", 8, 8, 3, HaloSpec{1, 1});
+  in.fill_with([](int i, int j, int k) { return i * i + j * j + 5.0 * k; });
+  CompiledStencil cs(laplacian());
+  cs.run(cat, LaunchDomain{8, 8, 3});
+  for (int k = 0; k < 3; ++k)
+    for (int j = 0; j < 8; ++j)
+      for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(cat.at("out")(i, j, k), 4.0);
+}
+
+TEST(Tape, SlotAndParamInterning) {
+  StencilBuilder b("s");
+  auto in = b.field("in");
+  auto out = b.field("out");
+  auto dt = b.param("dt");
+  b.parallel().full().assign(out, E(in) * E(dt) + E(in));
+  CompiledStencil cs(b.build());
+  EXPECT_EQ(cs.slot_names().size(), 2u);
+  EXPECT_EQ(cs.param_names().size(), 1u);
+}
+
+TEST(Tape, RunIsRepeatable) {
+  StencilBuilder b("inc");
+  auto q = b.field("q");
+  b.parallel().full().assign(q, E(q) + 1.0);
+  CompiledStencil cs(b.build());
+  FieldCatalog cat;
+  cat.create("q", 3, 3, 2).fill(0.0);
+  for (int rep = 0; rep < 5; ++rep) cs.run(cat, LaunchDomain{3, 3, 2});
+  EXPECT_DOUBLE_EQ(cat.at("q")(1, 1, 1), 5.0);
+}
+
+TEST(Tape, DifferentLayoutsSameResult) {
+  for (auto layout : {Layout::KJI, Layout::IJK, Layout::KIJ, Layout::JKI}) {
+    FieldCatalog cat;
+    auto& in = cat.create("in", FieldShape(5, 5, 4, HaloSpec{1, 1}, layout));
+    cat.create("out", FieldShape(5, 5, 4, HaloSpec{1, 1}, layout));
+    randomize(in, 77);
+    CompiledStencil(laplacian()).run(cat, LaunchDomain{5, 5, 4});
+
+    FieldCatalog ref;
+    auto& rin = ref.create("in", 5, 5, 4, HaloSpec{1, 1});
+    ref.create("out", 5, 5, 4, HaloSpec{1, 1});
+    randomize(rin, 77);
+    RefExecutor(laplacian()).run(ref, LaunchDomain{5, 5, 4});
+
+    EXPECT_EQ(FieldD::max_abs_diff(cat.at("out"), ref.at("out")), 0.0)
+        << layout_name(layout);
+  }
+}
+
+}  // namespace
+}  // namespace cyclone::exec

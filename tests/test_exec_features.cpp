@@ -1,0 +1,171 @@
+// Focused tests for the executor features the FV3 port depends on: per-call
+// extended compute domains (DomainExt), single-level (2-D) field broadcast,
+// interface-field interval clipping, and temporary pooling.
+
+#include <gtest/gtest.h>
+
+#include "core/dsl/builder.hpp"
+#include "core/exec/interpreter.hpp"
+#include "core/exec/tape.hpp"
+#include "core/util/rng.hpp"
+
+namespace cyclone::exec {
+namespace {
+
+using dsl::E;
+using dsl::StencilBuilder;
+
+TEST(DomainExt, ExtendsApplyRectangleAllSides) {
+  StencilBuilder b("mark");
+  auto q = b.field("q");
+  b.parallel().full().assign(q, 1.0);
+
+  FieldCatalog cat;
+  cat.create("q", 6, 6, 2, HaloSpec{3, 3}).fill(0.0);
+  LaunchDomain dom{6, 6, 2};
+  dom.ext = DomainExt{2, 1, 0, 3};
+  CompiledStencil(b.build()).run(cat, dom);
+
+  EXPECT_EQ(cat.at("q")(-2, 0, 0), 1.0);   // ilo extension
+  EXPECT_EQ(cat.at("q")(-3, 0, 0), 0.0);   // beyond it
+  EXPECT_EQ(cat.at("q")(6, 0, 0), 1.0);    // ihi extension
+  EXPECT_EQ(cat.at("q")(7, 0, 0), 0.0);
+  EXPECT_EQ(cat.at("q")(0, -1, 0), 0.0);   // jlo not extended
+  EXPECT_EQ(cat.at("q")(0, 8, 1), 1.0);    // jhi extension
+}
+
+TEST(DomainExt, RegionsStillResolveAgainstTrueTileEdges) {
+  StencilBuilder b("edge");
+  auto q = b.field("q");
+  b.parallel().full().assign_in(dsl::region_i_end(1), q, 9.0);
+
+  FieldCatalog cat;
+  cat.create("q", 6, 6, 1, HaloSpec{3, 3}).fill(0.0);
+  LaunchDomain dom{6, 6, 1};
+  dom.gni = 6;
+  dom.gnj = 6;
+  dom.ext = DomainExt{0, 2, 0, 0};
+  CompiledStencil(b.build()).run(cat, dom);
+  // The region is the global row i = 5, not the extended rows 6-7.
+  EXPECT_EQ(cat.at("q")(5, 2, 0), 9.0);
+  EXPECT_EQ(cat.at("q")(6, 2, 0), 0.0);
+  EXPECT_EQ(cat.at("q")(7, 2, 0), 0.0);
+}
+
+TEST(DomainExt, TempsCoverExtendedRect) {
+  // A temp consumed at an offset, on an extended launch: its allocation
+  // must grow with the extension or writes would run out of bounds.
+  StencilBuilder b("chain");
+  auto in = b.field("in");
+  auto out = b.field("out");
+  auto tmp = b.temp("tmp");
+  b.parallel().full().assign(tmp, in(-1, 0) + in(1, 0)).assign(out, tmp(-1, 0) + tmp(1, 0));
+
+  FieldCatalog cat;
+  auto& in_f = cat.create("in", 8, 8, 2, HaloSpec{3, 3});
+  cat.create("out", 8, 8, 2, HaloSpec{3, 3});
+  in_f.fill_with([](int i, int, int) { return static_cast<double>(i); });
+  LaunchDomain dom{8, 8, 2};
+  dom.ext = DomainExt{1, 1, 1, 1};
+  CompiledStencil(b.build()).run(cat, dom);
+  for (int i = -1; i < 9; ++i) EXPECT_DOUBLE_EQ(cat.at("out")(i, 4, 1), 4.0 * i);
+}
+
+TEST(Broadcast, TwoDFieldReadAtAllLevels) {
+  StencilBuilder b("scale_by_2d");
+  auto q = b.field("q");
+  auto f2d = b.field("f2d");
+  b.parallel().full().assign(q, E(q) * E(f2d));
+
+  FieldCatalog cat;
+  cat.create("q", 4, 4, 5).fill(2.0);
+  cat.create("f2d", 4, 4, 1).fill_with([](int i, int j, int) { return i + 10.0 * j; });
+  CompiledStencil(b.build()).run(cat, LaunchDomain{4, 4, 5});
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_DOUBLE_EQ(cat.at("q")(2, 3, k), 2.0 * (2 + 30));
+  }
+}
+
+TEST(Broadcast, TwoDFieldWrittenFromAnyLevelInterval) {
+  // Writing a 2-D field inside a 3-D launch lands on the single plane
+  // (GT4Py IJ-field semantics); the surviving value is the last level's.
+  StencilBuilder b("collapse");
+  auto ps = b.field("ps");
+  auto pe = b.field("pe");
+  b.parallel().interval(dsl::last_levels(1)).assign(ps, E(pe));
+
+  FieldCatalog cat;
+  cat.create("ps", 3, 3, 1);
+  cat.create("pe", 3, 3, 6).fill_with([](int, int, int k) { return 100.0 * k; });
+  CompiledStencil(b.build()).run(cat, LaunchDomain{3, 3, 6});
+  EXPECT_DOUBLE_EQ(cat.at("ps")(1, 1, 0), 500.0);
+}
+
+TEST(Broadcast, RefAndTapeAgree) {
+  StencilBuilder b("mix");
+  auto q = b.field("q");
+  auto m = b.field("metric");
+  b.parallel().full().assign(q, E(q) + m(1, 0) - m(-1, 0));
+
+  auto make = [](FieldCatalog& cat) {
+    Rng rng(3);
+    cat.create("q", 6, 5, 4, HaloSpec{1, 1}).fill(1.0);
+    cat.create("metric", 6, 5, 1, HaloSpec{1, 1})
+        .fill_with([&](int, int, int) { return rng.uniform(0, 1); });
+  };
+  FieldCatalog a, c;
+  make(a);
+  make(c);
+  CompiledStencil(b.build()).run(a, LaunchDomain{6, 5, 4});
+  RefExecutor(b.build()).run(c, LaunchDomain{6, 5, 4});
+  EXPECT_EQ(FieldD::max_abs_diff(a.at("q"), c.at("q")), 0.0);
+}
+
+TEST(InterfaceFields, IntervalBeyondDomainClipsToAllocation) {
+  // interval [1, nk+1) writes the nk+1-level field's last level; a center
+  // field in the same launch is untouched beyond its nk levels.
+  StencilBuilder b("iface");
+  auto pe = b.field("pe");
+  auto delp = b.field("delp");
+  b.forward()
+      .interval(dsl::make_interval(dsl::KBound{1, false}, dsl::KBound{1, true}))
+      .assign(pe, pe.at_k(-1) + delp.at_k(-1));
+
+  FieldCatalog cat;
+  cat.create("pe", 4, 4, 6).fill(0.0);
+  cat.create("delp", 4, 4, 5).fill(10.0);
+  cat.at("pe")(1, 1, 0) = 100.0;
+  CompiledStencil(b.build()).run(cat, LaunchDomain{4, 4, 5});
+  EXPECT_DOUBLE_EQ(cat.at("pe")(1, 1, 5), 150.0);  // level nk written
+}
+
+TEST(TempPooling, RepeatedRunsReuseAndStayCorrect) {
+  StencilBuilder b("sum3");
+  auto in = b.field("in");
+  auto out = b.field("out");
+  auto tmp = b.temp("tmp");
+  b.parallel().full().assign(tmp, E(in) * 2.0).assign(out, tmp(-1, 0) + tmp(1, 0));
+
+  CompiledStencil cs(b.build());
+  FieldCatalog cat;
+  auto& in_f = cat.create("in", 8, 8, 3, HaloSpec{2, 2});
+  cat.create("out", 8, 8, 3, HaloSpec{2, 2});
+  in_f.fill_with([](int i, int, int) { return static_cast<double>(i); });
+
+  FieldD first("first", 8, 8, 3, HaloSpec{2, 2});
+  cs.run(cat, LaunchDomain{8, 8, 3});
+  first.copy_from(cat.at("out"));
+  for (int rep = 0; rep < 4; ++rep) cs.run(cat, LaunchDomain{8, 8, 3});
+  EXPECT_EQ(FieldD::max_abs_diff(first, cat.at("out")), 0.0);
+
+  // A geometry change rebuilds the pool rather than corrupting it.
+  FieldCatalog small;
+  auto& sin_f = small.create("in", 4, 4, 2, HaloSpec{2, 2});
+  small.create("out", 4, 4, 2, HaloSpec{2, 2});
+  sin_f.fill(1.0);
+  cs.run(small, LaunchDomain{4, 4, 2});
+  EXPECT_DOUBLE_EQ(small.at("out")(1, 1, 1), 4.0);
+}
+
+}  // namespace
+}  // namespace cyclone::exec

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "core/field/catalog.hpp"
+#include "core/field/field.hpp"
+
+namespace cyclone {
+namespace {
+
+TEST(FieldShape, BasicDims) {
+  FieldShape s(10, 20, 30, HaloSpec{3, 2});
+  EXPECT_EQ(s.ni(), 10);
+  EXPECT_EQ(s.ext_i(), 16);
+  EXPECT_EQ(s.ext_j(), 24);
+  EXPECT_EQ(s.ext_k(), 30);
+  EXPECT_GE(s.alloc_elems(), s.volume_with_halo());
+}
+
+TEST(FieldShape, KjiLayoutHasUnitIStride) {
+  FieldShape s(8, 8, 8, HaloSpec{1, 1}, Layout::KJI);
+  EXPECT_EQ(s.stride_i(), 1);
+  EXPECT_GT(s.stride_j(), s.stride_i());
+  EXPECT_GT(s.stride_k(), s.stride_j());
+}
+
+TEST(FieldShape, IjkLayoutHasUnitKStride) {
+  FieldShape s(8, 8, 8, HaloSpec{1, 1}, Layout::IJK);
+  EXPECT_EQ(s.stride_k(), 1);
+  EXPECT_GT(s.stride_j(), s.stride_k());
+  EXPECT_GT(s.stride_i(), s.stride_j());
+}
+
+TEST(FieldShape, OriginIsAligned) {
+  // Fig. 8 of the paper: the first non-halo element must be aligned.
+  for (int align : {1, 2, 4, 8, 16}) {
+    for (auto layout : {Layout::KJI, Layout::IJK, Layout::KIJ}) {
+      FieldShape s(13, 7, 5, HaloSpec{3, 3}, layout, align);
+      EXPECT_EQ(s.origin_offset() % static_cast<size_t>(align), 0u)
+          << "align=" << align << " layout=" << layout_name(layout);
+    }
+  }
+}
+
+TEST(FieldShape, RowsAlignedViaStridePadding) {
+  FieldShape s(13, 7, 5, HaloSpec{3, 3}, Layout::KJI, 8);
+  // With the fastest (i) extent padded to a multiple of 8, consecutive j
+  // rows keep the same alignment class.
+  EXPECT_EQ(s.stride_j() % 8, 0);
+}
+
+TEST(FieldShape, IndexDistinctWithinBounds) {
+  FieldShape s(4, 3, 2, HaloSpec{1, 1});
+  std::set<size_t> seen;
+  for (int k = 0; k < 2; ++k)
+    for (int j = -1; j < 4; ++j)
+      for (int i = -1; i < 5; ++i) EXPECT_TRUE(seen.insert(s.index(i, j, k)).second);
+  for (size_t idx : seen) EXPECT_LT(idx, s.alloc_elems());
+}
+
+TEST(FieldShape, RejectsBadArgs) {
+  EXPECT_THROW(FieldShape(0, 1, 1), Error);
+  EXPECT_THROW(FieldShape(1, 1, 1, HaloSpec{-1, 0}), Error);
+  EXPECT_THROW(FieldShape(1, 1, 1, HaloSpec{}, Layout::KJI, 0), Error);
+}
+
+TEST(Field3D, ReadWriteRoundTrip) {
+  FieldD f("q", 5, 4, 3, HaloSpec{2, 2});
+  f(0, 0, 0) = 1.5;
+  f(-2, -2, 0) = 2.5;
+  f(4, 3, 2) = 3.5;
+  f(6, 5, 2) = 4.5;  // far halo corner
+  EXPECT_EQ(f(0, 0, 0), 1.5);
+  EXPECT_EQ(f(-2, -2, 0), 2.5);
+  EXPECT_EQ(f(4, 3, 2), 3.5);
+  EXPECT_EQ(f(6, 5, 2), 4.5);
+}
+
+TEST(Field3D, FillWithCoversHalo) {
+  FieldD f("q", 3, 3, 2, HaloSpec{1, 1});
+  f.fill_with([](int i, int j, int k) { return 100.0 * i + 10.0 * j + k; });
+  EXPECT_EQ(f(-1, -1, 0), -110.0);
+  EXPECT_EQ(f(3, 3, 1), 331.0);
+}
+
+TEST(Field3D, LayoutDoesNotChangeLogicalValues) {
+  auto fill = [](FieldD& f) {
+    f.fill_with([](int i, int j, int k) { return i + 1000.0 * j + 1e6 * k; });
+  };
+  FieldD a("a", 6, 5, 4, HaloSpec{2, 2}, Layout::KJI);
+  FieldD b("b", 6, 5, 4, HaloSpec{2, 2}, Layout::IJK);
+  fill(a);
+  fill(b);
+  for (int k = 0; k < 4; ++k)
+    for (int j = -2; j < 7; ++j)
+      for (int i = -2; i < 8; ++i) EXPECT_EQ(a(i, j, k), b(i, j, k));
+}
+
+TEST(Field3D, MaxAbsDiff) {
+  FieldD a("a", 4, 4, 2), b("b", 4, 4, 2);
+  a.fill(1.0);
+  b.fill(1.0);
+  EXPECT_EQ(FieldD::max_abs_diff(a, b), 0.0);
+  b(2, 3, 1) = 4.0;
+  EXPECT_EQ(FieldD::max_abs_diff(a, b), 3.0);
+}
+
+TEST(Field3D, MaxAbsDiffIgnoresHaloByDefault) {
+  FieldD a("a", 4, 4, 2, HaloSpec{1, 1}), b("b", 4, 4, 2, HaloSpec{1, 1});
+  a.fill(0.0);
+  b.fill(0.0);
+  b(-1, 0, 0) = 9.0;
+  EXPECT_EQ(FieldD::max_abs_diff(a, b), 0.0);
+  EXPECT_EQ(FieldD::max_abs_diff(a, b, /*include_halo=*/true), 9.0);
+}
+
+TEST(Field3D, CopyFromRequiresSameShape) {
+  FieldD a("a", 4, 4, 2), b("b", 4, 4, 2), c("c", 5, 4, 2);
+  b.fill(7.0);
+  a.copy_from(b);
+  EXPECT_EQ(a(1, 1, 1), 7.0);
+  EXPECT_THROW(a.copy_from(c), Error);
+}
+
+#ifdef CYCLONE_BOUNDS_CHECK
+TEST(Field3D, BoundsCheckCatchesOverrun) {
+  FieldD f("q", 3, 3, 2, HaloSpec{1, 1});
+  EXPECT_THROW((void)f(5, 0, 0), Error);
+  EXPECT_THROW((void)f(0, 0, 2), Error);
+  EXPECT_THROW((void)f(0, -2, 0), Error);
+}
+#endif
+
+TEST(FieldCatalog, CreateAndLookup) {
+  FieldCatalog cat;
+  cat.create("u", 4, 4, 3);
+  EXPECT_TRUE(cat.contains("u"));
+  EXPECT_FALSE(cat.contains("v"));
+  cat.at("u")(0, 0, 0) = 2.0;
+  EXPECT_EQ(cat.at("u")(0, 0, 0), 2.0);
+  EXPECT_THROW((void)cat.at("v"), Error);
+}
+
+TEST(FieldCatalog, AliasBindsExternalField) {
+  FieldCatalog cat;
+  FieldD external("state_u", 4, 4, 3);
+  external(1, 1, 1) = 5.0;
+  cat.alias("u", external);
+  EXPECT_EQ(cat.at("u")(1, 1, 1), 5.0);
+  cat.at("u")(1, 1, 1) = 6.0;
+  EXPECT_EQ(external(1, 1, 1), 6.0);
+}
+
+TEST(FieldCatalog, OwnedBytesExcludesAliases) {
+  FieldCatalog cat;
+  cat.create("a", 4, 4, 4, HaloSpec{0, 0});
+  const size_t bytes_one = cat.owned_bytes();
+  EXPECT_GE(bytes_one, 4u * 4u * 4u * sizeof(double));
+  FieldD ext("x", 100, 100, 10);
+  cat.alias("x", ext);
+  EXPECT_EQ(cat.owned_bytes(), bytes_one);
+}
+
+TEST(FieldCatalog, RemoveErasesBoth) {
+  FieldCatalog cat;
+  cat.create("a", 2, 2, 1);
+  cat.remove("a");
+  EXPECT_FALSE(cat.contains("a"));
+}
+
+}  // namespace
+}  // namespace cyclone

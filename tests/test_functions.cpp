@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dsl/builder.hpp"
+#include "core/exec/tape.hpp"
+#include "fv3/stencils/functions.hpp"
+
+namespace cyclone::fv3 {
+namespace {
+
+using dsl::E;
+using dsl::StencilBuilder;
+
+/// Evaluate a one-statement stencil built from a function expression.
+double eval_fn(const std::function<E(StencilBuilder&)>& make, const FieldCatalog& inputs,
+               int i = 2, int j = 2, int k = 0) {
+  StencilBuilder b("probe");
+  const E rhs = make(b);
+  auto out = b.field("probe_out");
+  b.parallel().full().assign(out, rhs);
+
+  FieldCatalog cat;
+  for (const auto& name : inputs.names()) {
+    cat.create(name, inputs.at(name).shape()).copy_from(inputs.at(name));
+  }
+  cat.create("probe_out", 6, 6, 2, HaloSpec{2, 2});
+  exec::CompiledStencil(b.build()).run(cat, exec::LaunchDomain{6, 6, 2});
+  return cat.at("probe_out")(i, j, k);
+}
+
+FieldCatalog linear_inputs() {
+  FieldCatalog cat;
+  cat.create("f", 6, 6, 2, HaloSpec{2, 2}).fill_with([](int i, int j, int k) {
+    return 3.0 * i - 2.0 * j + 0.5 * k;
+  });
+  cat.create("rdx", 6, 6, 1, HaloSpec{2, 2}).fill(0.25);
+  cat.create("rdy", 6, 6, 1, HaloSpec{2, 2}).fill(0.5);
+  return cat;
+}
+
+TEST(Functions, GradientsOfLinearFieldAreExact) {
+  const FieldCatalog in = linear_inputs();
+  EXPECT_DOUBLE_EQ(eval_fn([](StencilBuilder& b) { return fn::grad_x(b.field("f"), b.field("rdx")); }, in),
+                   3.0 * 0.25);
+  EXPECT_DOUBLE_EQ(eval_fn([](StencilBuilder& b) { return fn::grad_y(b.field("f"), b.field("rdy")); }, in),
+                   -2.0 * 0.5);
+}
+
+TEST(Functions, LaplacianOfLinearFieldIsZero) {
+  const FieldCatalog in = linear_inputs();
+  EXPECT_NEAR(eval_fn([](StencilBuilder& b) {
+                return fn::laplacian(b.field("f"), b.field("rdx"), b.field("rdy"));
+              }, in),
+              0.0, 1e-12);
+}
+
+TEST(Functions, FaceAverages) {
+  const FieldCatalog in = linear_inputs();
+  // avg_x at i=2 of f=3i-2j: (f(1)+f(2))/2 = 3*1.5 - 2j.
+  EXPECT_DOUBLE_EQ(eval_fn([](StencilBuilder& b) { return fn::avg_x(b.field("f")); }, in),
+                   3.0 * 1.5 - 2.0 * 2);
+  EXPECT_DOUBLE_EQ(eval_fn([](StencilBuilder& b) { return fn::avg_y(b.field("f")); }, in),
+                   3.0 * 2 - 2.0 * 1.5);
+}
+
+TEST(Functions, UpwindSelectsDonorSide) {
+  FieldCatalog cat;
+  cat.create("q", 6, 6, 2, HaloSpec{2, 2}).fill_with([](int i, int, int) { return 1.0 * i; });
+  cat.create("cr", 6, 6, 2, HaloSpec{2, 2}).fill(0.7);
+  EXPECT_DOUBLE_EQ(eval_fn([](StencilBuilder& b) { return fn::upwind_x(b.field("q"), b.field("cr")); }, cat),
+                   1.0);  // donor is i-1
+  cat.at("cr").fill(-0.7);
+  EXPECT_DOUBLE_EQ(eval_fn([](StencilBuilder& b) { return fn::upwind_x(b.field("q"), b.field("cr")); }, cat),
+                   2.0);  // donor is i
+}
+
+TEST(Functions, SpongeRampClampsAndPeaks) {
+  FieldCatalog cat;
+  cat.create("x", 6, 6, 2, HaloSpec{2, 2});
+  auto probe = [&](double x) {
+    cat.at("x").fill(x);
+    return eval_fn([](StencilBuilder& b) {
+      return fn::sponge_ramp(E(b.field("x")), E(100.0), E(100.0));
+    }, cat);
+  };
+  EXPECT_DOUBLE_EQ(probe(100.0), 0.0);   // at the edge: no damping
+  EXPECT_DOUBLE_EQ(probe(200.0), 0.0);   // beyond: clamped to zero
+  EXPECT_NEAR(probe(0.0), 1.0, 1e-12);   // at the top: full strength
+  EXPECT_NEAR(probe(50.0), std::pow(std::sin(M_PI / 4), 2.0), 1e-12);
+}
+
+TEST(Functions, VorticityDivergenceOfLinearWind) {
+  FieldCatalog cat;
+  cat.create("u", 6, 6, 2, HaloSpec{2, 2}).fill_with([](int i, int j, int) {
+    return 2.0 * i + 1.0 * j;
+  });
+  cat.create("v", 6, 6, 2, HaloSpec{2, 2}).fill_with([](int i, int j, int) {
+    return -1.0 * i + 3.0 * j;
+  });
+  cat.create("rdx", 6, 6, 1, HaloSpec{2, 2}).fill(1.0);
+  cat.create("rdy", 6, 6, 1, HaloSpec{2, 2}).fill(1.0);
+  // zeta = dv/dx - du/dy = -1 - 1 = -2 ; div = du/dx + dv/dy = 2 + 3 = 5.
+  EXPECT_DOUBLE_EQ(eval_fn([](StencilBuilder& b) {
+                     return fn::vorticity(b.field("u"), b.field("v"), b.field("rdx"),
+                                          b.field("rdy"));
+                   }, cat),
+                   -2.0);
+  EXPECT_DOUBLE_EQ(eval_fn([](StencilBuilder& b) {
+                     return fn::divergence(b.field("u"), b.field("v"), b.field("rdx"),
+                                           b.field("rdy"));
+                   }, cat),
+                   5.0);
+  EXPECT_DOUBLE_EQ(eval_fn([](StencilBuilder& b) {
+                     return fn::kinetic_energy(b.field("u"), b.field("v"));
+                   }, cat),
+                   0.5 * (6.0 * 6.0 + 4.0 * 4.0));
+}
+
+TEST(Functions, FluxDivergenceTelescopes) {
+  FieldCatalog cat;
+  cat.create("fx", 6, 6, 2, HaloSpec{2, 2}).fill_with([](int i, int, int) { return 1.0 * i; });
+  cat.create("fy", 6, 6, 2, HaloSpec{2, 2}).fill_with([](int, int j, int) { return 2.0 * j; });
+  // (fx - fx(i+1)) + (fy - fy(j+1)) = -1 - 2 = -3 everywhere.
+  EXPECT_DOUBLE_EQ(eval_fn([](StencilBuilder& b) {
+                     return fn::flux_divergence(b.field("fx"), b.field("fy"));
+                   }, cat),
+                   -3.0);
+}
+
+}  // namespace
+}  // namespace cyclone::fv3

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include "core/dsl/builder.hpp"
+#include "core/ir/expand.hpp"
+#include "core/ir/program.hpp"
+
+namespace cyclone::ir {
+namespace {
+
+using dsl::E;
+using dsl::FieldVar;
+using dsl::StencilBuilder;
+
+dsl::StencilFunc make_increment(const std::string& field, double amount) {
+  StencilBuilder b("inc_" + field);
+  auto q = b.field(field);
+  b.parallel().full().assign(q, E(q) + amount);
+  return b.build();
+}
+
+dsl::StencilFunc make_vertical_cumsum() {
+  StencilBuilder b("cumsum");
+  auto a = b.field("a");
+  b.forward().interval(dsl::inner_levels(1, 0)).assign(a, a.at_k(-1) + E(a));
+  return b.build();
+}
+
+TEST(Program, ExecutesStatesInOrder) {
+  Program p("test");
+  State s1{"first", {SNode::make_stencil("inc1", make_increment("q", 1.0))}};
+  State s2{"second", {SNode::make_stencil("dbl", [] {
+                        StencilBuilder b("dbl");
+                        auto q = b.field("q");
+                        b.parallel().full().assign(q, E(q) * 2.0);
+                        return b.build();
+                      }())}};
+  p.append_state(std::move(s1));
+  p.append_state(std::move(s2));
+
+  FieldCatalog cat;
+  cat.create("q", 2, 2, 1).fill(0.0);
+  p.execute(cat, exec::LaunchDomain{2, 2, 1});
+  EXPECT_DOUBLE_EQ(cat.at("q")(0, 0, 0), 2.0);  // (0 + 1) * 2
+}
+
+TEST(Program, LoopRepeatsBody) {
+  Program p("loop");
+  const int s = p.add_state(State{"body", {SNode::make_stencil("inc", make_increment("q", 1.0))}});
+  p.control_flow().children.push_back(CFNode::loop("it", 5, {CFNode::state_ref(s)}));
+
+  FieldCatalog cat;
+  cat.create("q", 2, 2, 1).fill(0.0);
+  p.execute(cat, exec::LaunchDomain{2, 2, 1});
+  EXPECT_DOUBLE_EQ(cat.at("q")(1, 1, 0), 5.0);
+}
+
+TEST(Program, NestedLoopsMultiply) {
+  Program p("nest");
+  const int s = p.add_state(State{"body", {SNode::make_stencil("inc", make_increment("q", 1.0))}});
+  p.control_flow().children.push_back(
+      CFNode::loop("outer", 3, {CFNode::loop("inner", 4, {CFNode::state_ref(s)})}));
+  EXPECT_EQ(p.state_invocations()[0], 12);
+
+  FieldCatalog cat;
+  cat.create("q", 2, 2, 1).fill(0.0);
+  p.execute(cat, exec::LaunchDomain{2, 2, 1});
+  EXPECT_DOUBLE_EQ(cat.at("q")(0, 0, 0), 12.0);
+}
+
+TEST(Program, CallbackRunsAndSeesFields) {
+  Program p("cb");
+  double observed = -1;
+  State s{"st",
+          {SNode::make_stencil("inc", make_increment("q", 2.5)),
+           SNode::make_callback("observe", [&](FieldCatalog& cat) {
+             observed = cat.at("q")(0, 0, 0);
+           })}};
+  p.append_state(std::move(s));
+  FieldCatalog cat;
+  cat.create("q", 2, 2, 1).fill(0.0);
+  p.execute(cat, exec::LaunchDomain{2, 2, 1});
+  EXPECT_DOUBLE_EQ(observed, 2.5);
+}
+
+TEST(Program, HaloExchangeDispatchesToHandler) {
+  Program p("halo");
+  p.append_state(State{"st", {SNode::make_halo_exchange("hx", {"u", "v"}, 3)}});
+  FieldCatalog cat;
+  std::vector<std::string> seen;
+  int seen_width = 0;
+  bool seen_vector = true;
+  p.execute(cat, exec::LaunchDomain{2, 2, 1},
+            [&](const std::vector<std::string>& fields, int width, bool vector) {
+              seen = fields;
+              seen_width = width;
+              seen_vector = vector;
+            });
+  EXPECT_FALSE(seen_vector);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "u");
+  EXPECT_EQ(seen_width, 3);
+}
+
+TEST(Program, StatsCountNodes) {
+  Program p("stats");
+  State s{"st",
+          {SNode::make_stencil("a", make_increment("q", 1.0)),
+           SNode::make_stencil("b", make_vertical_cumsum()),
+           SNode::make_halo_exchange("hx", {"q"}, 3),
+           SNode::make_callback("cb", [](FieldCatalog&) {})}};
+  const int idx = p.add_state(std::move(s));
+  p.control_flow().children.push_back(CFNode::loop("i", 7, {CFNode::state_ref(idx)}));
+
+  const ProgramStats st = p.stats();
+  EXPECT_EQ(st.states, 1);
+  EXPECT_EQ(st.stencil_nodes, 2);
+  EXPECT_EQ(st.stencil_ops, 2);
+  EXPECT_EQ(st.halo_exchanges, 1);
+  EXPECT_EQ(st.callbacks, 1);
+  EXPECT_EQ(st.max_node_invocations, 7);
+  EXPECT_GT(st.dataflow_nodes, 4);
+}
+
+TEST(Program, ToDotContainsLabels) {
+  Program p("dot");
+  p.append_state(State{"acoustic", {SNode::make_stencil("smag", make_increment("q", 1.0))}});
+  const std::string dot = p.to_dot();
+  EXPECT_NE(dot.find("smag"), std::string::npos);
+  EXPECT_NE(dot.find("acoustic"), std::string::npos);
+}
+
+// ---- Expansion ------------------------------------------------------------
+
+dsl::StencilFunc two_step_pointwise() {
+  StencilBuilder b("two_step");
+  auto in = b.field("in");
+  auto mid = b.field("mid");
+  auto out = b.field("out");
+  b.parallel().full().assign(mid, E(in) * 2.0).assign(out, E(mid) + 1.0);
+  return b.build();
+}
+
+dsl::StencilFunc two_step_offset() {
+  StencilBuilder b("two_step_off");
+  auto in = b.field("in");
+  auto mid = b.field("mid");
+  auto out = b.field("out");
+  b.parallel().full().assign(mid, E(in) * 2.0).assign(out, mid(1, 0) + mid(-1, 0));
+  return b.build();
+}
+
+TEST(Expand, ThreadFusionMergesPointwiseChain) {
+  Program p;
+  SNode fused = SNode::make_stencil("s", two_step_pointwise());
+  fused.schedule.fuse_thread_level = true;
+  SNode unfused = SNode::make_stencil("s", two_step_pointwise());
+  unfused.schedule.fuse_thread_level = false;
+
+  const exec::LaunchDomain dom{16, 16, 8};
+  EXPECT_EQ(expand_node(fused, p, dom, 1).size(), 1u);
+  EXPECT_EQ(expand_node(unfused, p, dom, 1).size(), 2u);
+}
+
+TEST(Expand, HorizontalOffsetDependencySplitsKernels) {
+  Program p;
+  SNode node = SNode::make_stencil("s", two_step_offset());
+  node.schedule.fuse_thread_level = true;
+  const auto kernels = expand_node(node, p, exec::LaunchDomain{16, 16, 8}, 1);
+  EXPECT_EQ(kernels.size(), 2u);  // offset read forces a split
+}
+
+TEST(Expand, PrivateTempCausesNoTraffic) {
+  // "mid" is a temporary consumed pointwise in the same kernel: it must not
+  // appear in the kernel's global field uses.
+  StencilBuilder b("priv");
+  auto in = b.field("in");
+  auto out = b.field("out");
+  auto mid = b.temp("mid");
+  b.parallel().full().assign(mid, E(in) * 2.0).assign(out, E(mid) + 1.0);
+
+  Program p;
+  SNode node = SNode::make_stencil("s", b.build());
+  node.schedule.fuse_thread_level = true;
+  const auto kernels = expand_node(node, p, exec::LaunchDomain{16, 16, 8}, 1);
+  ASSERT_EQ(kernels.size(), 1u);
+  EXPECT_EQ(kernels[0].find_field("mid"), nullptr);
+  EXPECT_NE(kernels[0].find_field("in"), nullptr);
+  EXPECT_NE(kernels[0].find_field("out"), nullptr);
+}
+
+TEST(Expand, NonTempIntermediateStaysGlobal) {
+  Program p;
+  SNode node = SNode::make_stencil("s", two_step_pointwise());
+  node.schedule.fuse_thread_level = true;
+  const auto kernels = expand_node(node, p, exec::LaunchDomain{16, 16, 8}, 1);
+  ASSERT_EQ(kernels.size(), 1u);
+  EXPECT_NE(kernels[0].find_field("mid"), nullptr);  // externally visible
+}
+
+TEST(Expand, VerticalSolverHas2DThreads) {
+  Program p;
+  SNode node = SNode::make_stencil("v", make_vertical_cumsum(), {}, sched::tuned_vertical());
+  const auto kernels = expand_node(node, p, exec::LaunchDomain{32, 16, 80}, 1);
+  ASSERT_EQ(kernels.size(), 1u);
+  EXPECT_EQ(kernels[0].threads, 32 * 16);
+  EXPECT_EQ(kernels[0].order, dsl::IterOrder::Forward);
+}
+
+TEST(Expand, ParallelMappedKHasFullThreads) {
+  Program p;
+  SNode node = SNode::make_stencil("h", make_increment("q", 1.0), {}, sched::tuned_horizontal());
+  const auto kernels = expand_node(node, p, exec::LaunchDomain{32, 16, 80}, 1);
+  ASSERT_EQ(kernels.size(), 1u);
+  EXPECT_EQ(kernels[0].threads, 32L * 16 * 80);
+}
+
+TEST(Expand, RegionSeparateKernelIsSmall) {
+  StencilBuilder b("edge");
+  auto q = b.field("q");
+  b.parallel()
+      .full()
+      .assign(q, E(q) * 1.5)
+      .assign_in(dsl::region_j_start(1), q, E(q) * 2.0);
+
+  Program p;
+  SNode node = SNode::make_stencil("e", b.build());
+  node.schedule.fuse_thread_level = true;
+  node.schedule.region_strategy = sched::RegionStrategy::SeparateKernels;
+  const auto kernels = expand_node(node, p, exec::LaunchDomain{64, 64, 8}, 1);
+  ASSERT_EQ(kernels.size(), 2u);
+  EXPECT_FALSE(kernels[0].is_region_kernel);
+  EXPECT_TRUE(kernels[1].is_region_kernel);
+  EXPECT_EQ(kernels[1].nj, 1);
+  EXPECT_EQ(kernels[1].ni, 64);
+
+  node.schedule.region_strategy = sched::RegionStrategy::Predicated;
+  const auto predicated = expand_node(node, p, exec::LaunchDomain{64, 64, 8}, 1);
+  ASSERT_EQ(predicated.size(), 1u);
+  EXPECT_TRUE(predicated[0].predicated);
+}
+
+TEST(Expand, FieldMetaControlsLevels) {
+  StencilBuilder b("meta");
+  auto p2d = b.field("p2d");
+  auto intf = b.field("intf");
+  b.parallel().full().assign(p2d, E(intf) + 1.0);
+
+  Program p;
+  p.set_field_meta("p2d", FieldMeta{FieldKind::Plane2D});
+  p.set_field_meta("intf", FieldMeta{FieldKind::Interface3D});
+  SNode node = SNode::make_stencil("m", b.build(), {}, sched::tuned_horizontal());
+  const auto kernels = expand_node(node, p, exec::LaunchDomain{10, 10, 4}, 1);
+  ASSERT_EQ(kernels.size(), 1u);
+  EXPECT_EQ(kernels[0].find_field("p2d")->elems, 100);        // 2-D
+  EXPECT_EQ(kernels[0].find_field("intf")->elems, 100 * 5);   // nk + 1
+}
+
+TEST(Expand, InvocationsPropagateFromLoops) {
+  Program p;
+  const int s = p.add_state(
+      State{"body", {SNode::make_stencil("inc", make_increment("q", 1.0))}});
+  p.control_flow().children.push_back(CFNode::loop("i", 6, {CFNode::state_ref(s)}));
+  const auto kernels = expand_program(p, exec::LaunchDomain{8, 8, 4});
+  ASSERT_EQ(kernels.size(), 1u);
+  EXPECT_EQ(kernels[0].invocations, 6);
+  const auto stats = expansion_stats(kernels);
+  EXPECT_EQ(stats.unique_kernels, 1);
+  EXPECT_EQ(stats.total_launches, 6);
+}
+
+TEST(Expand, IntervalFusionForVerticalSolvers) {
+  StencilBuilder b("multi_iv");
+  auto a = b.field("a");
+  auto f = b.forward();
+  f.interval(dsl::first_levels(1)).assign(a, 0.0);
+  f.interval(dsl::inner_levels(1, 0)).assign(a, a.at_k(-1) + 1.0);
+
+  Program p;
+  SNode node = SNode::make_stencil("v", b.build(), {}, sched::tuned_vertical());
+  EXPECT_EQ(expand_node(node, p, exec::LaunchDomain{8, 8, 10}, 1).size(), 1u);
+
+  node.schedule.fuse_intervals = false;
+  EXPECT_EQ(expand_node(node, p, exec::LaunchDomain{8, 8, 10}, 1).size(), 2u);
+}
+
+TEST(Expand, CarriedCacheFlagSet) {
+  Program p;
+  SNode node = SNode::make_stencil("v", make_vertical_cumsum(), {}, sched::tuned_vertical());
+  const auto kernels = expand_node(node, p, exec::LaunchDomain{8, 8, 10}, 1);
+  ASSERT_EQ(kernels.size(), 1u);
+  const auto* use = kernels[0].find_field("a");
+  ASSERT_NE(use, nullptr);
+  EXPECT_TRUE(use->carried_cached);  // reads a at k and k-1, cached
+
+  node.schedule.vertical_cache = sched::CacheKind::None;
+  const auto uncached = expand_node(node, p, exec::LaunchDomain{8, 8, 10}, 1);
+  EXPECT_FALSE(uncached[0].find_field("a")->carried_cached);
+}
+
+}  // namespace
+}  // namespace cyclone::ir

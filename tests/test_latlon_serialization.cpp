@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/util/rng.hpp"
+#include "fv3/init/baroclinic.hpp"
+#include "fv3/latlon.hpp"
+#include "fv3/serialization.hpp"
+
+namespace cyclone::fv3 {
+namespace {
+
+FvConfig small_config() {
+  FvConfig cfg;
+  cfg.npx = 12;
+  cfg.npz = 6;
+  cfg.k_split = 1;
+  cfg.n_split = 1;
+  cfg.ntracers = 1;
+  cfg.dt = 300.0;
+  return cfg;
+}
+
+TEST(LatLon, SolidBodyWindsProjectEastward) {
+  const FvConfig cfg = small_config();
+  grid::Partitioner part(cfg.npx, 1, 1);
+  // Equatorial tile of a solid-body rotation: east wind everywhere.
+  ModelState state(cfg, part, 0);
+  init_solid_body(state, part, 25.0);
+  FieldD ue("ue", 12, 12, 1), vn("vn", 12, 12, 1);
+  winds_to_earth(state, part, 0, ue, vn);
+  for (int j = 2; j < 10; ++j) {
+    for (int i = 2; i < 10; ++i) {
+      EXPECT_NEAR(ue(i, j, 0), 25.0 * std::cos(state.geometry().lat(i, j)), 1.5);
+      EXPECT_NEAR(vn(i, j, 0), 0.0, 1.5);
+    }
+  }
+}
+
+TEST(LatLon, SamplingCoversSphereWithOwnedValues) {
+  const FvConfig cfg = small_config();
+  DistributedModel model(cfg, 6);
+  // Paint each rank's tracer with its tile id.
+  for (int r = 0; r < 6; ++r) {
+    model.state(r).f("q0").fill(static_cast<double>(model.partitioner().info(r).tile));
+  }
+  const LatLonGrid grid = sample_latlon(model, "q0", 0, 18, 36);
+  // Poles map to the polar faces.
+  EXPECT_EQ(grid.at(17, 0), 4.0);  // north pole row -> face 4
+  EXPECT_EQ(grid.at(0, 0), 5.0);   // south pole row -> face 5
+  // All six faces appear.
+  std::set<double> seen(grid.values.begin(), grid.values.end());
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(LatLon, AsciiMapHasExpectedShape) {
+  LatLonGrid grid;
+  grid.nlat = 4;
+  grid.nlon = 8;
+  grid.values.assign(32, 0.0);
+  grid.at(2, 3) = 1.0;
+  const std::string map = ascii_map(grid, " X");
+  // 4 rows of 8 chars + newlines; the hot cell renders as 'X'.
+  EXPECT_EQ(map.size(), 4u * 9u);
+  EXPECT_EQ(std::count(map.begin(), map.end(), 'X'), 1);
+  EXPECT_EQ(map[1 * 9 + 3], 'X');  // row 1 from top = lat index 2
+}
+
+TEST(Savepoint, CaptureRestoreRoundTrip) {
+  FieldCatalog cat;
+  Rng rng(5);
+  cat.create("a", 6, 5, 4, HaloSpec{2, 2}).fill_with([&](int, int, int) {
+    return rng.uniform(-1, 1);
+  });
+  cat.create("b", 6, 5, 1, HaloSpec{2, 2}).fill(3.0);
+
+  const Savepoint sp = Savepoint::capture(cat, {"a", "b"});
+  EXPECT_EQ(sp.max_diff(cat), 0.0);
+
+  cat.at("a").fill(0.0);
+  EXPECT_GT(sp.max_diff(cat), 0.0);
+  sp.restore(cat);
+  EXPECT_EQ(sp.max_diff(cat), 0.0);
+}
+
+TEST(Savepoint, FileRoundTripIsExact) {
+  FieldCatalog cat;
+  Rng rng(6);
+  cat.create("q", 5, 7, 3, HaloSpec{1, 1}).fill_with([&](int, int, int) {
+    return rng.uniform(-10, 10);
+  });
+  const std::string path = std::string(::testing::TempDir()) + "/sp.bin";
+  Savepoint::capture(cat, {"q"}).save(path);
+  const Savepoint loaded = Savepoint::load(path);
+  EXPECT_EQ(loaded.max_diff(cat), 0.0);
+  ASSERT_EQ(loaded.field_names().size(), 1u);
+  EXPECT_EQ(loaded.field_names()[0], "q");
+}
+
+TEST(Savepoint, ShapeMismatchRejected) {
+  FieldCatalog a, b;
+  a.create("q", 4, 4, 2);
+  b.create("q", 5, 4, 2);
+  const Savepoint sp = Savepoint::capture(a, {"q"});
+  EXPECT_THROW(sp.restore(b), Error);
+}
+
+TEST(Savepoint, ModuleRegressionWorkflow) {
+  // The paper's workflow: capture inputs, run the module, capture outputs;
+  // later runs replay the inputs and diff against the saved outputs.
+  const FvConfig cfg = small_config();
+  DistributedModel model(cfg, 6);
+  init_baroclinic(model);
+
+  const auto progs = ModelState::prognostic_names(cfg.ntracers);
+  const Savepoint inputs = Savepoint::capture(model.state(0).catalog(), progs);
+  model.step();
+  const Savepoint outputs = Savepoint::capture(model.state(0).catalog(), progs);
+
+  // Replay: fresh model, restored inputs on every rank would be needed for
+  // a true replay; here rank 0's state is restored and the snapshot must
+  // diff exactly zero against itself.
+  inputs.restore(model.state(0).catalog());
+  EXPECT_EQ(inputs.max_diff(model.state(0).catalog()), 0.0);
+  EXPECT_GT(outputs.max_diff(model.state(0).catalog()), 0.0);
+}
+
+}  // namespace
+}  // namespace cyclone::fv3

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "core/dsl/builder.hpp"
+#include "core/ir/lint.hpp"
+#include "fv3/driver.hpp"
+#include "fv3/init/baroclinic.hpp"
+
+namespace cyclone::ir {
+namespace {
+
+using dsl::E;
+using dsl::StencilBuilder;
+
+SNode unbound_param_node() {
+  StencilBuilder b("scaled");
+  auto q = b.field("q");
+  auto dt = b.param("dt");
+  b.parallel().full().assign(q, E(q) * E(dt));
+  return SNode::make_stencil("scaled", b.build());  // dt not bound
+}
+
+TEST(Lint, CleanDycoreProgramHasNoErrors) {
+  fv3::FvConfig cfg;
+  cfg.npx = 12;
+  cfg.npz = 8;
+  cfg.ntracers = 2;
+  grid::Partitioner part(cfg.npx, 1, 1);
+  fv3::ModelState state(cfg, part, 0);
+  const Program prog = fv3::build_dycore_program(state);
+  for (const auto& issue : lint(prog)) {
+    EXPECT_NE(issue.severity, LintIssue::Severity::Error)
+        << issue.where << ": " << issue.message;
+  }
+}
+
+TEST(Lint, DetectsUnboundParameter) {
+  Program p;
+  p.append_state(State{"s", {unbound_param_node()}});
+  const auto issues = lint(p);
+  ASSERT_FALSE(issues.empty());
+  bool found = false;
+  for (const auto& issue : issues) {
+    found = found || (issue.severity == LintIssue::Severity::Error &&
+                      issue.message.find("dt") != std::string::npos);
+  }
+  EXPECT_TRUE(found) << format_issues(issues);
+}
+
+TEST(Lint, DetectsInvalidSchedule) {
+  StencilBuilder b("vert");
+  auto a = b.field("a");
+  b.forward().interval(dsl::inner_levels(1, 0)).assign(a, a.at_k(-1) + 1.0);
+  SNode node = SNode::make_stencil("vert", b.build());
+  node.schedule.k_as_map = true;  // illegal for a vertical solver
+  Program p;
+  p.append_state(State{"s", {node}});
+  const auto issues = lint(p);
+  bool found = false;
+  for (const auto& issue : issues) {
+    found = found || issue.severity == LintIssue::Severity::Error;
+  }
+  EXPECT_TRUE(found) << format_issues(issues);
+}
+
+TEST(Lint, WarnsOnEmptyStateAndOrphanHalo) {
+  Program p;
+  p.append_state(State{"empty", {}});
+  p.append_state(State{"hx", {SNode::make_halo_exchange("hx", {"ghost_field"}, 3)}});
+  const auto issues = lint(p);
+  int warnings = 0;
+  for (const auto& issue : issues) {
+    warnings += issue.severity == LintIssue::Severity::Warning;
+  }
+  EXPECT_GE(warnings, 2) << format_issues(issues);
+}
+
+TEST(Lint, OddVectorExchangeIsError) {
+  Program p;
+  p.append_state(State{"hx", {SNode::make_halo_exchange("hx", {"u"}, 3, true)}});
+  const auto issues = lint(p);
+  bool found = false;
+  for (const auto& issue : issues) found = found || issue.severity == LintIssue::Severity::Error;
+  EXPECT_TRUE(found);
+}
+
+TEST(Json, SerializesStructure) {
+  fv3::FvConfig cfg;
+  cfg.npx = 12;
+  cfg.npz = 8;
+  cfg.ntracers = 1;
+  grid::Partitioner part(cfg.npx, 1, 1);
+  fv3::ModelState state(cfg, part, 0);
+  const Program prog = fv3::build_dycore_program(state);
+  const std::string json = to_json(prog);
+
+  EXPECT_NE(json.find("\"name\":\"fv3_dycore\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"stencil\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"halo_exchange\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"loop\""), std::string::npos);
+  EXPECT_NE(json.find("riem_solver_c.forward"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  long braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Backend, ReferenceMatchesCompiledOnDycoreState) {
+  fv3::FvConfig cfg;
+  cfg.npx = 12;
+  cfg.npz = 6;
+  cfg.k_split = 1;
+  cfg.n_split = 1;
+  cfg.ntracers = 1;
+  cfg.dt = 200.0;
+
+  auto run = [&](Program::Backend backend) {
+    fv3::DistributedModel model(cfg, 6);
+    fv3::init_baroclinic(model);
+    model.program().set_backend(backend);
+    model.step();
+    return model.diagnostics();
+  };
+  const auto compiled = run(Program::Backend::Compiled);
+  const auto reference = run(Program::Backend::Reference);
+  EXPECT_EQ(compiled.total_mass, reference.total_mass);
+  EXPECT_EQ(compiled.max_wind, reference.max_wind);
+  EXPECT_EQ(compiled.mean_pt, reference.mean_pt);
+}
+
+}  // namespace
+}  // namespace cyclone::ir

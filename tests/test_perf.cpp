@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "core/dsl/builder.hpp"
+#include "core/ir/expand.hpp"
+#include "core/perf/model.hpp"
+#include "core/perf/report.hpp"
+
+namespace cyclone::perf {
+namespace {
+
+using dsl::E;
+using dsl::StencilBuilder;
+
+/// copy stencil: 1 read + 1 write — the Sec. VIII-A bandwidth probe.
+ir::SNode copy_node() {
+  StencilBuilder b("copy");
+  auto in = b.field("in");
+  auto out = b.field("out");
+  b.parallel().full().assign(out, E(in));
+  return ir::SNode::make_stencil("copy", b.build(), {}, sched::tuned_horizontal());
+}
+
+ir::SNode star5_node() {
+  StencilBuilder b("star5");
+  auto in = b.field("in");
+  auto out = b.field("out");
+  b.parallel().full().assign(out,
+                             in(-1, 0) + in(1, 0) + in(0, -1) + in(0, 1) - 4.0 * E(in));
+  return ir::SNode::make_stencil("star5", b.build(), {}, sched::tuned_horizontal());
+}
+
+std::vector<ir::KernelDesc> expand(const ir::SNode& node, const exec::LaunchDomain& dom) {
+  ir::Program p;
+  return ir::expand_node(node, p, dom, 1);
+}
+
+TEST(Machine, SpecsMatchPaperPeaks) {
+  EXPECT_NEAR(p100().dram_bw / 1e9, 525.9, 5.0);   // 489.83 GiB/s in B/s
+  EXPECT_NEAR(haswell().dram_bw / 1e9, 44.0, 1.0);  // 40.99 GiB/s in B/s
+  EXPECT_NEAR(a100().dram_bw / p100().dram_bw, 2.83, 0.01);
+  EXPECT_TRUE(p100().is_gpu);
+  EXPECT_FALSE(haswell().is_gpu);
+}
+
+TEST(Machine, BandwidthRatioBoundsSpeedup) {
+  // The paper's expected max speedup for memory-bound code: 11.45x.
+  EXPECT_NEAR(p100().dram_bw / haswell().dram_bw, 11.95, 0.5);
+}
+
+TEST(Machine, BwEfficiencyMonotonic) {
+  const MachineSpec m = p100();
+  EXPECT_LT(m.bw_efficiency(1000), m.bw_efficiency(100000));
+  EXPECT_LT(m.bw_efficiency(1e6), 1.0);
+  EXPECT_GT(m.bw_efficiency(1e6), 0.95);
+  EXPECT_EQ(haswell().bw_efficiency(1), 1.0);  // CPUs assumed saturated
+}
+
+TEST(Model, CopyStencilNearPeak) {
+  // A large copy stencil must achieve close to peak bandwidth (the paper
+  // verifies GT4Py+DaCe reach 489.83 of 501.1 GB/s).
+  const auto kernels = expand(copy_node(), exec::LaunchDomain{192, 192, 80});
+  ASSERT_EQ(kernels.size(), 1u);
+  const KernelTime t = model_kernel(kernels[0], p100());
+  EXPECT_GT(t.utilization(), 0.90);
+}
+
+TEST(Model, UniqueVsAccessBytes) {
+  const auto kernels = expand(star5_node(), exec::LaunchDomain{128, 128, 80});
+  ASSERT_EQ(kernels.size(), 1u);
+  const double uniq = unique_bytes(kernels[0]);
+  const double acc = access_bytes(kernels[0], p100());
+  // 5 read sites: unique counts one read + one write; access adds the
+  // neighbor-miss fraction for the 4 extra sites.
+  const double elems = 128.0 * 128 * 80 * 8;
+  EXPECT_NEAR(uniq, 2 * elems, 1e-6);
+  EXPECT_NEAR(acc, elems * (1 + 0.14 * 4) + elems, 1e-6);
+  EXPECT_GT(acc, uniq);
+}
+
+TEST(Model, SmallGridUnderutilizesGpu) {
+  const auto small = expand(copy_node(), exec::LaunchDomain{32, 32, 1});
+  const auto large = expand(copy_node(), exec::LaunchDomain{512, 512, 80});
+  const KernelTime ts = model_kernel(small[0], p100());
+  const KernelTime tl = model_kernel(large[0], p100());
+  EXPECT_LT(ts.utilization(), tl.utilization());
+}
+
+TEST(Model, FlopBoundKernelBelowMemPeak) {
+  // A pow-heavy kernel is compute-bound: utilization well below 1, and
+  // strength reduction (fewer flops) must raise it — the Smagorinsky story.
+  StencilBuilder b("powheavy");
+  auto x = b.field("x");
+  auto o = b.field("o");
+  b.parallel().full().assign(
+      o, pow(pow(E(x), 2.0) + pow(E(x), 2.0), 0.5) + pow(E(x), 3.0) + pow(E(x), 4.0));
+  ir::SNode node = ir::SNode::make_stencil("pw", b.build(), {}, sched::tuned_horizontal());
+  const auto kernels = expand(node, exec::LaunchDomain{192, 192, 80});
+  const KernelTime t = model_kernel(kernels[0], p100());
+  EXPECT_LT(t.utilization(), 0.5);
+}
+
+TEST(Model, LaunchOverheadDominatesTinyKernels) {
+  const auto kernels = expand(copy_node(), exec::LaunchDomain{4, 4, 1});
+  const KernelTime t = model_kernel(kernels[0], p100());
+  EXPECT_GT(t.simulated, p100().launch_overhead);
+  EXPECT_LT(t.utilization(), 0.05);
+}
+
+TEST(Model, ProgramTimeSumsInvocations) {
+  auto kernels = expand(copy_node(), exec::LaunchDomain{64, 64, 8});
+  const double once = model_program(kernels, p100());
+  kernels[0].invocations = 10;
+  EXPECT_NEAR(model_program(kernels, p100()), 10 * once, 1e-12);
+}
+
+TEST(Model, CpuCacheFallOff) {
+  // The FORTRAN-style CPU model: time grows faster than the domain once the
+  // per-plane working set overflows the cache (Table II trend). Use a spec
+  // with a small cache so the sweep crosses the capacity edge.
+  MachineSpec cpu = haswell();
+  cpu.cache_bytes = 0.5e6;
+  cpu.launch_overhead = 0;
+  auto time_at = [&](int n) {
+    // A module with several kernels over the same fields (inter-kernel
+    // reuse is what the cache buys).
+    std::vector<ir::KernelDesc> kernels;
+    for (int rep = 0; rep < 6; ++rep) {
+      auto ks = expand(star5_node(), exec::LaunchDomain{n, n, 80});
+      kernels.insert(kernels.end(), ks.begin(), ks.end());
+    }
+    return model_module_cpu(kernels, cpu);
+  };
+  const double t128 = time_at(128);
+  const double t256 = time_at(256);
+  const double t512 = time_at(512);
+  EXPECT_GT(t256 / t128, 4.2);  // superlinear across the cache edge
+  EXPECT_GT(t512 / t256, 4.0);
+}
+
+TEST(Model, CpuCachedRegimeNearIdealScaling) {
+  auto time_at = [&](int n) {
+    auto ks = expand(star5_node(), exec::LaunchDomain{n, n, 4});
+    return model_module_cpu(ks, haswell());
+  };
+  // Tiny planes fit in cache: scaling stays close to the grid-point factor.
+  const double r = time_at(64) / time_at(32);
+  EXPECT_GT(r, 3.0);
+  EXPECT_LT(r, 5.5);
+}
+
+TEST(Model, GpuBeatsCpuOnLargeDomains) {
+  const auto kernels = expand(star5_node(), exec::LaunchDomain{384, 384, 80});
+  const double gpu = model_program(kernels, p100());
+  const double cpu = model_module_cpu(kernels, haswell());
+  EXPECT_GT(cpu / gpu, 3.0);
+  EXPECT_LT(cpu / gpu, 13.0);  // bounded by the bandwidth ratio + miss model
+}
+
+TEST(Model, A100FasterThanP100) {
+  const auto kernels = expand(star5_node(), exec::LaunchDomain{192, 192, 80});
+  const double tp = model_program(kernels, p100());
+  const double ta = model_program(kernels, a100());
+  EXPECT_GT(tp / ta, 1.8);
+  EXPECT_LT(tp / ta, 2.9);
+}
+
+TEST(Report, GroupsAndRanks) {
+  auto k1 = expand(copy_node(), exec::LaunchDomain{192, 192, 80});
+  auto k2 = expand(star5_node(), exec::LaunchDomain{192, 192, 80});
+  k1[0].invocations = 3;
+  std::vector<ir::KernelDesc> all;
+  all.push_back(k1[0]);
+  all.push_back(k2[0]);
+  all.push_back(k1[0]);  // same label appears twice -> grouped
+
+  const auto report = bandwidth_report(all, p100());
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].label, "copy#0");  // 6 launches outweigh one star5
+  EXPECT_EQ(report[0].launches, 6);
+  EXPECT_GT(report[0].peak_fraction, report[1].peak_fraction);
+
+  const std::string text = format_report(report);
+  EXPECT_NE(text.find("copy#0"), std::string::npos);
+  EXPECT_NE(text.find("%"), std::string::npos);
+}
+
+TEST(Report, RespectsMaxRows) {
+  std::vector<ir::KernelDesc> all;
+  for (int i = 0; i < 30; ++i) {
+    auto ks = expand(copy_node(), exec::LaunchDomain{16, 16, 2});
+    ks[0].label = "k" + std::to_string(i);
+    all.push_back(ks[0]);
+  }
+  const auto report = bandwidth_report(all, p100());
+  EXPECT_EQ(report.size(), 30u);
+  const std::string text = format_report(report, 5);
+  // Header + 5 rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 6);
+}
+
+}  // namespace
+}  // namespace cyclone::perf
+
+namespace cyclone::perf {
+namespace {
+
+TEST(Report, CsvExport) {
+  std::vector<KernelReport> rows(2);
+  rows[0].label = "a#0";
+  rows[0].launches = 3;
+  rows[0].total_runtime = 1.5e-3;
+  rows[0].worst_kernel_time = 6e-4;
+  rows[0].peak_fraction = 0.75;
+  rows[1].label = "b#1";
+  const std::string csv = report_to_csv(rows);
+  EXPECT_NE(csv.find("kernel,launches,total_seconds"), std::string::npos);
+  EXPECT_NE(csv.find("a#0,3,0.0015,0.0006,0.750000"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace cyclone::perf

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "core/sched/schedule.hpp"
+
+namespace cyclone::sched {
+namespace {
+
+TEST(Schedule, DefaultsAreValidForParallel) {
+  EXPECT_TRUE(is_valid(default_schedule(), dsl::IterOrder::Parallel));
+  EXPECT_TRUE(is_valid(tuned_horizontal(), dsl::IterOrder::Parallel));
+}
+
+TEST(Schedule, VerticalSolversCannotMapK) {
+  Schedule s = tuned_horizontal();
+  s.k_as_map = true;
+  EXPECT_FALSE(is_valid(s, dsl::IterOrder::Forward));
+  EXPECT_FALSE(is_valid(s, dsl::IterOrder::Backward));
+  s.k_as_map = false;
+  EXPECT_TRUE(is_valid(s, dsl::IterOrder::Forward));
+}
+
+TEST(Schedule, CachingRequiresLoopK) {
+  Schedule s;
+  s.k_as_map = true;
+  s.vertical_cache = CacheKind::Registers;
+  EXPECT_FALSE(is_valid(s, dsl::IterOrder::Parallel));
+  s.k_as_map = false;
+  EXPECT_TRUE(is_valid(s, dsl::IterOrder::Parallel));
+}
+
+TEST(Schedule, TunedVerticalIsValid) {
+  EXPECT_TRUE(is_valid(tuned_vertical(), dsl::IterOrder::Forward));
+  EXPECT_EQ(tuned_vertical().vertical_cache, CacheKind::Registers);
+  EXPECT_FALSE(tuned_vertical().k_as_map);
+}
+
+TEST(Schedule, EnumerationOnlyYieldsValid) {
+  for (auto order : {dsl::IterOrder::Parallel, dsl::IterOrder::Forward}) {
+    const auto all = enumerate_valid(order);
+    EXPECT_FALSE(all.empty());
+    for (const auto& s : all) EXPECT_TRUE(is_valid(s, order));
+  }
+}
+
+TEST(Schedule, EnumerationSmallerForVertical) {
+  // Vertical solvers have fewer feasible options (k map excluded).
+  EXPECT_GT(enumerate_valid(dsl::IterOrder::Parallel).size(),
+            enumerate_valid(dsl::IterOrder::Forward).size());
+}
+
+TEST(Schedule, DescribeMentionsKeyKnobs) {
+  const std::string d = tuned_vertical().describe();
+  EXPECT_NE(d.find("k=loop"), std::string::npos);
+  EXPECT_NE(d.find("cache=reg"), std::string::npos);
+  EXPECT_NE(d.find("order=KJI"), std::string::npos);
+}
+
+TEST(Schedule, EqualityComparable) {
+  EXPECT_EQ(tuned_vertical(), tuned_vertical());
+  EXPECT_NE(tuned_vertical(), tuned_horizontal());
+}
+
+}  // namespace
+}  // namespace cyclone::sched

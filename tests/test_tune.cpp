@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "core/dsl/builder.hpp"
+#include "core/tune/tuner.hpp"
+#include "core/util/rng.hpp"
+#include "core/xform/passes.hpp"
+#include "fv3/driver.hpp"
+#include "fv3/init/baroclinic.hpp"
+
+namespace cyclone::tune {
+namespace {
+
+using dsl::E;
+using dsl::FieldVar;
+using dsl::StencilBuilder;
+
+/// Two-node producer/consumer state (pointwise: SGF-fusible).
+ir::Program pointwise_chain() {
+  ir::Program p("chain");
+  StencilBuilder b1("scale2");
+  auto in = b1.field("in");
+  auto mid = b1.field("mid");
+  b1.parallel().full().assign(mid, E(in) * 2.0);
+  StencilBuilder b2("add1");
+  auto mid2 = b2.field("mid");
+  auto out = b2.field("out");
+  b2.parallel().full().assign(out, E(mid2) + 1.0);
+  p.append_state(ir::State{"s0",
+                           {ir::SNode::make_stencil("a", b1.build(), {}, sched::tuned_horizontal()),
+                            ir::SNode::make_stencil("b", b2.build(), {},
+                                                    sched::tuned_horizontal())}});
+  p.set_field_meta("mid", ir::FieldMeta{ir::FieldKind::Center3D, true});
+  return p;
+}
+
+/// Offset consumer (OTF-fusible only).
+ir::Program offset_chain() {
+  ir::Program p("ochain");
+  StencilBuilder b1("avg_x");
+  auto in = b1.field("in");
+  auto mid = b1.field("mid");
+  b1.parallel().full().assign(mid, (in(-1, 0) + in(1, 0)) * 0.5);
+  StencilBuilder b2("diff_x");
+  auto mid2 = b2.field("mid");
+  auto out = b2.field("out");
+  b2.parallel().full().assign(out, mid2(1, 0) - mid2(-1, 0));
+  p.append_state(ir::State{"s0",
+                           {ir::SNode::make_stencil("a", b1.build(), {}, sched::tuned_horizontal()),
+                            ir::SNode::make_stencil("b", b2.build(), {},
+                                                    sched::tuned_horizontal())}});
+  p.set_field_meta("mid", ir::FieldMeta{ir::FieldKind::Center3D, true});
+  return p;
+}
+
+TuningOptions opts() {
+  TuningOptions o;
+  o.dom = exec::LaunchDomain{64, 64, 16};
+  o.machine = perf::p100();
+  return o;
+}
+
+TEST(Tuner, CutoutFindsSubgraphFusion) {
+  const ir::Program p = pointwise_chain();
+  const auto cutouts = tune_cutouts(p, opts(), TransformKind::SubgraphFusion);
+  ASSERT_EQ(cutouts.size(), 1u);
+  EXPECT_EQ(cutouts[0].configs_tested, 1);
+  ASSERT_FALSE(cutouts[0].best.empty());
+  EXPECT_GT(cutouts[0].best_speedup, 1.0);
+  EXPECT_EQ(cutouts[0].best[0].producer, "scale2");
+  EXPECT_EQ(cutouts[0].best[0].consumer, "add1");
+}
+
+TEST(Tuner, CutoutFindsOtfFusion) {
+  const ir::Program p = offset_chain();
+  const auto cutouts = tune_cutouts(p, opts(), TransformKind::OtfFusion);
+  ASSERT_EQ(cutouts.size(), 1u);
+  ASSERT_FALSE(cutouts[0].best.empty());
+  EXPECT_EQ(cutouts[0].best[0].kind, TransformKind::OtfFusion);
+  // SGF must refuse this chain (horizontal offset dependency).
+  const auto sgf = tune_cutouts(p, opts(), TransformKind::SubgraphFusion);
+  EXPECT_TRUE(sgf[0].best.empty());
+}
+
+TEST(Tuner, CollectPatternsDeduplicates) {
+  CutoutResult a, b;
+  Pattern p1{TransformKind::SubgraphFusion, "x", "y", 1.5};
+  Pattern p2{TransformKind::SubgraphFusion, "x", "y", 2.0};
+  Pattern p3{TransformKind::OtfFusion, "x", "y", 1.2};
+  a.best = {p1};
+  b.best = {p2, p3};
+  const auto patterns = collect_patterns({a, b});
+  ASSERT_EQ(patterns.size(), 2u);
+  EXPECT_EQ(patterns[0].cutout_speedup, 2.0);  // max of duplicates, ranked first
+}
+
+TEST(Tuner, TransferAppliesToMatchingTarget) {
+  const ir::Program source = pointwise_chain();
+  ir::Program target = pointwise_chain();
+  const auto patterns =
+      collect_patterns(tune_cutouts(source, opts(), TransformKind::SubgraphFusion));
+  const TransferReport report = transfer(target, patterns, opts());
+  EXPECT_EQ(report.candidates_found, 1);
+  EXPECT_EQ(report.applied, 1);
+  EXPECT_LT(report.time_after, report.time_before);
+  EXPECT_GT(report.speedup(), 1.0);
+  // The state now holds one fused node.
+  EXPECT_EQ(target.states()[0].nodes.size(), 1u);
+}
+
+TEST(Tuner, TransferSkipsNonMatchingLabels) {
+  ir::Program target = offset_chain();  // different stencil names
+  const auto patterns =
+      collect_patterns(tune_cutouts(pointwise_chain(), opts(), TransformKind::SubgraphFusion));
+  const TransferReport report = transfer(target, patterns, opts());
+  EXPECT_EQ(report.candidates_found, 0);
+  EXPECT_EQ(report.applied, 0);
+}
+
+TEST(Tuner, AutotuneSchedulesImprovesModeledTime) {
+  fv3::FvConfig cfg;
+  cfg.npx = 24;
+  cfg.npz = 8;
+  cfg.ntracers = 2;
+  grid::Partitioner part(cfg.npx, 1, 1);
+  fv3::ModelState state(cfg, part, 0);
+  ir::Program prog = fv3::build_dycore_program(state, fv3::DycoreSchedules::defaults());
+
+  TuningOptions o = opts();
+  o.dom = state.domain();
+  const double before = model_whole_program(prog, o);
+  const int changed = autotune_schedules(prog, o);
+  const double after = model_whole_program(prog, o);
+  EXPECT_GT(changed, 0);
+  EXPECT_LT(after, before);
+}
+
+TEST(Tuner, DycoreTransferTuningPreservesSemantics) {
+  // The decisive test: apply cutout tuning + transfer to the *real* dycore
+  // program and verify a distributed step still produces identical physics.
+  fv3::FvConfig cfg;
+  cfg.npx = 12;
+  cfg.npz = 8;
+  cfg.k_split = 1;
+  cfg.n_split = 2;
+  cfg.ntracers = 2;
+  cfg.dt = 300.0;
+
+  fv3::DistributedModel reference(cfg, 6);
+  fv3::init_baroclinic(reference);
+
+  fv3::DistributedModel tuned(cfg, 6);
+  fv3::init_baroclinic(tuned);
+
+  TuningOptions o;
+  o.dom = tuned.state(0).domain();
+  o.machine = perf::p100();
+  const auto otf = collect_patterns(tune_cutouts(tuned.program(), o, TransformKind::OtfFusion));
+  const auto sgf =
+      collect_patterns(tune_cutouts(tuned.program(), o, TransformKind::SubgraphFusion));
+  std::vector<Pattern> all = otf;
+  all.insert(all.end(), sgf.begin(), sgf.end());
+  const TransferReport report = transfer(tuned.program(), all, o);
+  EXPECT_GT(report.applied, 0);
+  EXPECT_LE(report.time_after, report.time_before);
+
+  reference.step();
+  tuned.step();
+
+  for (int r = 0; r < 6; ++r) {
+    for (const auto& name : fv3::ModelState::prognostic_names(cfg.ntracers)) {
+      const double diff =
+          FieldD::max_abs_diff(reference.state(r).f(name), tuned.state(r).f(name));
+      EXPECT_LT(diff, 1e-10) << "rank " << r << " field " << name;
+    }
+  }
+}
+
+TEST(Tuner, ModelStateMatchesKernelSum) {
+  const ir::Program p = pointwise_chain();
+  TuningOptions o = opts();
+  const double state_time = model_state(p, p.states()[0], o);
+  const double program_time = model_whole_program(p, o);
+  EXPECT_NEAR(state_time, program_time, 1e-12);
+  EXPECT_GT(state_time, 0.0);
+}
+
+}  // namespace
+}  // namespace cyclone::tune
+
+namespace cyclone::tune {
+namespace {
+
+TEST(Tuner, TransferUntilConvergedStops) {
+  ir::Program target("multi");
+  // Three chained pointwise nodes: two fusions possible, one per pass.
+  auto node = [](const std::string& in, const std::string& out, const std::string& fname) {
+    dsl::StencilBuilder b(fname);
+    auto i = b.field("in");
+    auto o = b.field("out");
+    b.parallel().full().assign(o, dsl::E(i) * 2.0);
+    exec::StencilArgs args;
+    args.bind["in"] = in;
+    args.bind["out"] = out;
+    return ir::SNode::make_stencil(fname, b.build(), args, sched::tuned_horizontal());
+  };
+  target.append_state(ir::State{"s0",
+                                {node("a", "b", "dbl"), node("b", "c", "dbl"),
+                                 node("c", "d", "dbl")}});
+  target.set_field_meta("b", ir::FieldMeta{ir::FieldKind::Center3D, true});
+  target.set_field_meta("c", ir::FieldMeta{ir::FieldKind::Center3D, true});
+
+  TuningOptions o;
+  o.dom = exec::LaunchDomain{64, 64, 8};
+  std::vector<Pattern> patterns = {{TransformKind::SubgraphFusion, "dbl", "dbl", 1.2},
+                                   {TransformKind::SubgraphFusion, "dbl", "sgf.dbl", 1.2},
+                                   {TransformKind::SubgraphFusion, "sgf.dbl", "dbl", 1.2}};
+  const TransferReport r = transfer_until_converged(target, patterns, o);
+  EXPECT_GE(r.applied, 1);
+  EXPECT_LE(target.states()[0].nodes.size(), 2u);
+  EXPECT_LT(r.time_after, r.time_before);
+}
+
+}  // namespace
+}  // namespace cyclone::tune

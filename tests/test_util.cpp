@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/util/error.hpp"
+#include "core/util/loc.hpp"
+#include "core/util/rng.hpp"
+#include "core/util/strings.hpp"
+#include "core/util/timer.hpp"
+
+namespace cyclone {
+namespace {
+
+TEST(Error, RequireThrowsWithMessage) {
+  try {
+    CY_REQUIRE_MSG(1 == 2, "custom detail " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom detail 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesSilently) {
+  EXPECT_NO_THROW(CY_REQUIRE(2 + 2 == 4));
+  EXPECT_NO_THROW(CY_ENSURE(true));
+}
+
+TEST(Error, EnsureThrows) { EXPECT_THROW(CY_ENSURE(false), Error); }
+
+TEST(Strings, Format) {
+  EXPECT_EQ(str::format("%d-%s-%.1f", 7, "x", 2.5), "7-x-2.5");
+  EXPECT_EQ(str::format("empty"), "empty");
+}
+
+TEST(Strings, JoinAndSplit) {
+  EXPECT_EQ(str::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(str::join({}, ","), "");
+  const auto parts = str::split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(str::trim("  hi \t\n"), "hi");
+  EXPECT_EQ(str::trim(""), "");
+  EXPECT_EQ(str::trim("   "), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(str::starts_with("hello.cpp", "hello"));
+  EXPECT_FALSE(str::starts_with("hi", "hello"));
+  EXPECT_TRUE(str::ends_with("hello.cpp", ".cpp"));
+  EXPECT_FALSE(str::ends_with(".cpp", "hello.cpp"));
+}
+
+TEST(Strings, HumanUnits) {
+  EXPECT_EQ(str::human_bytes(512), "512.00 B");
+  EXPECT_EQ(str::human_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(str::human_time(0.5), "500.00 ms");
+  EXPECT_EQ(str::human_time(2.0), "2.000 s");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) differing += a.next_u64() != b.next_u64();
+  EXPECT_GT(differing, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, NextBelow) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.next_below(17), 17u);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(Loc, CountsCodeLinesOnly) {
+  const std::string path = std::string(::testing::TempDir()) + "/loc_sample.cpp";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("// comment only\n\nint x = 1;\n/* block\n   comment */\nint y = 2;\n", f);
+    fclose(f);
+  }
+  const auto c = loc::count_file(path);
+  EXPECT_EQ(c.files, 1);
+  EXPECT_EQ(c.total_lines, 6);
+  EXPECT_EQ(c.code_lines, 2);
+}
+
+TEST(Loc, MissingFileIsZero) {
+  const auto c = loc::count_file("/nonexistent/nowhere.cpp");
+  EXPECT_EQ(c.files, 0);
+  EXPECT_EQ(c.code_lines, 0);
+}
+
+}  // namespace
+}  // namespace cyclone
