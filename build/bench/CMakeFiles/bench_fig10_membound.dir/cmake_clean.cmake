@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_membound.dir/bench_fig10_membound.cpp.o"
+  "CMakeFiles/bench_fig10_membound.dir/bench_fig10_membound.cpp.o.d"
+  "bench_fig10_membound"
+  "bench_fig10_membound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_membound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

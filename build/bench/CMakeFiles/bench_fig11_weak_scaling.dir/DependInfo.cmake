@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_weak_scaling.cpp" "bench/CMakeFiles/bench_fig11_weak_scaling.dir/bench_fig11_weak_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_fig11_weak_scaling.dir/bench_fig11_weak_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cyclone_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/cyclone_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/cyclone_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fv3/CMakeFiles/cyclone_fv3.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/cyclone_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_program_stats.dir/bench_program_stats.cpp.o"
+  "CMakeFiles/bench_program_stats.dir/bench_program_stats.cpp.o.d"
+  "bench_program_stats"
+  "bench_program_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_program_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

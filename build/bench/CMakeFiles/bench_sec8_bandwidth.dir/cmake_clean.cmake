@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec8_bandwidth.dir/bench_sec8_bandwidth.cpp.o"
+  "CMakeFiles/bench_sec8_bandwidth.dir/bench_sec8_bandwidth.cpp.o.d"
+  "bench_sec8_bandwidth"
+  "bench_sec8_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec8_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smagorinsky_pow.dir/bench_smagorinsky_pow.cpp.o"
+  "CMakeFiles/bench_smagorinsky_pow.dir/bench_smagorinsky_pow.cpp.o.d"
+  "bench_smagorinsky_pow"
+  "bench_smagorinsky_pow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smagorinsky_pow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_smagorinsky_pow.
+# This may be replaced when dependencies are built.

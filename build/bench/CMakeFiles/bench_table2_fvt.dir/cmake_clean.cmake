@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_fvt.dir/bench_table2_fvt.cpp.o"
+  "CMakeFiles/bench_table2_fvt.dir/bench_table2_fvt.cpp.o.d"
+  "bench_table2_fvt"
+  "bench_table2_fvt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_fvt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

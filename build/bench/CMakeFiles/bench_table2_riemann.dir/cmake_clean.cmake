@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_riemann.dir/bench_table2_riemann.cpp.o"
+  "CMakeFiles/bench_table2_riemann.dir/bench_table2_riemann.cpp.o.d"
+  "bench_table2_riemann"
+  "bench_table2_riemann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_riemann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

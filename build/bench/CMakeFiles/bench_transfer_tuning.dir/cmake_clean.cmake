@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transfer_tuning.dir/bench_transfer_tuning.cpp.o"
+  "CMakeFiles/bench_transfer_tuning.dir/bench_transfer_tuning.cpp.o.d"
+  "bench_transfer_tuning"
+  "bench_transfer_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transfer_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_baroclinic_demo.dir/baroclinic_demo.cpp.o"
+  "CMakeFiles/example_baroclinic_demo.dir/baroclinic_demo.cpp.o.d"
+  "example_baroclinic_demo"
+  "example_baroclinic_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_baroclinic_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed_scaling.dir/distributed_scaling.cpp.o"
+  "CMakeFiles/example_distributed_scaling.dir/distributed_scaling.cpp.o.d"
+  "example_distributed_scaling"
+  "example_distributed_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

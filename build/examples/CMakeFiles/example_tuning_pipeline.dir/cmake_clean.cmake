@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tuning_pipeline.dir/tuning_pipeline.cpp.o"
+  "CMakeFiles/example_tuning_pipeline.dir/tuning_pipeline.cpp.o.d"
+  "example_tuning_pipeline"
+  "example_tuning_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tuning_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

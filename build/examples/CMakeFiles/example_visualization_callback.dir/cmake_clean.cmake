@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_visualization_callback.dir/visualization_callback.cpp.o"
+  "CMakeFiles/example_visualization_callback.dir/visualization_callback.cpp.o.d"
+  "example_visualization_callback"
+  "example_visualization_callback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_visualization_callback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

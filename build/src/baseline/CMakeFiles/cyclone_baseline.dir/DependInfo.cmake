@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/kernels.cpp" "src/baseline/CMakeFiles/cyclone_baseline.dir/kernels.cpp.o" "gcc" "src/baseline/CMakeFiles/cyclone_baseline.dir/kernels.cpp.o.d"
+  "/root/repo/src/baseline/riemann.cpp" "src/baseline/CMakeFiles/cyclone_baseline.dir/riemann.cpp.o" "gcc" "src/baseline/CMakeFiles/cyclone_baseline.dir/riemann.cpp.o.d"
+  "/root/repo/src/baseline/step.cpp" "src/baseline/CMakeFiles/cyclone_baseline.dir/step.cpp.o" "gcc" "src/baseline/CMakeFiles/cyclone_baseline.dir/step.cpp.o.d"
+  "/root/repo/src/baseline/transport.cpp" "src/baseline/CMakeFiles/cyclone_baseline.dir/transport.cpp.o" "gcc" "src/baseline/CMakeFiles/cyclone_baseline.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cyclone_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/cyclone_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclone_baseline.dir/kernels.cpp.o"
+  "CMakeFiles/cyclone_baseline.dir/kernels.cpp.o.d"
+  "CMakeFiles/cyclone_baseline.dir/riemann.cpp.o"
+  "CMakeFiles/cyclone_baseline.dir/riemann.cpp.o.d"
+  "CMakeFiles/cyclone_baseline.dir/step.cpp.o"
+  "CMakeFiles/cyclone_baseline.dir/step.cpp.o.d"
+  "CMakeFiles/cyclone_baseline.dir/transport.cpp.o"
+  "CMakeFiles/cyclone_baseline.dir/transport.cpp.o.d"
+  "libcyclone_baseline.a"
+  "libcyclone_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclone_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

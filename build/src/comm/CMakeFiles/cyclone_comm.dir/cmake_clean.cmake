@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclone_comm.dir/halo.cpp.o"
+  "CMakeFiles/cyclone_comm.dir/halo.cpp.o.d"
+  "libcyclone_comm.a"
+  "libcyclone_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclone_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcyclone_comm.a"
+)

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dsl/analysis.cpp" "src/core/CMakeFiles/cyclone_core.dir/dsl/analysis.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/dsl/analysis.cpp.o.d"
+  "/root/repo/src/core/dsl/ast.cpp" "src/core/CMakeFiles/cyclone_core.dir/dsl/ast.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/dsl/ast.cpp.o.d"
+  "/root/repo/src/core/dsl/builder.cpp" "src/core/CMakeFiles/cyclone_core.dir/dsl/builder.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/dsl/builder.cpp.o.d"
+  "/root/repo/src/core/dsl/stencil.cpp" "src/core/CMakeFiles/cyclone_core.dir/dsl/stencil.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/dsl/stencil.cpp.o.d"
+  "/root/repo/src/core/dsl/validate.cpp" "src/core/CMakeFiles/cyclone_core.dir/dsl/validate.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/dsl/validate.cpp.o.d"
+  "/root/repo/src/core/exec/extents.cpp" "src/core/CMakeFiles/cyclone_core.dir/exec/extents.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/exec/extents.cpp.o.d"
+  "/root/repo/src/core/exec/interpreter.cpp" "src/core/CMakeFiles/cyclone_core.dir/exec/interpreter.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/exec/interpreter.cpp.o.d"
+  "/root/repo/src/core/exec/launch.cpp" "src/core/CMakeFiles/cyclone_core.dir/exec/launch.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/exec/launch.cpp.o.d"
+  "/root/repo/src/core/exec/tape.cpp" "src/core/CMakeFiles/cyclone_core.dir/exec/tape.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/exec/tape.cpp.o.d"
+  "/root/repo/src/core/ir/expand.cpp" "src/core/CMakeFiles/cyclone_core.dir/ir/expand.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/ir/expand.cpp.o.d"
+  "/root/repo/src/core/ir/lint.cpp" "src/core/CMakeFiles/cyclone_core.dir/ir/lint.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/ir/lint.cpp.o.d"
+  "/root/repo/src/core/ir/program.cpp" "src/core/CMakeFiles/cyclone_core.dir/ir/program.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/ir/program.cpp.o.d"
+  "/root/repo/src/core/orch/orchestrate.cpp" "src/core/CMakeFiles/cyclone_core.dir/orch/orchestrate.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/orch/orchestrate.cpp.o.d"
+  "/root/repo/src/core/perf/machine.cpp" "src/core/CMakeFiles/cyclone_core.dir/perf/machine.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/perf/machine.cpp.o.d"
+  "/root/repo/src/core/perf/model.cpp" "src/core/CMakeFiles/cyclone_core.dir/perf/model.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/perf/model.cpp.o.d"
+  "/root/repo/src/core/perf/report.cpp" "src/core/CMakeFiles/cyclone_core.dir/perf/report.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/perf/report.cpp.o.d"
+  "/root/repo/src/core/sched/schedule.cpp" "src/core/CMakeFiles/cyclone_core.dir/sched/schedule.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/sched/schedule.cpp.o.d"
+  "/root/repo/src/core/tune/tuner.cpp" "src/core/CMakeFiles/cyclone_core.dir/tune/tuner.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/tune/tuner.cpp.o.d"
+  "/root/repo/src/core/util/loc.cpp" "src/core/CMakeFiles/cyclone_core.dir/util/loc.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/util/loc.cpp.o.d"
+  "/root/repo/src/core/util/strings.cpp" "src/core/CMakeFiles/cyclone_core.dir/util/strings.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/util/strings.cpp.o.d"
+  "/root/repo/src/core/xform/expr_rewrite.cpp" "src/core/CMakeFiles/cyclone_core.dir/xform/expr_rewrite.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/xform/expr_rewrite.cpp.o.d"
+  "/root/repo/src/core/xform/fusion.cpp" "src/core/CMakeFiles/cyclone_core.dir/xform/fusion.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/xform/fusion.cpp.o.d"
+  "/root/repo/src/core/xform/passes.cpp" "src/core/CMakeFiles/cyclone_core.dir/xform/passes.cpp.o" "gcc" "src/core/CMakeFiles/cyclone_core.dir/xform/passes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

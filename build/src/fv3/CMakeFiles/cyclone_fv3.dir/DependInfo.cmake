@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fv3/driver.cpp" "src/fv3/CMakeFiles/cyclone_fv3.dir/driver.cpp.o" "gcc" "src/fv3/CMakeFiles/cyclone_fv3.dir/driver.cpp.o.d"
+  "/root/repo/src/fv3/dyn_core.cpp" "src/fv3/CMakeFiles/cyclone_fv3.dir/dyn_core.cpp.o" "gcc" "src/fv3/CMakeFiles/cyclone_fv3.dir/dyn_core.cpp.o.d"
+  "/root/repo/src/fv3/init/baroclinic.cpp" "src/fv3/CMakeFiles/cyclone_fv3.dir/init/baroclinic.cpp.o" "gcc" "src/fv3/CMakeFiles/cyclone_fv3.dir/init/baroclinic.cpp.o.d"
+  "/root/repo/src/fv3/latlon.cpp" "src/fv3/CMakeFiles/cyclone_fv3.dir/latlon.cpp.o" "gcc" "src/fv3/CMakeFiles/cyclone_fv3.dir/latlon.cpp.o.d"
+  "/root/repo/src/fv3/serialization.cpp" "src/fv3/CMakeFiles/cyclone_fv3.dir/serialization.cpp.o" "gcc" "src/fv3/CMakeFiles/cyclone_fv3.dir/serialization.cpp.o.d"
+  "/root/repo/src/fv3/state.cpp" "src/fv3/CMakeFiles/cyclone_fv3.dir/state.cpp.o" "gcc" "src/fv3/CMakeFiles/cyclone_fv3.dir/state.cpp.o.d"
+  "/root/repo/src/fv3/stencils/c_sw.cpp" "src/fv3/CMakeFiles/cyclone_fv3.dir/stencils/c_sw.cpp.o" "gcc" "src/fv3/CMakeFiles/cyclone_fv3.dir/stencils/c_sw.cpp.o.d"
+  "/root/repo/src/fv3/stencils/d_sw.cpp" "src/fv3/CMakeFiles/cyclone_fv3.dir/stencils/d_sw.cpp.o" "gcc" "src/fv3/CMakeFiles/cyclone_fv3.dir/stencils/d_sw.cpp.o.d"
+  "/root/repo/src/fv3/stencils/damping.cpp" "src/fv3/CMakeFiles/cyclone_fv3.dir/stencils/damping.cpp.o" "gcc" "src/fv3/CMakeFiles/cyclone_fv3.dir/stencils/damping.cpp.o.d"
+  "/root/repo/src/fv3/stencils/fv_tp2d.cpp" "src/fv3/CMakeFiles/cyclone_fv3.dir/stencils/fv_tp2d.cpp.o" "gcc" "src/fv3/CMakeFiles/cyclone_fv3.dir/stencils/fv_tp2d.cpp.o.d"
+  "/root/repo/src/fv3/stencils/pressure.cpp" "src/fv3/CMakeFiles/cyclone_fv3.dir/stencils/pressure.cpp.o" "gcc" "src/fv3/CMakeFiles/cyclone_fv3.dir/stencils/pressure.cpp.o.d"
+  "/root/repo/src/fv3/stencils/remap.cpp" "src/fv3/CMakeFiles/cyclone_fv3.dir/stencils/remap.cpp.o" "gcc" "src/fv3/CMakeFiles/cyclone_fv3.dir/stencils/remap.cpp.o.d"
+  "/root/repo/src/fv3/stencils/riem_solver.cpp" "src/fv3/CMakeFiles/cyclone_fv3.dir/stencils/riem_solver.cpp.o" "gcc" "src/fv3/CMakeFiles/cyclone_fv3.dir/stencils/riem_solver.cpp.o.d"
+  "/root/repo/src/fv3/stencils/tracer.cpp" "src/fv3/CMakeFiles/cyclone_fv3.dir/stencils/tracer.cpp.o" "gcc" "src/fv3/CMakeFiles/cyclone_fv3.dir/stencils/tracer.cpp.o.d"
+  "/root/repo/src/fv3/stencils/update_dz.cpp" "src/fv3/CMakeFiles/cyclone_fv3.dir/stencils/update_dz.cpp.o" "gcc" "src/fv3/CMakeFiles/cyclone_fv3.dir/stencils/update_dz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cyclone_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/cyclone_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/cyclone_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclone_fv3.dir/driver.cpp.o"
+  "CMakeFiles/cyclone_fv3.dir/driver.cpp.o.d"
+  "CMakeFiles/cyclone_fv3.dir/dyn_core.cpp.o"
+  "CMakeFiles/cyclone_fv3.dir/dyn_core.cpp.o.d"
+  "CMakeFiles/cyclone_fv3.dir/init/baroclinic.cpp.o"
+  "CMakeFiles/cyclone_fv3.dir/init/baroclinic.cpp.o.d"
+  "CMakeFiles/cyclone_fv3.dir/latlon.cpp.o"
+  "CMakeFiles/cyclone_fv3.dir/latlon.cpp.o.d"
+  "CMakeFiles/cyclone_fv3.dir/serialization.cpp.o"
+  "CMakeFiles/cyclone_fv3.dir/serialization.cpp.o.d"
+  "CMakeFiles/cyclone_fv3.dir/state.cpp.o"
+  "CMakeFiles/cyclone_fv3.dir/state.cpp.o.d"
+  "CMakeFiles/cyclone_fv3.dir/stencils/c_sw.cpp.o"
+  "CMakeFiles/cyclone_fv3.dir/stencils/c_sw.cpp.o.d"
+  "CMakeFiles/cyclone_fv3.dir/stencils/d_sw.cpp.o"
+  "CMakeFiles/cyclone_fv3.dir/stencils/d_sw.cpp.o.d"
+  "CMakeFiles/cyclone_fv3.dir/stencils/damping.cpp.o"
+  "CMakeFiles/cyclone_fv3.dir/stencils/damping.cpp.o.d"
+  "CMakeFiles/cyclone_fv3.dir/stencils/fv_tp2d.cpp.o"
+  "CMakeFiles/cyclone_fv3.dir/stencils/fv_tp2d.cpp.o.d"
+  "CMakeFiles/cyclone_fv3.dir/stencils/pressure.cpp.o"
+  "CMakeFiles/cyclone_fv3.dir/stencils/pressure.cpp.o.d"
+  "CMakeFiles/cyclone_fv3.dir/stencils/remap.cpp.o"
+  "CMakeFiles/cyclone_fv3.dir/stencils/remap.cpp.o.d"
+  "CMakeFiles/cyclone_fv3.dir/stencils/riem_solver.cpp.o"
+  "CMakeFiles/cyclone_fv3.dir/stencils/riem_solver.cpp.o.d"
+  "CMakeFiles/cyclone_fv3.dir/stencils/tracer.cpp.o"
+  "CMakeFiles/cyclone_fv3.dir/stencils/tracer.cpp.o.d"
+  "CMakeFiles/cyclone_fv3.dir/stencils/update_dz.cpp.o"
+  "CMakeFiles/cyclone_fv3.dir/stencils/update_dz.cpp.o.d"
+  "libcyclone_fv3.a"
+  "libcyclone_fv3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclone_fv3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

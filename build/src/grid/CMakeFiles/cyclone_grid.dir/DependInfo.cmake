@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/cube_topology.cpp" "src/grid/CMakeFiles/cyclone_grid.dir/cube_topology.cpp.o" "gcc" "src/grid/CMakeFiles/cyclone_grid.dir/cube_topology.cpp.o.d"
+  "/root/repo/src/grid/geometry.cpp" "src/grid/CMakeFiles/cyclone_grid.dir/geometry.cpp.o" "gcc" "src/grid/CMakeFiles/cyclone_grid.dir/geometry.cpp.o.d"
+  "/root/repo/src/grid/partitioner.cpp" "src/grid/CMakeFiles/cyclone_grid.dir/partitioner.cpp.o" "gcc" "src/grid/CMakeFiles/cyclone_grid.dir/partitioner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cyclone_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

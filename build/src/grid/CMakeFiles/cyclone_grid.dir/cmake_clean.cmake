@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclone_grid.dir/cube_topology.cpp.o"
+  "CMakeFiles/cyclone_grid.dir/cube_topology.cpp.o.d"
+  "CMakeFiles/cyclone_grid.dir/geometry.cpp.o"
+  "CMakeFiles/cyclone_grid.dir/geometry.cpp.o.d"
+  "CMakeFiles/cyclone_grid.dir/partitioner.cpp.o"
+  "CMakeFiles/cyclone_grid.dir/partitioner.cpp.o.d"
+  "libcyclone_grid.a"
+  "libcyclone_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclone_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_baseline.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_baseline.cpp.o.d"
+  "/root/repo/tests/test_comm.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_comm.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_comm.cpp.o.d"
+  "/root/repo/tests/test_config_sweep.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_config_sweep.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_config_sweep.cpp.o.d"
+  "/root/repo/tests/test_damping.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_damping.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_damping.cpp.o.d"
+  "/root/repo/tests/test_dsl.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_dsl.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_dsl.cpp.o.d"
+  "/root/repo/tests/test_exec.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_exec.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_exec.cpp.o.d"
+  "/root/repo/tests/test_exec_features.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_exec_features.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_exec_features.cpp.o.d"
+  "/root/repo/tests/test_field.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_field.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_field.cpp.o.d"
+  "/root/repo/tests/test_functions.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_functions.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_functions.cpp.o.d"
+  "/root/repo/tests/test_fusion_fuzz.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_fusion_fuzz.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_fusion_fuzz.cpp.o.d"
+  "/root/repo/tests/test_fv3.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_fv3.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_fv3.cpp.o.d"
+  "/root/repo/tests/test_grid.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_grid.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_grid.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_latlon_serialization.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_latlon_serialization.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_latlon_serialization.cpp.o.d"
+  "/root/repo/tests/test_lint_json.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_lint_json.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_lint_json.cpp.o.d"
+  "/root/repo/tests/test_orch.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_orch.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_orch.cpp.o.d"
+  "/root/repo/tests/test_perf.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_perf.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_perf.cpp.o.d"
+  "/root/repo/tests/test_sched.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_sched.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_sched.cpp.o.d"
+  "/root/repo/tests/test_tune.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_tune.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_tune.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_xform.cpp" "tests/CMakeFiles/cyclone_tests.dir/test_xform.cpp.o" "gcc" "tests/CMakeFiles/cyclone_tests.dir/test_xform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cyclone_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/cyclone_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/cyclone_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fv3/CMakeFiles/cyclone_fv3.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/cyclone_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
