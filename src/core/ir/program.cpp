@@ -76,6 +76,19 @@ void Program::exec_state(const State& state, FieldCatalog& catalog,
   for (const auto& node : state.nodes) {
     switch (node.kind) {
       case SNode::Kind::Stencil: {
+        exec::LaunchDomain node_dom = dom;
+        node_dom.ext = node.ext;
+        if (backend_ == Backend::Reference) {
+          auto it = reference_.find(node.stencil.get());
+          if (it == reference_.end()) {
+            it = reference_
+                     .emplace(node.stencil.get(),
+                              std::make_shared<exec::RefExecutor>(*node.stencil))
+                     .first;
+          }
+          it->second->run(catalog, node.args, node_dom);
+          break;
+        }
         auto it = compiled_.find(node.stencil.get());
         if (it == compiled_.end()) {
           it = compiled_
@@ -83,8 +96,6 @@ void Program::exec_state(const State& state, FieldCatalog& catalog,
                             std::make_shared<exec::CompiledStencil>(*node.stencil))
                    .first;
         }
-        exec::LaunchDomain node_dom = dom;
-        node_dom.ext = node.ext;
         it->second->run(catalog, node.args, node_dom);
         break;
       }

@@ -36,4 +36,21 @@ OrchestrationReport orchestrate(ir::Program& program) {
   return report;
 }
 
+OrchestrationReport orchestrate(ir::Program& program, const OrchestrateOptions& options) {
+  if (!options.verify_equivalence) return orchestrate(program);
+
+  const ir::Program snapshot = program;
+  OrchestrationReport report = orchestrate(program);
+  const auto verdict = verify::check_equivalent(verify::without_callbacks(snapshot),
+                                                verify::without_callbacks(program),
+                                                options.verify);
+  report.verified = verdict.equivalent;
+  if (!verdict.equivalent) {
+    report.verify_failure = verdict.first_failure();
+    program = snapshot;  // roll back: never hand out a miscompiled program
+    program.invalidate_compiled();
+  }
+  return report;
+}
+
 }  // namespace cyclone::orch

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <string>
+
 #include "core/ir/program.hpp"
+#include "core/verify/verify.hpp"
 
 namespace cyclone::orch {
 
@@ -13,7 +16,23 @@ struct OrchestrationReport {
   int params_propagated = 0;    ///< scalar parameters turned into literals
   int bindings_resolved = 0;    ///< formal -> actual field renamings inlined
   int callbacks_registered = 0;
+  /// True when the differential guard ran and the orchestrated program proved
+  /// equivalent to the input (always true when the guard is off — the
+  /// transformation was simply not checked).
+  bool verified = true;
+  /// First failing (domain, field) when the guard rejected; empty otherwise.
+  std::string verify_failure;
   ir::ProgramStats stats;
+};
+
+/// Knobs of the orchestration pipeline guard.
+struct OrchestrateOptions {
+  /// When set, the orchestrated program is differentially checked against a
+  /// snapshot of the input on the reference interpreter; on divergence the
+  /// program is rolled back to the snapshot and the report carries the
+  /// failure (verified = false).
+  bool verify_equivalence = false;
+  verify::VerifyOptions verify;
 };
 
 /// Orchestrate a program in place:
@@ -25,5 +44,9 @@ struct OrchestrationReport {
 /// Loop unrolling of Python-level loops (the tracer dictionary) happens at
 /// program construction (see remap_nodes / tracer_2d), as in the paper.
 OrchestrationReport orchestrate(ir::Program& program);
+
+/// Guarded variant: orchestrate, then translation-validate the result against
+/// the pre-orchestration program when options.verify_equivalence is set.
+OrchestrationReport orchestrate(ir::Program& program, const OrchestrateOptions& options);
 
 }  // namespace cyclone::orch

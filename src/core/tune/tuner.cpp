@@ -199,6 +199,27 @@ ir::State with_fused(const ir::State& state, int p, int c, ir::SNode fused) {
   return out;
 }
 
+/// Single-state cutout program for the differential guard: the state's
+/// stencil/halo nodes (callbacks stripped — they cannot run on synthetic
+/// catalogs) plus the parent's field metadata, so transient contracts carry
+/// over to the equivalence check.
+ir::Program cutout_program(const ir::Program& parent, const ir::State& state) {
+  ir::Program cut(parent.name() + "#" + state.name);
+  cut.append_state(state);
+  for (const auto& [name, meta] : parent.field_meta()) cut.set_field_meta(name, meta);
+  return verify::without_callbacks(cut);
+}
+
+/// Differential acceptance test of a candidate state rewrite.
+bool cutout_equivalent(const ir::Program& parent, const ir::State& before,
+                       const ir::State& after, const TuningOptions& options) {
+  verify::VerifyOptions vo = options.verify;
+  if (vo.domains.empty()) vo.domains = {options.dom};
+  return verify::check_equivalent(cutout_program(parent, before),
+                                  cutout_program(parent, after), vo)
+      .equivalent;
+}
+
 double model_state_impl(const ir::Program& program, const ir::State& state,
                         const TuningOptions& options) {
   std::vector<ir::KernelDesc> kernels;
@@ -314,11 +335,17 @@ TransferReport transfer(ir::Program& target, const std::vector<Pattern>& pattern
         const double before = model_state_impl(target, state, options);
         const ir::State candidate = with_fused(state, p, c, *fused);
         const double after = model_state_impl(target, candidate, options);
-        // Apply only when locally improving (Sec. VI-B, phase 2 guard).
-        if (after < before) {
-          target.states()[static_cast<size_t>(s)] = candidate;
-          ++report.applied;
+        // Apply only when locally improving (Sec. VI-B, phase 2 guard)...
+        if (after >= before) break;
+        // ...and, when the differential guard is on, only when the rewritten
+        // cutout is oracle-equivalent to the original (the analog of the
+        // paper's field-by-field validation of every accepted optimization).
+        if (options.verify_transfers && !cutout_equivalent(target, state, candidate, options)) {
+          ++report.rejected_by_verify;
+          break;
         }
+        target.states()[static_cast<size_t>(s)] = candidate;
+        ++report.applied;
       }
     }
   }
@@ -336,6 +363,7 @@ TransferReport transfer_until_converged(ir::Program& target,
     const TransferReport r = transfer(target, patterns, options);
     total.candidates_found += r.candidates_found;
     total.applied += r.applied;
+    total.rejected_by_verify += r.rejected_by_verify;
     total.time_after = r.time_after;
     if (r.applied == 0) break;
   }

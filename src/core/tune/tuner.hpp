@@ -5,6 +5,7 @@
 
 #include "core/ir/program.hpp"
 #include "core/perf/model.hpp"
+#include "core/verify/verify.hpp"
 
 namespace cyclone::tune {
 
@@ -35,6 +36,16 @@ struct TuningOptions {
   exec::LaunchDomain dom;
   perf::MachineSpec machine = perf::p100();
   int top_m = 2;  ///< best-M configurations kept per cutout (paper: M = 2)
+  /// Differential guard on transfers (the paper's protection against
+  /// incorrect pattern application): a fused candidate state is accepted
+  /// only if its single-state cutout passes verify::check_equivalent against
+  /// the unfused original on the reference interpreter. Off by default —
+  /// fusion legality checks already gate correctness; the guard adds
+  /// oracle-backed certainty at interpreter cost.
+  bool verify_transfers = false;
+  /// Options of the guard's equivalence check; an empty domain list verifies
+  /// on `dom` itself (the placement being tuned for).
+  verify::VerifyOptions verify;
 };
 
 /// Result of exhaustively tuning one cutout (program state).
@@ -62,6 +73,9 @@ std::vector<Pattern> collect_patterns(const std::vector<CutoutResult>& cutouts);
 struct TransferReport {
   int candidates_found = 0;
   int applied = 0;
+  /// Candidates that improved the model but failed the differential guard
+  /// (only nonzero with TuningOptions::verify_transfers).
+  int rejected_by_verify = 0;
   double time_before = 0;
   double time_after = 0;
 

@@ -6,18 +6,38 @@ namespace cyclone {
 
 /// Deterministic xoshiro256** PRNG. Used everywhere randomness is needed so
 /// tests and simulated experiments are bit-reproducible across runs.
+///
+/// Fuzz tests need *per-test* streams that are (a) reproducible from a single
+/// logged base seed and (b) decorrelated from each other. Deriving them by
+/// arithmetic on the seed (`seed * 7`, `base + i`) silently couples streams
+/// whenever two call sites pick colliding formulas, so stream derivation goes
+/// through `mix`/`derive`, which hash every component through SplitMix64.
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
     // SplitMix64 seeding, as recommended by the xoshiro authors.
     for (auto& word : s_) {
       seed += 0x9E3779B97F4A7C15ull;
-      uint64_t z = seed;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-      word = z ^ (z >> 31);
+      word = splitmix(seed);
     }
   }
+
+  /// Hash-combine a base seed with a stream index. Unlike `seed + stream`,
+  /// nearby (seed, stream) pairs map to decorrelated values, so per-test
+  /// sub-seeds never alias (the test logs `base` once and every case is
+  /// reproducible as `derive(base, i)`).
+  static uint64_t mix(uint64_t seed, uint64_t stream) {
+    uint64_t z = splitmix(seed + 0x9E3779B97F4A7C15ull);
+    z ^= splitmix(stream + 0xBF58476D1CE4E5B9ull);
+    return splitmix(z);
+  }
+
+  /// Generator for sub-stream `stream` of `seed` (see `mix`).
+  static Rng derive(uint64_t seed, uint64_t stream) { return Rng(mix(seed, stream)); }
+
+  /// Fork an independent child generator; advances this generator once.
+  /// Parent and child sequences are decorrelated by construction.
+  Rng split() { return Rng(splitmix(next_u64() ^ 0x94D049BB133111EBull)); }
 
   uint64_t next_u64() {
     const uint64_t result = rotl(s_[1] * 5, 7) * 9;
@@ -42,6 +62,11 @@ class Rng {
 
  private:
   static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  static uint64_t splitmix(uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
   uint64_t s_[4]{};
 };
 

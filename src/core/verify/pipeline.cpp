@@ -1,0 +1,69 @@
+#include "core/verify/pipeline.hpp"
+
+#include "core/orch/orchestrate.hpp"
+#include "core/tune/tuner.hpp"
+#include "core/xform/passes.hpp"
+
+namespace cyclone::verify {
+
+std::vector<std::string> known_passes() {
+  return {"schedules_tuned",  "schedules_default", "region_kernels",
+          "region_predicated", "vertical_cache",    "strength_reduce",
+          "prune_regions",     "orchestrate",       "fuse_sgf",
+          "fuse_otf",          "autotune_schedules"};
+}
+
+namespace {
+
+int run_fusion(ir::Program& program, const exec::LaunchDomain& dom, tune::TransformKind kind) {
+  tune::TuningOptions options;
+  options.dom = dom;
+  const auto cutouts = tune::tune_cutouts(program, options, kind);
+  const auto patterns = tune::collect_patterns(cutouts);
+  if (patterns.empty()) return 0;
+  return tune::transfer_until_converged(program, patterns, options).applied;
+}
+
+}  // namespace
+
+PassResult apply_pass(ir::Program& program, const std::string& name,
+                      const exec::LaunchDomain& dom) {
+  PassResult result;
+  result.name = name;
+  if (name == "schedules_tuned") {
+    xform::apply_schedules(program, sched::tuned_horizontal(), sched::tuned_vertical());
+    result.changes = 1;
+  } else if (name == "schedules_default") {
+    xform::apply_schedules(program, sched::default_schedule(), sched::default_schedule());
+    result.changes = 1;
+  } else if (name == "region_kernels") {
+    xform::set_region_strategy(program, sched::RegionStrategy::SeparateKernels);
+    result.changes = 1;
+  } else if (name == "region_predicated") {
+    xform::set_region_strategy(program, sched::RegionStrategy::Predicated);
+    result.changes = 1;
+  } else if (name == "vertical_cache") {
+    xform::set_vertical_cache(program, sched::CacheKind::Registers);
+    result.changes = 1;
+  } else if (name == "strength_reduce") {
+    result.changes = xform::strength_reduce_program(program);
+  } else if (name == "prune_regions") {
+    result.changes = xform::prune_regions(program, dom);
+    result.placement_dependent = true;
+  } else if (name == "orchestrate") {
+    result.changes = orch::orchestrate(program).stencils_processed;
+  } else if (name == "fuse_sgf") {
+    result.changes = run_fusion(program, dom, tune::TransformKind::SubgraphFusion);
+  } else if (name == "fuse_otf") {
+    result.changes = run_fusion(program, dom, tune::TransformKind::OtfFusion);
+  } else if (name == "autotune_schedules") {
+    tune::TuningOptions options;
+    options.dom = dom;
+    result.changes = tune::autotune_schedules(program, options);
+  } else {
+    result.known = false;
+  }
+  return result;
+}
+
+}  // namespace cyclone::verify

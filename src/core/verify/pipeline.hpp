@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ir/program.hpp"
+
+namespace cyclone::verify {
+
+/// Outcome of applying one named pass to a program.
+struct PassResult {
+  std::string name;
+  bool known = true;
+  /// Pass-specific change count (statements removed, rewrites, fusions
+  /// applied, schedules changed, ...). 0 means the pass matched nothing.
+  int changes = 0;
+  /// True when the transformation specializes the program to the launch
+  /// placement it was given (prune_regions): equivalence then only holds on
+  /// domains with the same placement, so the checker must not sweep others.
+  bool placement_dependent = false;
+};
+
+/// Names accepted by apply_pass, in recommended pipeline order.
+std::vector<std::string> known_passes();
+
+/// Apply one named transformation pass in place. The registry covers every
+/// semantics-relevant pass of the toolchain so the differential harness can
+/// translation-validate each of them (and arbitrary compositions) against
+/// the reference interpreter:
+///   schedules_tuned / schedules_default — xform::apply_schedules
+///   region_kernels / region_predicated  — xform::set_region_strategy
+///   vertical_cache                      — xform::set_vertical_cache
+///   strength_reduce                     — xform::strength_reduce_program
+///   prune_regions                       — xform::prune_regions (uses `dom`)
+///   orchestrate                         — orch::orchestrate
+///   fuse_sgf / fuse_otf                 — tune cutouts -> patterns -> transfer
+///   autotune_schedules                  — tune::autotune_schedules
+PassResult apply_pass(ir::Program& program, const std::string& name,
+                      const exec::LaunchDomain& dom);
+
+}  // namespace cyclone::verify

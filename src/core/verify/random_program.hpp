@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/ir/program.hpp"
+
+namespace cyclone::verify {
+
+/// Shape knobs of the program fuzzer. Defaults produce small chains (1-4
+/// stencil nodes) that still cover every DSL construct the transformation
+/// passes pattern-match on: PARALLEL and FORWARD/BACKWARD computations,
+/// split vertical intervals, horizontal regions (including exact duplicates,
+/// fodder for prune_regions), stencil-local temporaries, program-level
+/// transients, scalar parameters, and formal->actual field bindings.
+struct RandomProgramOptions {
+  int max_nodes = 4;        ///< stencil nodes chained through one state
+  int max_stmts = 3;        ///< extra statements per parallel node
+  int min_nk = 4;           ///< generated intervals stay valid for nk >= min_nk
+  bool allow_vertical = true;
+  bool allow_regions = true;
+  bool allow_temporaries = true;
+  bool allow_params = true;
+  bool allow_bindings = true;
+  bool allow_second_state = true;
+};
+
+/// Generate a valid random stencil program through dsl::StencilBuilder (every
+/// stencil passes dsl::validate). Deterministic in `seed`: the same seed
+/// always yields the same program, so any fuzz failure reproduces from the
+/// logged seed alone. Inputs are named in0..; produced fields f0.. — each
+/// node reads a random mix of inputs and earlier outputs, so consecutive
+/// nodes form producer/consumer pairs that fusion and transfer tuning can
+/// legally transform.
+ir::Program random_program(uint64_t seed, const RandomProgramOptions& options = {});
+
+}  // namespace cyclone::verify

@@ -238,16 +238,19 @@ ir::SNode fuse_otf(const ir::SNode& a, const ir::SNode& b, const std::string& la
   StencilFunc rb = resolve_node(b, "fb__");
   const auto producers = inlinable_outputs(ra);
 
-  // Transitive inliner: replace reads of a-produced fields by the producer
-  // RHS shifted to the access offset; the producer RHS may itself read
-  // a-produced fields, so recurse.
-  std::function<ExprP(const ExprP&)> inline_all = [&](const ExprP& e) -> ExprP {
+  // One-level inliner: replace reads of a-produced fields by the producer
+  // RHS shifted to the access offset. Fields the shifted RHS itself reads
+  // are NOT substituted further — every producer statement that stays live
+  // remains materialized in the fused kernel (extended-domain execution
+  // serves its offset reads), and recursing instead of relying on that
+  // loops forever on read-before-write cycles such as
+  //   t = f(t) ; f = g(t)   (t reads the *incoming* f, not the new one).
+  auto inline_all = [&](const ExprP& e) -> ExprP {
     return substitute_accesses(e, [&](const std::string& name,
                                       const dsl::Offset& off) -> std::optional<ExprP> {
       auto it = producers.find(name);
       if (it == producers.end() || it->second == nullptr) return std::nullopt;
-      ExprP shifted = shift_expr(it->second->rhs, off.i, off.j, off.k);
-      return inline_all(shifted);
+      return shift_expr(it->second->rhs, off.i, off.j, off.k);
     });
   };
 

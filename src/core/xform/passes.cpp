@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/dsl/analysis.hpp"
 #include "core/xform/expr_rewrite.hpp"
 
 namespace cyclone::xform {
@@ -108,16 +109,23 @@ int prune_regions(ir::Program& program, const exec::LaunchDomain& dom) {
                                         return false;
                                       }),
                        body.end());
-            // Deduplicate exactly-identical region statements.
+            // Deduplicate exactly-identical *adjacent* region statements —
+            // and only idempotent ones (rhs must not read the lhs: running
+            // `f = f + 1` twice is not the same as once). Non-adjacent
+            // duplicates are left alone; a statement in between could read
+            // the lhs or redefine an rhs operand, making the re-execution
+            // observable. (Both traps were caught by the differential
+            // verification fuzzer.)
             for (size_t i = 0; i + 1 < body.size(); ++i) {
-              for (size_t j = i + 1; j < body.size(); ++j) {
-                if (body[i].region && body[j].region && body[i].region == body[j].region &&
-                    body[i].lhs == body[j].lhs &&
-                    dsl::expr_equal(body[i].rhs, body[j].rhs)) {
-                  body.erase(body.begin() + static_cast<long>(j));
-                  ++removed;
-                  --j;
-                }
+              const size_t j = i + 1;
+              if (body[i].region && body[j].region && body[i].region == body[j].region &&
+                  body[i].lhs == body[j].lhs && dsl::expr_equal(body[i].rhs, body[j].rhs)) {
+                dsl::AccessInfo acc;
+                dsl::collect_accesses(body[i].rhs, acc);
+                if (acc.reads.count(body[i].lhs)) continue;  // non-idempotent
+                body.erase(body.begin() + static_cast<long>(j));
+                ++removed;
+                --i;  // a run of N identical statements collapses to one
               }
             }
           }

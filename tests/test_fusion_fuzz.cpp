@@ -97,13 +97,22 @@ void run_state(const ir::Program& prog, FieldCatalog& cat) {
   prog.execute_state(0, cat, exec::LaunchDomain{10, 9, 4});
 }
 
+/// Base seed of the fuzz suite. Per-test seeds are derived with Rng::mix so
+/// consecutive test indices get decorrelated streams (plain `base + i`
+/// seeding makes xoshiro streams start near each other), and the program
+/// and data streams are split from the same per-test seed so a failure
+/// reproduces standalone from the one value printed in the message.
+constexpr uint64_t kFuzzBaseSeed = 0xF051F022ull;
+
 class FusionFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(FusionFuzz, FusedChainMatchesOriginalInterior) {
-  const uint64_t seed = 1000 + static_cast<uint64_t>(GetParam());
+  const uint64_t seed = Rng::mix(kFuzzBaseSeed, static_cast<uint64_t>(GetParam()));
+  SCOPED_TRACE(::testing::Message() << "base=" << kFuzzBaseSeed << " seed=" << seed);
   Chain chain = random_chain(seed);
 
-  FieldCatalog ref = make_fields(seed * 7);
+  const uint64_t data_seed = Rng::mix(seed, /*stream=*/1);
+  FieldCatalog ref = make_fields(data_seed);
   run_state(chain.program, ref);
 
   for (int kind : {0, 1}) {
@@ -125,7 +134,7 @@ TEST_P(FusionFuzz, FusedChainMatchesOriginalInterior) {
 
     ir::Program fused_prog;
     fused_prog.append_state(ir::State{"s0", {fused}});
-    FieldCatalog got = make_fields(seed * 7);
+    FieldCatalog got = make_fields(data_seed);
     run_state(fused_prog, got);
 
     // Compare the externally visible outputs over the interior (at the

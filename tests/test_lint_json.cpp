@@ -108,6 +108,75 @@ TEST(Json, SerializesStructure) {
   EXPECT_EQ(brackets, 0);
 }
 
+TEST(Json, RoundTripsEveryScheduleAndCacheKind) {
+  // One program holding a node for every feasible schedule of both
+  // iteration-order families plus every CacheKind and RegionStrategy value:
+  // lint must accept all of them and to_json must render each distinctly.
+  Program p("all_schedules");
+  State state;
+  state.name = "s0";
+  int id = 0;
+
+  auto horizontal_node = [&](const sched::Schedule& s) {
+    StencilBuilder b("h" + std::to_string(id));
+    auto q = b.field("q");
+    b.parallel()
+        .full()
+        .assign(q, E(q) * 2.0)
+        .assign_in(dsl::region_i_start(1), q, 0.0);  // exercises region_strategy
+    SNode node = SNode::make_stencil("h" + std::to_string(id++), b.build());
+    node.schedule = s;
+    return node;
+  };
+  auto vertical_node = [&](const sched::Schedule& s) {
+    StencilBuilder b("v" + std::to_string(id));
+    auto a = b.field("a");
+    b.forward().interval(dsl::inner_levels(1, 0)).assign(a, a.at_k(-1) + E(a));
+    SNode node = SNode::make_stencil("v" + std::to_string(id++), b.build());
+    node.schedule = s;
+    return node;
+  };
+
+  std::vector<sched::Schedule> all;
+  for (auto s : sched::enumerate_valid(dsl::IterOrder::Parallel)) {
+    s.region_strategy = (id % 2) ? sched::RegionStrategy::SeparateKernels
+                                 : sched::RegionStrategy::Predicated;
+    state.nodes.push_back(horizontal_node(s));
+    all.push_back(s);
+  }
+  for (auto s : sched::enumerate_valid(dsl::IterOrder::Forward)) {
+    for (const auto cache : {sched::CacheKind::None, sched::CacheKind::Registers,
+                             sched::CacheKind::SharedMemory}) {
+      if (s.k_as_map && cache != sched::CacheKind::None) continue;  // infeasible
+      sched::Schedule v = s;
+      v.vertical_cache = cache;
+      if (!sched::is_valid(v, dsl::IterOrder::Forward)) continue;
+      state.nodes.push_back(vertical_node(v));
+      all.push_back(v);
+    }
+  }
+  ASSERT_GT(all.size(), 4u);
+  p.append_state(std::move(state));
+
+  for (const auto& issue : lint(p)) {
+    EXPECT_NE(issue.severity, LintIssue::Severity::Error)
+        << issue.where << ": " << issue.message;
+  }
+
+  const std::string json = to_json(p);
+  for (const auto& s : all) {
+    EXPECT_NE(json.find(s.describe()), std::string::npos)
+        << "schedule missing from JSON: " << s.describe();
+  }
+  long braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
 TEST(Backend, ReferenceMatchesCompiledOnDycoreState) {
   fv3::FvConfig cfg;
   cfg.npx = 12;

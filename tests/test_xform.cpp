@@ -363,6 +363,105 @@ TEST(Passes, PruneRegionsRemovesOffRankAndDuplicates) {
   }
 }
 
+TEST(Passes, PruneRegionsDropsFullyRegionedNodeAndProgramStaysRunnable) {
+  // A program whose only node is region-restricted everywhere: on an
+  // interior placement every statement resolves empty, the node vanishes,
+  // and the surviving (empty-state) program must still execute.
+  ir::Program p("edges_only");
+  StencilBuilder b("edges");
+  auto z = b.field("z");
+  b.parallel()
+      .full()
+      .assign_in(dsl::region_i_start(2), z, 1.0)
+      .assign_in(dsl::region_i_end(2), z, 2.0)
+      .assign_in(dsl::region_j_start(1), z, 3.0)
+      .assign_in(dsl::region_j_end(1), z, 4.0);
+  p.append_state(ir::State{"s0", {ir::SNode::make_stencil("e", b.build())}});
+
+  exec::LaunchDomain dom{8, 8, 4};
+  dom.gi0 = 16;
+  dom.gj0 = 16;
+  dom.gni = 64;
+  dom.gnj = 64;
+  EXPECT_EQ(prune_regions(p, dom), 4);
+  EXPECT_TRUE(p.states()[0].nodes.empty());
+
+  FieldCatalog cat;
+  auto& f = cat.create("z", dom.ni, dom.nj, dom.nk, HaloSpec{3, 3});
+  f.fill_with([](int, int, int) { return 7.0; });
+  p.execute(cat, dom);                // no-op, but must not throw
+  EXPECT_EQ(cat.at("z")(0, 0, 0), 7.0);  // and must not touch data
+}
+
+TEST(Passes, PruneRegionsKeepsNonIdempotentDuplicates) {
+  // `z = z + 1` twice is not the same as once: the dedup must refuse
+  // self-reading duplicates even though they are textually identical.
+  ir::Program p("selfdup");
+  StencilBuilder b("bump");
+  auto z = b.field("z");
+  b.parallel()
+      .full()
+      .assign_in(dsl::region_i_start(1), z, E(z) + 1.0)
+      .assign_in(dsl::region_i_start(1), z, E(z) + 1.0);
+  p.append_state(ir::State{"s0", {ir::SNode::make_stencil("b", b.build())}});
+  EXPECT_EQ(prune_regions(p, exec::LaunchDomain{8, 8, 4}), 0);
+  EXPECT_EQ(count_region_stmts(p), 2);
+}
+
+TEST(Passes, PruneRegionsKeepsSeparatedDuplicates) {
+  // Identical region statements with an observer in between: removing the
+  // second copy would change what the middle statement sees, so only
+  // *adjacent* duplicates may be deduplicated.
+  ir::Program p("sepdup");
+  StencilBuilder b("sep");
+  auto z = b.field("z");
+  auto w = b.field("w");
+  b.parallel()
+      .full()
+      .assign_in(dsl::region_i_start(1), z, 1.0)
+      .assign_in(dsl::region_i_start(1), w, E(z) * 2.0)
+      .assign_in(dsl::region_i_start(1), z, 1.0);
+  p.append_state(ir::State{"s0", {ir::SNode::make_stencil("b", b.build())}});
+  EXPECT_EQ(prune_regions(p, exec::LaunchDomain{8, 8, 4}), 0);
+  EXPECT_EQ(count_region_stmts(p), 3);
+}
+
+TEST(Passes, PruneRegionsCollapsesDuplicateRuns) {
+  // A run of N identical idempotent statements collapses to exactly one.
+  ir::Program p("rundup");
+  StencilBuilder b("run");
+  auto z = b.field("z");
+  b.parallel()
+      .full()
+      .assign_in(dsl::region_j_end(1), z, 5.0)
+      .assign_in(dsl::region_j_end(1), z, 5.0)
+      .assign_in(dsl::region_j_end(1), z, 5.0);
+  p.append_state(ir::State{"s0", {ir::SNode::make_stencil("b", b.build())}});
+  EXPECT_EQ(prune_regions(p, exec::LaunchDomain{8, 8, 4}), 2);
+  EXPECT_EQ(count_region_stmts(p), 1);
+}
+
+TEST(Passes, PruneRegionsPartialNodeSurvival) {
+  // Placement owning only the i_start edge: the i_end statement goes, the
+  // i_start one stays, and the node itself survives with its unregioned
+  // statement intact.
+  ir::Program p("partial");
+  StencilBuilder b("mix");
+  auto z = b.field("z");
+  b.parallel()
+      .full()
+      .assign(z, E(z) * 1.5)
+      .assign_in(dsl::region_i_start(1), z, 1.0)
+      .assign_in(dsl::region_i_end(1), z, 2.0);
+  p.append_state(ir::State{"s0", {ir::SNode::make_stencil("b", b.build())}});
+  exec::LaunchDomain dom{8, 8, 4};
+  dom.gni = 32;  // low corner: i_start owned, i_end not
+  dom.gnj = 32;
+  EXPECT_EQ(prune_regions(p, dom), 1);
+  EXPECT_EQ(count_region_stmts(p), 1);
+  ASSERT_EQ(p.states()[0].nodes.size(), 1u);
+}
+
 TEST(Passes, SetVerticalCacheTouchesOnlySolvers) {
   ir::Program p = small_program();
   apply_schedules(p, sched::tuned_horizontal(), sched::tuned_vertical());

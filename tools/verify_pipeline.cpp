@@ -1,0 +1,165 @@
+// verify_pipeline — translation-validate a transformation pipeline.
+//
+// Builds a program (a seeded fuzz program or the fv3 dycore), applies a
+// comma-separated list of transformation passes, runs original and
+// transformed through the reference interpreter on identical seeded field
+// catalogs over a launch-domain sweep, and prints a JSON verdict.
+//
+//   verify_pipeline --program fuzz:42 --passes strength_reduce,fuse_sgf
+//   verify_pipeline --program dycore --passes orchestrate
+//   verify_pipeline --program fuzz:7 --passes fuse_otf --mutate 3   # must FAIL
+//
+// Exit code: 0 equivalent, 1 divergent, 2 usage/build error.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/verify/pipeline.hpp"
+#include "core/verify/random_program.hpp"
+#include "core/verify/verify.hpp"
+#include "fv3/dyn_core.hpp"
+#include "fv3/state.hpp"
+
+namespace {
+
+using namespace cyclone;
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: verify_pipeline [options]\n"
+               "  --program SPEC     fuzz:<seed> (default fuzz:1) or dycore\n"
+               "  --passes a,b,c     passes to apply in order (default: none)\n"
+               "  --data-seed N      seed of the randomized catalogs (default 0xC0FFEE)\n"
+               "  --trials N         independent fills per domain (default 1)\n"
+               "  --max-ulps X       per-field ulp tolerance (default 64)\n"
+               "  --mutate N         inject a seeded defect after the passes\n"
+               "  --list-passes      print the known pass names and exit\n");
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string program_spec = "fuzz:1";
+  std::string passes_csv;
+  verify::VerifyOptions options;
+  bool mutate = false;
+  uint64_t mutate_seed = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--program") {
+      program_spec = value();
+    } else if (arg == "--passes") {
+      passes_csv = value();
+    } else if (arg == "--data-seed") {
+      options.data_seed = std::strtoull(value(), nullptr, 0);
+    } else if (arg == "--trials") {
+      options.trials = std::atoi(value());
+    } else if (arg == "--max-ulps") {
+      options.max_ulps = std::atof(value());
+    } else if (arg == "--mutate") {
+      mutate = true;
+      mutate_seed = std::strtoull(value(), nullptr, 0);
+    } else if (arg == "--list-passes") {
+      for (const auto& name : verify::known_passes()) std::printf("%s\n", name.c_str());
+      return 0;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  // Build the subject program and the placement the passes transform for.
+  ir::Program original("empty");
+  exec::LaunchDomain pass_dom = verify::default_domains().front();
+  bool sweep = true;  // dycore runs only on its own placement
+  try {
+    if (program_spec.rfind("fuzz:", 0) == 0) {
+      const uint64_t seed = std::strtoull(program_spec.c_str() + 5, nullptr, 0);
+      original = verify::random_program(seed);
+    } else if (program_spec == "dycore") {
+      fv3::FvConfig cfg;
+      cfg.npx = 12;
+      cfg.npz = 8;
+      cfg.ntracers = 2;
+      grid::Partitioner part(cfg.npx, 1, 1);
+      fv3::ModelState state(cfg, part, 0);
+      original = fv3::build_dycore_program(state);
+      pass_dom = state.domain();
+      sweep = false;
+    } else {
+      std::fprintf(stderr, "unknown program spec '%s'\n", program_spec.c_str());
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failed to build program: %s\n", e.what());
+    return 2;
+  }
+
+  ir::Program transformed = original;
+  std::vector<verify::PassResult> applied;
+  for (const auto& name : split_csv(passes_csv)) {
+    const verify::PassResult r = verify::apply_pass(transformed, name, pass_dom);
+    if (!r.known) {
+      std::fprintf(stderr, "unknown pass '%s' (see --list-passes)\n", name.c_str());
+      return 2;
+    }
+    if (r.placement_dependent) sweep = false;  // valid only on pass_dom
+    applied.push_back(r);
+  }
+
+  std::string defect;
+  if (mutate) defect = verify::mutate_program(transformed, mutate_seed);
+
+  if (!sweep && options.domains.empty()) options.domains = {pass_dom};
+  const verify::EquivalenceReport report = verify::check_equivalent(
+      verify::without_callbacks(original), verify::without_callbacks(transformed), options);
+
+  std::ostringstream out;
+  out << "{\n  \"program\": \"" << json_escape(program_spec) << "\",\n  \"passes\": [";
+  for (size_t i = 0; i < applied.size(); ++i) {
+    if (i) out << ", ";
+    out << "{\"name\": \"" << json_escape(applied[i].name)
+        << "\", \"changes\": " << applied[i].changes << "}";
+  }
+  out << "],\n";
+  if (mutate) out << "  \"injected_defect\": \"" << json_escape(defect) << "\",\n";
+  out << "  \"report\": " << verify::report_to_json(report) << "\n}\n";
+  std::fputs(out.str().c_str(), stdout);
+  return report.equivalent ? 0 : 1;
+}
