@@ -5,15 +5,19 @@
 // EXPERIMENTS.md for the recorded outcomes).
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "core/exec/engine.hpp"
 #include "core/ir/expand.hpp"
 #include "core/perf/model.hpp"
 #include "core/perf/report.hpp"
 #include "core/tune/tuner.hpp"
 #include "core/util/strings.hpp"
 #include "core/util/timer.hpp"
+#include "core/verify/verify.hpp"
 #include "fv3/driver.hpp"
 #include "fv3/dyn_core.hpp"
 #include "fv3/init/baroclinic.hpp"
@@ -44,6 +48,31 @@ inline exec::LaunchDomain tile_domain(int npx, int npz) {
   return dom;
 }
 
+/// Parse the shared `--threads N` bench flag; every other argument is
+/// appended to `positional` in order.
+inline exec::RunOptions parse_run_options(int argc, char** argv,
+                                          std::vector<const char*>* positional = nullptr) {
+  exec::RunOptions run;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
+      run.num_threads = std::atoi(argv[++a]);
+    } else if (positional != nullptr) {
+      positional->push_back(argv[a]);
+    }
+  }
+  return run;
+}
+
+/// One machine-readable record per measurement. Every record carries the
+/// engine thread count so scaling sweeps can be joined across bench runs.
+inline void emit_json_record(const char* bench, const std::string& config, int threads,
+                             double seconds, double speedup) {
+  std::printf(
+      "{\"bench\":\"%s\",\"config\":\"%s\",\"threads\":%d,\"seconds\":%.6e,"
+      "\"speedup\":%.3f}\n",
+      bench, config.c_str(), threads, seconds, speedup);
+}
+
 inline void print_rule(int width = 96) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
@@ -53,6 +82,22 @@ inline void print_header(const std::string& title) {
   print_rule();
   std::printf("%s\n", title.c_str());
   print_rule();
+}
+
+/// Measured wall time of one whole-program execution on the parallel engine
+/// at the given team size (seeded synthetic catalog; one warm-up run builds
+/// executor caches and temporary pools first).
+inline double measure_program(const ir::Program& prog, const exec::LaunchDomain& dom,
+                              int threads) {
+  ir::Program p = verify::without_callbacks(prog);
+  exec::RunOptions run;
+  run.num_threads = threads;
+  p.set_run_options(run);
+  FieldCatalog cat = verify::make_test_catalog(p, p, dom, /*seed=*/42);
+  p.execute(cat, dom);
+  WallTimer timer;
+  p.execute(cat, dom);
+  return timer.seconds();
 }
 
 /// Modeled GPU time of a node list at a domain.

@@ -11,7 +11,8 @@
 
 using namespace cyclone;
 
-int main() {
+int main(int argc, char** argv) {
+  const exec::RunOptions run = bench::parse_run_options(argc, argv);
   bench::print_header("Fig. 10 — Model-augmented kernel runtimes (P100 model)");
 
   const fv3::FvConfig cfg = bench::paper_config();
@@ -71,5 +72,18 @@ int main() {
   std::printf(
       "Paper: the initial cycle's worst kernels sit at 20-60%% of peak; after\n"
       "further cycles most kernels are above 60%%.\n");
+
+  // Measured engine speedup of the fully tuned program when a team was
+  // requested (serial baseline first; both runs are bitwise identical).
+  const int threads = exec::resolved_num_threads(run);
+  if (threads > 1) {
+    const double t1 = bench::measure_program(prog, dom, 1);
+    const double tn = bench::measure_program(prog, dom, threads);
+    bench::print_rule();
+    std::printf("measured engine step: 1 thread %s, %d threads %s (%.2fx)\n",
+                str::human_time(t1).c_str(), threads, str::human_time(tn).c_str(), t1 / tn);
+    bench::emit_json_record("fig10_membound", "c192z80", 1, t1, 1.0);
+    bench::emit_json_record("fig10_membound", "c192z80", threads, tn, t1 / tn);
+  }
   return 0;
 }

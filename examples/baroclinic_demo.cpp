@@ -4,11 +4,14 @@
 // diagnostics each step — mass conservation and wave growth are visible in
 // the numbers.
 //
-//   ./example_baroclinic_demo [npx] [npz] [steps]
+//   ./example_baroclinic_demo [npx] [npz] [steps] [--threads N]
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
+#include "core/exec/engine.hpp"
 #include "core/util/strings.hpp"
 #include "fv3/driver.hpp"
 #include "fv3/init/baroclinic.hpp"
@@ -16,19 +19,29 @@
 using namespace cyclone;
 
 int main(int argc, char** argv) {
+  exec::RunOptions run;
+  std::vector<const char*> pos;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
+      run.num_threads = std::atoi(argv[++a]);
+    } else {
+      pos.push_back(argv[a]);
+    }
+  }
   fv3::FvConfig cfg;
-  cfg.npx = argc > 1 ? std::atoi(argv[1]) : 24;
-  cfg.npz = argc > 2 ? std::atoi(argv[2]) : 12;
-  const int steps = argc > 3 ? std::atoi(argv[3]) : 5;
+  cfg.npx = pos.size() > 0 ? std::atoi(pos[0]) : 24;
+  cfg.npz = pos.size() > 1 ? std::atoi(pos[1]) : 12;
+  const int steps = pos.size() > 2 ? std::atoi(pos[2]) : 5;
   cfg.k_split = 2;
   cfg.n_split = 3;
   cfg.ntracers = 4;
   cfg.dt = 600.0;
 
-  std::printf("baroclinic wave on the cubed sphere: c%d, %d levels, 6 ranks, dt=%.0fs\n",
-              cfg.npx, cfg.npz, cfg.dt);
+  std::printf("baroclinic wave on the cubed sphere: c%d, %d levels, 6 ranks, dt=%.0fs, %d threads\n",
+              cfg.npx, cfg.npz, cfg.dt, exec::resolved_num_threads(run));
 
   fv3::DistributedModel model(cfg, 6);
+  model.set_run_options(run);
   fv3::BaroclinicCase wave;
   wave.u_pert = 2.0;
   fv3::init_baroclinic(model, wave);

@@ -56,6 +56,18 @@ struct LaunchDomain {
   [[nodiscard]] long volume() const { return static_cast<long>(ni) * nj * nk; }
 };
 
+/// How compiled stencils execute (the on-node analog of DaCe's OpenMP
+/// sections): `num_threads` caps the team size (0 defers to the OpenMP
+/// runtime, i.e. OMP_NUM_THREADS); `parallel = false` forces the serial
+/// path through the same tape, which is what the verify harness diffs the
+/// parallel engine against.
+struct RunOptions {
+  int num_threads = 0;
+  bool parallel = true;
+
+  friend bool operator==(const RunOptions&, const RunOptions&) = default;
+};
+
 /// Runtime arguments of one stencil invocation: scalar parameter values and
 /// an optional renaming of stencil formal field names to catalog names.
 struct StencilArgs {

@@ -1,9 +1,11 @@
 #include "core/exec/tape.hpp"
 
 #include <cmath>
+#include <set>
 
 #include "core/dsl/analysis.hpp"
 #include "core/dsl/builder.hpp"
+#include "core/exec/engine.hpp"
 
 namespace cyclone::exec {
 
@@ -125,6 +127,22 @@ CompiledStencil::CompiledStencil(dsl::StencilFunc stencil) : stencil_(std::move(
     for (const auto& iv : block.intervals) {
       CInterval ci;
       ci.k_range = iv.k_range;
+      // Horizontal independence of the interval: no statement may read a
+      // field written within the interval at a nonzero i/j offset, otherwise
+      // a column sweep would observe a neighboring column mid-recurrence.
+      std::set<std::string> written;
+      for (const auto& stmt : iv.body) written.insert(stmt.lhs);
+      bool independent = true;
+      for (const auto& stmt : iv.body) {
+        dsl::AccessInfo acc;
+        dsl::collect_accesses(stmt.rhs, acc);
+        for (const auto& [name, e] : acc.reads) {
+          if (written.count(name) && (e.i_lo < 0 || e.i_hi > 0 || e.j_lo < 0 || e.j_hi > 0)) {
+            independent = false;
+          }
+        }
+      }
+      ci.columns_independent = independent;
       for (const auto& stmt : iv.body) {
         CStmt cs;
         cs.lhs_slot = slot_of.at(stmt.lhs);
@@ -139,166 +157,14 @@ CompiledStencil::CompiledStencil(dsl::StencilFunc stencil) : stencil_(std::move(
   }
 }
 
-namespace {
-
-/// Resolved storage for one slot during a run.
-struct SlotBind {
-  double* origin = nullptr;  ///< pointer at logical (0, 0, 0)
-  ptrdiff_t si = 0, sj = 0, sk = 0;
-  int koff = 0;
-  int nk = 0;  ///< allocated k levels
-};
-
-constexpr int kMaxStack = 64;
-
-double run_tape(const CStmt& stmt, const std::vector<double*>& lptr,
-                const std::vector<ptrdiff_t>& lsi, const double* params, int i) {
-  double stack[kMaxStack];
-  int sp = 0;
-  for (const Instr& ins : stmt.code) {
-    switch (ins.op) {
-      case OpC::PushLit: stack[sp++] = ins.lit; break;
-      case OpC::PushParam: stack[sp++] = params[ins.a]; break;
-      case OpC::Load: stack[sp++] = lptr[ins.a][(i + ins.di) * lsi[ins.a]]; break;
-      case OpC::Add: --sp; stack[sp - 1] += stack[sp]; break;
-      case OpC::Sub: --sp; stack[sp - 1] -= stack[sp]; break;
-      case OpC::Mul: --sp; stack[sp - 1] *= stack[sp]; break;
-      case OpC::Div: --sp; stack[sp - 1] /= stack[sp]; break;
-      case OpC::Pow: --sp; stack[sp - 1] = std::pow(stack[sp - 1], stack[sp]); break;
-      case OpC::Min: --sp; stack[sp - 1] = std::min(stack[sp - 1], stack[sp]); break;
-      case OpC::Max: --sp; stack[sp - 1] = std::max(stack[sp - 1], stack[sp]); break;
-      case OpC::Lt: --sp; stack[sp - 1] = stack[sp - 1] < stack[sp] ? 1.0 : 0.0; break;
-      case OpC::Le: --sp; stack[sp - 1] = stack[sp - 1] <= stack[sp] ? 1.0 : 0.0; break;
-      case OpC::Gt: --sp; stack[sp - 1] = stack[sp - 1] > stack[sp] ? 1.0 : 0.0; break;
-      case OpC::Ge: --sp; stack[sp - 1] = stack[sp - 1] >= stack[sp] ? 1.0 : 0.0; break;
-      case OpC::Eq: --sp; stack[sp - 1] = stack[sp - 1] == stack[sp] ? 1.0 : 0.0; break;
-      case OpC::Ne: --sp; stack[sp - 1] = stack[sp - 1] != stack[sp] ? 1.0 : 0.0; break;
-      case OpC::And:
-        --sp;
-        stack[sp - 1] = (stack[sp - 1] != 0.0 && stack[sp] != 0.0) ? 1.0 : 0.0;
-        break;
-      case OpC::Or:
-        --sp;
-        stack[sp - 1] = (stack[sp - 1] != 0.0 || stack[sp] != 0.0) ? 1.0 : 0.0;
-        break;
-      case OpC::Neg: stack[sp - 1] = -stack[sp - 1]; break;
-      case OpC::Not: stack[sp - 1] = stack[sp - 1] == 0.0 ? 1.0 : 0.0; break;
-      case OpC::Abs: stack[sp - 1] = std::abs(stack[sp - 1]); break;
-      case OpC::Sqrt: stack[sp - 1] = std::sqrt(stack[sp - 1]); break;
-      case OpC::Exp: stack[sp - 1] = std::exp(stack[sp - 1]); break;
-      case OpC::Log: stack[sp - 1] = std::log(stack[sp - 1]); break;
-      case OpC::Sin: stack[sp - 1] = std::sin(stack[sp - 1]); break;
-      case OpC::Cos: stack[sp - 1] = std::cos(stack[sp - 1]); break;
-      case OpC::Floor: stack[sp - 1] = std::floor(stack[sp - 1]); break;
-      case OpC::Sign:
-        stack[sp - 1] = (stack[sp - 1] > 0.0) - (stack[sp - 1] < 0.0);
-        break;
-      case OpC::Select: {
-        sp -= 2;
-        stack[sp - 1] = stack[sp - 1] != 0.0 ? stack[sp] : stack[sp + 1];
-        break;
-      }
-      case OpC::PowInt: {
-        // |a| multiplications; negative exponent takes the reciprocal.
-        const double x = stack[sp - 1];
-        const int n = ins.a;
-        double acc = 1.0;
-        for (int m = 0; m < (n < 0 ? -n : n); ++m) acc *= x;
-        stack[sp - 1] = n < 0 ? 1.0 / acc : acc;
-        break;
-      }
-      case OpC::PowHalf: stack[sp - 1] = std::sqrt(stack[sp - 1]); break;
-    }
-  }
-  return stack[0];
-}
-
-/// Apply one compiled statement over [k_lo, k_hi) x rect.
-void apply_cstmt(const CStmt& stmt, const LaunchDomain& dom, std::vector<SlotBind>& slots,
-                 const std::vector<double>& params, int k_lo, int k_hi,
-                 std::vector<double>& scratch) {
-  SlotBind& out = slots[stmt.lhs_slot];
-  k_lo = std::max(k_lo, -out.koff);
-  k_hi = std::min(k_hi, out.nk - out.koff);
-  if (k_hi <= k_lo) return;
-
-  Rect rect;
-  rect.i = {stmt.info.write_extent.i_lo - dom.ext.ilo,
-            dom.ni + stmt.info.write_extent.i_hi + dom.ext.ihi};
-  rect.j = {stmt.info.write_extent.j_lo - dom.ext.jlo,
-            dom.nj + stmt.info.write_extent.j_hi + dom.ext.jhi};
-  if (stmt.region) rect = resolve_region(*stmt.region, dom, rect);
-  if (rect.empty()) return;
-
-  // Per-plane hoisted load pointers.
-  std::vector<double*> lptr(stmt.loads.size());
-  std::vector<ptrdiff_t> lsi(stmt.loads.size());
-  for (size_t l = 0; l < stmt.loads.size(); ++l) lsi[l] = slots[stmt.loads[l].slot].si;
-
-  const double* pvals = params.data();
-
-  if (!stmt.info.self_read_offset) {
-    // Rows are independent: the multicore CPU backend threads over j (the
-    // OpenMP on-node parallelization of the production model).
-#pragma omp parallel for schedule(static) firstprivate(lptr) collapse(1) \
-    if ((k_hi - k_lo) * rect.j.size() > 8)
-    for (int j = rect.j.lo; j < rect.j.hi; ++j) {
-      for (int k = k_lo; k < k_hi; ++k) {
-        for (size_t l = 0; l < stmt.loads.size(); ++l) {
-          const LoadSite& ls = stmt.loads[l];
-          const SlotBind& sb = slots[ls.slot];
-          lptr[l] = sb.origin + (j + ls.dj) * sb.sj + (k + ls.dk + sb.koff) * sb.sk;
-        }
-        double* optr = out.origin + j * out.sj + (k + out.koff) * out.sk;
-        for (int i = rect.i.lo; i < rect.i.hi; ++i) {
-          optr[i * out.si] = run_tape(stmt, lptr, lsi, pvals, i);
-        }
-      }
-    }
-    return;
-  }
-
-  // Value semantics: buffer the full apply volume, then commit.
-  const size_t vol = static_cast<size_t>(rect.i.size()) * rect.j.size() * (k_hi - k_lo);
-  scratch.resize(vol);
-  size_t idx = 0;
-  for (int k = k_lo; k < k_hi; ++k) {
-    for (int j = rect.j.lo; j < rect.j.hi; ++j) {
-      for (size_t l = 0; l < stmt.loads.size(); ++l) {
-        const LoadSite& ls = stmt.loads[l];
-        const SlotBind& sb = slots[ls.slot];
-        lptr[l] = sb.origin + (j + ls.dj) * sb.sj + (k + ls.dk + sb.koff) * sb.sk;
-      }
-      for (int i = rect.i.lo; i < rect.i.hi; ++i) {
-        scratch[idx++] = run_tape(stmt, lptr, lsi, pvals, i);
-      }
-    }
-  }
-  idx = 0;
-  for (int k = k_lo; k < k_hi; ++k) {
-    for (int j = rect.j.lo; j < rect.j.hi; ++j) {
-      double* optr = out.origin + j * out.sj + (k + out.koff) * out.sk;
-      for (int i = rect.i.lo; i < rect.i.hi; ++i) optr[i * out.si] = scratch[idx++];
-    }
-  }
-}
-
-}  // namespace
-
 double eval_tape(const CStmt& stmt, const double* const* plane_ptrs,
                  const ptrdiff_t* plane_strides, const double* params, int i, double* stack) {
   (void)stack;
-  std::vector<double*> lptr(stmt.loads.size());
-  std::vector<ptrdiff_t> lsi(stmt.loads.size());
-  for (size_t l = 0; l < stmt.loads.size(); ++l) {
-    lptr[l] = const_cast<double*>(plane_ptrs[l]);
-    lsi[l] = plane_strides[l];
-  }
-  return run_tape(stmt, lptr, lsi, params, i);
+  return run_tape(stmt, plane_ptrs, plane_strides, params, i);
 }
 
-void CompiledStencil::run(FieldCatalog& catalog, const StencilArgs& args,
-                          const LaunchDomain& dom) const {
+void CompiledStencil::run(FieldCatalog& catalog, const StencilArgs& args, const LaunchDomain& dom,
+                          const sched::Schedule& schedule, const RunOptions& run_options) const {
   CY_REQUIRE_MSG(dom.ni > 0 && dom.nj > 0 && dom.nk > 0, "launch domain must be positive");
 
   // Resolve slots. Temporaries come from a pool reused across launches with
@@ -356,47 +222,7 @@ void CompiledStencil::run(FieldCatalog& catalog, const StencilArgs& args,
   std::vector<double> pvals(param_names_.size());
   for (size_t p = 0; p < param_names_.size(); ++p) pvals[p] = args.param(param_names_[p]);
 
-  std::vector<double> scratch;
-  for (const auto& block : blocks_) {
-    switch (block.order) {
-      case IterOrder::Parallel: {
-        for (const auto& iv : block.intervals) {
-          const int k0 = iv.k_range.lo_level(dom.nk);
-          const int k1 = iv.k_range.hi_level(dom.nk);
-          for (const auto& stmt : iv.body) {
-            const int ext_k0 = k0 - stmt.info.ext_k_lo_levels;
-            const int ext_k1 = k1 + stmt.info.ext_k_hi_levels;
-            apply_cstmt(stmt, dom, slots, pvals, ext_k0, ext_k1, scratch);
-          }
-        }
-        break;
-      }
-      case IterOrder::Forward: {
-        for (const auto& iv : block.intervals) {
-          const int k0 = iv.k_range.lo_level(dom.nk);
-          const int k1 = iv.k_range.hi_level(dom.nk);
-          for (int k = k0; k < k1; ++k) {
-            for (const auto& stmt : iv.body) {
-              apply_cstmt(stmt, dom, slots, pvals, k, k + 1, scratch);
-            }
-          }
-        }
-        break;
-      }
-      case IterOrder::Backward: {
-        for (const auto& iv : block.intervals) {
-          const int k0 = iv.k_range.lo_level(dom.nk);
-          const int k1 = iv.k_range.hi_level(dom.nk);
-          for (int k = k1 - 1; k >= k0; --k) {
-            for (const auto& stmt : iv.body) {
-              apply_cstmt(stmt, dom, slots, pvals, k, k + 1, scratch);
-            }
-          }
-        }
-        break;
-      }
-    }
-  }
+  run_blocks(blocks_, dom, slots, pvals, schedule, run_options);
 }
 
 }  // namespace cyclone::exec

@@ -7,6 +7,7 @@
 #include "core/exec/extents.hpp"
 #include "core/exec/launch.hpp"
 #include "core/field/catalog.hpp"
+#include "core/sched/schedule.hpp"
 
 namespace cyclone::exec {
 
@@ -76,6 +77,12 @@ struct CStmt {
 struct CInterval {
   dsl::Interval k_range;
   std::vector<CStmt> body;
+  /// True when no statement of a sequential (Forward/Backward) interval
+  /// reads a field written within the same interval at a nonzero horizontal
+  /// offset. Such intervals sweep k per *column*, so the engine can
+  /// parallelize the orthogonal horizontal tiles while each thread runs the
+  /// vertical recurrence sequentially.
+  bool columns_independent = false;
 };
 
 struct CBlock {
@@ -96,7 +103,15 @@ class CompiledStencil {
   [[nodiscard]] const std::vector<std::string>& slot_names() const { return slot_names_; }
   [[nodiscard]] const std::vector<std::string>& param_names() const { return param_names_; }
 
-  void run(FieldCatalog& catalog, const StencilArgs& args, const LaunchDomain& dom) const;
+  /// Execute under a schedule (tiling, map-vs-loop) and run options (thread
+  /// count, parallel on/off). The default-schedule overloads keep the
+  /// serial-era call sites working: an untiled schedule plus default run
+  /// options reproduces the original executor bit-for-bit.
+  void run(FieldCatalog& catalog, const StencilArgs& args, const LaunchDomain& dom,
+           const sched::Schedule& schedule, const RunOptions& run_options) const;
+  void run(FieldCatalog& catalog, const StencilArgs& args, const LaunchDomain& dom) const {
+    run(catalog, args, dom, sched::Schedule{}, RunOptions{});
+  }
   void run(FieldCatalog& catalog, const LaunchDomain& dom) const {
     run(catalog, StencilArgs{}, dom);
   }

@@ -96,7 +96,7 @@ void Program::exec_state(const State& state, FieldCatalog& catalog,
                             std::make_shared<exec::CompiledStencil>(*node.stencil))
                    .first;
         }
-        it->second->run(catalog, node.args, node_dom);
+        it->second->run(catalog, node.args, node_dom, node.schedule, run_options_);
         break;
       }
       case SNode::Kind::Callback:

@@ -193,6 +193,13 @@ class Program {
   void set_backend(Backend backend) { backend_ = backend; }
   [[nodiscard]] Backend backend() const { return backend_; }
 
+  /// Execution options of the compiled backend (thread count, parallel
+  /// on/off). The reference interpreter ignores them: it stays serial by
+  /// construction, which is what makes it the oracle the parallel engine is
+  /// diffed against.
+  void set_run_options(exec::RunOptions run) { run_options_ = run; }
+  [[nodiscard]] const exec::RunOptions& run_options() const { return run_options_; }
+
   /// Drop compiled-stencil caches (call after mutating stencils in place).
   void invalidate_compiled() const {
     compiled_.clear();
@@ -211,6 +218,7 @@ class Program {
   CFNode root_ = CFNode::sequence();
   std::map<std::string, FieldMeta> field_meta_;
   Backend backend_ = Backend::Compiled;
+  exec::RunOptions run_options_{};
   /// Executor caches keyed by StencilFunc identity.
   mutable std::map<const dsl::StencilFunc*, std::shared_ptr<exec::CompiledStencil>> compiled_;
   mutable std::map<const dsl::StencilFunc*, std::shared_ptr<exec::RefExecutor>> reference_;

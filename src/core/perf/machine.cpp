@@ -39,6 +39,11 @@ MachineSpec haswell() {
   m.cache_bytes = 2.0e6;              // effective per-rank L2 + LLC share
   m.predication_penalty = 0.02;
   m.column_stride_waste = 4.5;        // column sweeps waste cache lines
+  m.cores = 12;
+  // One core's load/store units sustain roughly a quarter of the socket's
+  // measured copy bandwidth; ~4 threads saturate the memory controllers,
+  // which is the knee the parallel engine's speedup flattens at.
+  m.core_bw = m.dram_bw / 4.0;
   return m;
 }
 

@@ -31,11 +31,44 @@ struct MachineSpec {
   /// bandwidth-bound (the 20-40%% peak kernels of Fig. 10).
   double vertical_eff_cap = 1.0;
 
+  /// CPU thread scaling: physical cores, the DRAM bandwidth one core can
+  /// sustain by itself (0 = the socket bandwidth, i.e. no thread scaling),
+  /// and how many OpenMP threads the modeled run actually uses (0 = all
+  /// cores). A single Haswell core drives only a fraction of the socket's
+  /// memory controllers, so bandwidth grows with the team size until the
+  /// socket saturates — the thread-scaled roofline of the parallel engine.
+  int cores = 1;
+  double core_bw = 0;
+  int num_threads = 0;
+
   /// Memory-bandwidth efficiency at a given exposed parallelism. GPUs need
   /// enough resident threads to saturate HBM; CPUs are assumed saturated.
   [[nodiscard]] double bw_efficiency(double threads) const {
     if (!is_gpu || threads_half <= 0) return 1.0;
     return threads / (threads + threads_half);
+  }
+
+  /// Bandwidth the modeled thread count can draw: per-core bandwidth times
+  /// active threads, capped by the socket. Defaults (cores=1, core_bw=0)
+  /// reproduce the unscaled dram_bw.
+  [[nodiscard]] double effective_bw() const {
+    const int t = num_threads > 0 ? (num_threads < cores ? num_threads : cores) : cores;
+    const double per_core = core_bw > 0 ? core_bw : dram_bw;
+    const double scaled = per_core * t;
+    return scaled < dram_bw ? scaled : dram_bw;
+  }
+
+  /// FLOP peak of the active threads (linear in the core fraction used).
+  [[nodiscard]] double effective_flops() const {
+    const int t = num_threads > 0 ? (num_threads < cores ? num_threads : cores) : cores;
+    return cores > 0 ? flop_peak * (static_cast<double>(t) / cores) : flop_peak;
+  }
+
+  /// Copy of this spec modeling an n-thread run.
+  [[nodiscard]] MachineSpec with_threads(int n) const {
+    MachineSpec m = *this;
+    m.num_threads = n;
+    return m;
   }
 };
 

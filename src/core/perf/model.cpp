@@ -40,7 +40,7 @@ KernelTime model_kernel(const ir::KernelDesc& k, const MachineSpec& m) {
   if (k.order != dsl::IterOrder::Parallel && m.vertical_eff_cap < 1.0) {
     eff = std::min(eff, m.vertical_eff_cap);
   }
-  const double bw_eff = m.dram_bw * eff;
+  const double bw_eff = m.effective_bw() * eff;
   double traffic = access_bytes(k, m);
   // Fields are stored I-contiguous (FORTRAN layout, Fig. 8); iterating with
   // a different unit-stride dimension costs coalescing on the GPU.
@@ -48,11 +48,11 @@ KernelTime model_kernel(const ir::KernelDesc& k, const MachineSpec& m) {
     traffic *= m.uncoalesced_penalty;
   }
   const double mem_time = traffic / bw_eff;
-  const double flop_time = static_cast<double>(k.flops) / m.flop_peak;
+  const double flop_time = static_cast<double>(k.flops) / m.effective_flops();
   double sim = std::max(mem_time, flop_time) + m.launch_overhead;
   if (k.predicated) sim *= 1.0 + m.predication_penalty;
   t.simulated = sim;
-  t.bound = unique_bytes(k) / m.dram_bw;
+  t.bound = unique_bytes(k) / m.effective_bw();
   return t;
 }
 
@@ -120,8 +120,8 @@ double model_module_cpu(const std::vector<ir::KernelDesc>& kernels, const Machin
     }
     const double traffic =
         compulsory + (std::max(streaming - compulsory, 0.0)) * overflow + column_traffic;
-    const double mem_time = traffic / m.dram_bw;
-    const double flop_time = flops / m.flop_peak;
+    const double mem_time = traffic / m.effective_bw();
+    const double flop_time = flops / m.effective_flops();
     const double per_iter =
         std::max(mem_time, flop_time) + static_cast<double>(ops) * m.launch_overhead;
     total += per_iter * static_cast<double>(invocations);

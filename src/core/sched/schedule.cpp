@@ -28,6 +28,7 @@ bool is_valid(const Schedule& s, dsl::IterOrder order) {
   }
   if (s.vertical_cache != CacheKind::None && s.k_as_map) return false;
   if (s.tile_i < 0 || s.tile_j < 0) return false;
+  if (s.tile_i > kMaxTile || s.tile_j > kMaxTile) return false;
   return true;
 }
 
@@ -37,14 +38,25 @@ std::vector<Schedule> enumerate_valid(dsl::IterOrder order) {
   // deliberately not part of the schedule enumeration: the paper treats them
   // as separate transformations (Sec. VI-A2 / Table III), applied on top of
   // the chosen schedule.
+  // Tile shapes: untiled, a square cache tile, and a skewed shape that
+  // exercises remainder tiles on the domain sizes the engine sees. The
+  // engine clips remainder tiles at the high edge, so any shape here is
+  // safe on any domain.
+  struct TileShape {
+    int i, j;
+  };
   for (Layout layout : {Layout::KJI, Layout::IJK, Layout::KIJ}) {
     for (bool k_as_map : {true, false}) {
       for (bool fuse_thread : {true, false}) {
-        Schedule s;
-        s.iteration_order = layout;
-        s.k_as_map = k_as_map;
-        s.fuse_thread_level = fuse_thread;
-        if (is_valid(s, order)) out.push_back(s);
+        for (TileShape tile : {TileShape{0, 0}, TileShape{8, 8}, TileShape{4, 16}}) {
+          Schedule s;
+          s.iteration_order = layout;
+          s.k_as_map = k_as_map;
+          s.fuse_thread_level = fuse_thread;
+          s.tile_i = tile.i;
+          s.tile_j = tile.j;
+          if (is_valid(s, order)) out.push_back(s);
+        }
       }
     }
   }

@@ -44,8 +44,15 @@ struct Schedule {
   [[nodiscard]] std::string describe() const;
 };
 
-/// Schedule validity: vertical solvers cannot map k, and caching carried
-/// values requires k to be a loop.
+/// Largest accepted tile edge. No plausible per-rank compute domain (paper
+/// runs top out at 384 cells per tile edge, plus a few halo/DomainExt cells)
+/// exceeds this; larger requests are configuration bugs, not tilings, and
+/// are rejected before they reach remainder-tile arithmetic.
+inline constexpr int kMaxTile = 4096;
+
+/// Schedule validity: vertical solvers cannot map k, caching carried values
+/// requires k to be a loop, and tile sizes must lie in [0, kMaxTile]
+/// (0 = untiled).
 bool is_valid(const Schedule& s, dsl::IterOrder order);
 
 /// Enumerate the feasible schedules for a computation of the given iteration

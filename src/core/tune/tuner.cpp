@@ -1,6 +1,8 @@
 #include "core/tune/tuner.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
 
 #include "core/dsl/analysis.hpp"
 #include "core/xform/fusion.hpp"
@@ -220,8 +222,31 @@ bool cutout_equivalent(const ir::Program& parent, const ir::State& before,
       .equivalent;
 }
 
+/// Wall-clock a single-state cutout on the parallel engine: one warm-up run
+/// builds the executor caches and temporary pools, then the minimum of
+/// `measure_reps` timed executions is taken (minimum, not mean — scheduling
+/// noise only ever adds time).
+double measure_state(const ir::Program& program, const ir::State& state,
+                     const TuningOptions& options) {
+  ir::Program cut = cutout_program(program, state);
+  cut.set_backend(ir::Program::Backend::Compiled);  // time what production runs
+  cut.set_run_options(options.run);
+  FieldCatalog cat =
+      verify::make_test_catalog(cut, cut, options.dom, options.verify.data_seed);
+  cut.execute(cat, options.dom);
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < std::max(1, options.measure_reps); ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    cut.execute(cat, options.dom);
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
 double model_state_impl(const ir::Program& program, const ir::State& state,
                         const TuningOptions& options) {
+  if (options.measure_execution) return measure_state(program, state, options);
   std::vector<ir::KernelDesc> kernels;
   for (const auto& node : state.nodes) {
     auto ks = ir::expand_node(node, program, options.dom, 1);
@@ -389,8 +414,14 @@ int autotune_schedules(ir::Program& program, const TuningOptions& options) {
         candidate.vertical_cache =
             candidate.k_as_map ? sched::CacheKind::None : original.vertical_cache;
         node.schedule = candidate;
-        const auto kernels = ir::expand_node(node, program, options.dom, 1);
-        const double t = perf::model_program(kernels, options.machine);
+        double t;
+        if (options.measure_execution) {
+          const ir::State probe{state.name + ":" + node.label, {node}};
+          t = measure_state(program, probe, options);
+        } else {
+          const auto kernels = ir::expand_node(node, program, options.dom, 1);
+          t = perf::model_program(kernels, options.machine);
+        }
         if (best_time < 0 || t < best_time) {
           best_time = t;
           best = candidate;

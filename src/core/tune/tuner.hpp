@@ -46,6 +46,16 @@ struct TuningOptions {
   /// Options of the guard's equivalence check; an empty domain list verifies
   /// on `dom` itself (the placement being tuned for).
   verify::VerifyOptions verify;
+  /// Rank candidates by wall-timing their single-state cutouts on the
+  /// parallel execution engine instead of the analytic model, so tuning
+  /// orders what production actually runs. Off by default: the model is
+  /// deterministic and fast, which the tests rely on.
+  bool measure_execution = false;
+  /// Timed repetitions per candidate (minimum is taken, after one warm-up
+  /// run that builds executor caches and temporary pools).
+  int measure_reps = 3;
+  /// Engine options used for measured runs (thread count, parallel on/off).
+  exec::RunOptions run;
 };
 
 /// Result of exhaustively tuning one cutout (program state).

@@ -239,9 +239,30 @@ FieldDivergence diverge_field(const std::string& name, const FieldCatalog& a,
   return d;
 }
 
+/// How one side of a differential run executes: backend, run options, and an
+/// optional override of every stencil node's schedule tiles (>= 0 applies).
+struct ExecConfig {
+  ir::Program::Backend backend = ir::Program::Backend::Reference;
+  exec::RunOptions run{};
+  int tile_i = -1;
+  int tile_j = -1;
+};
+
+void configure_side(ir::Program& prog, const ExecConfig& cfg) {
+  prog.set_backend(cfg.backend);
+  prog.set_run_options(cfg.run);
+  if (cfg.tile_i < 0 && cfg.tile_j < 0) return;
+  for (auto& state : prog.states()) {
+    for (auto& node : state.nodes) {
+      if (node.kind != ir::SNode::Kind::Stencil) continue;
+      if (cfg.tile_i >= 0) node.schedule.tile_i = cfg.tile_i;
+      if (cfg.tile_j >= 0) node.schedule.tile_j = cfg.tile_j;
+    }
+  }
+}
+
 EquivalenceReport run_differential(const ir::Program& original, const ir::Program& transformed,
-                                   ir::Program::Backend backend_a,
-                                   ir::Program::Backend backend_b,
+                                   const ExecConfig& cfg_a, const ExecConfig& cfg_b,
                                    const VerifyOptions& options) {
   EquivalenceReport report;
   report.data_seed = options.data_seed;
@@ -249,8 +270,8 @@ EquivalenceReport run_differential(const ir::Program& original, const ir::Progra
   // Program copies so backend selection never mutates caller state.
   ir::Program prog_a = original;
   ir::Program prog_b = transformed;
-  prog_a.set_backend(backend_a);
-  prog_b.set_backend(backend_b);
+  configure_side(prog_a, cfg_a);
+  configure_side(prog_b, cfg_b);
 
   const Footprint fp = merge_footprints(footprint_of(original), footprint_of(transformed));
 
@@ -296,14 +317,53 @@ FieldCatalog make_test_catalog(const ir::Program& a, const ir::Program& b,
 
 EquivalenceReport check_equivalent(const ir::Program& original, const ir::Program& transformed,
                                    const VerifyOptions& options) {
-  return run_differential(original, transformed, ir::Program::Backend::Reference,
-                          ir::Program::Backend::Reference, options);
+  return run_differential(original, transformed, ExecConfig{ir::Program::Backend::Reference},
+                          ExecConfig{ir::Program::Backend::Reference}, options);
 }
 
 EquivalenceReport check_backends_agree(const ir::Program& program,
                                        const VerifyOptions& options) {
-  return run_differential(program, program, ir::Program::Backend::Reference,
-                          ir::Program::Backend::Compiled, options);
+  return run_differential(program, program, ExecConfig{ir::Program::Backend::Reference},
+                          ExecConfig{ir::Program::Backend::Compiled}, options);
+}
+
+EquivalenceReport check_parallel_agrees(const ir::Program& program, const exec::RunOptions& run,
+                                        int tile_i, int tile_j, VerifyOptions options) {
+  // The determinism contract is bitwise: no tolerance, no absolute slack.
+  options.max_ulps = 0.0;
+  options.abs_floor = 0.0;
+  return run_differential(program, program, ExecConfig{ir::Program::Backend::Reference},
+                          ExecConfig{ir::Program::Backend::Compiled, run, tile_i, tile_j},
+                          options);
+}
+
+EquivalenceReport check_equivalent_parallel(const ir::Program& original,
+                                            const ir::Program& transformed,
+                                            const exec::RunOptions& run, int tile_i, int tile_j,
+                                            const VerifyOptions& options) {
+  return run_differential(original, transformed, ExecConfig{ir::Program::Backend::Reference},
+                          ExecConfig{ir::Program::Backend::Compiled, run, tile_i, tile_j},
+                          options);
+}
+
+EquivalenceReport check_parallel_determinism(const ir::Program& program,
+                                             const VerifyOptions& options) {
+  struct Shape {
+    int i, j;
+  };
+  EquivalenceReport last;
+  for (int threads : {1, 2, 7}) {
+    // -1/-1 keeps whatever tiles the nodes' own schedules carry; the other
+    // shapes force skewed tilings whose remainder tiles land off the tile
+    // grid on the sweep's degenerate domains.
+    for (Shape tile : {Shape{-1, -1}, Shape{8, 3}, Shape{5, 4}}) {
+      exec::RunOptions run;
+      run.num_threads = threads;
+      last = check_parallel_agrees(program, run, tile.i, tile.j, options);
+      if (!last.equivalent) return last;
+    }
+  }
+  return last;
 }
 
 double EquivalenceReport::worst_ulps() const {
@@ -357,6 +417,10 @@ ir::Program without_callbacks(const ir::Program& program) {
 }
 
 std::string mutate_program(ir::Program& program, uint64_t seed) {
+  return mutate_program(program, seed, MutationClass::Any);
+}
+
+std::string mutate_program(ir::Program& program, uint64_t seed, MutationClass cls) {
   // Collect mutation sites: prefer unregioned statements writing externally
   // visible fields (their divergence is observable on every domain of the
   // sweep); fall back to any statement.
@@ -402,6 +466,33 @@ std::string mutate_program(ir::Program& program, uint64_t seed) {
     dsl::Stmt& stmt = s.blocks()[static_cast<size_t>(site.block)]
                           .intervals[static_cast<size_t>(site.interval)]
                           .body[static_cast<size_t>(site.stmt)];
+    if (cls == MutationClass::TileBoundary) {
+      // A buggy tile decomposition either starts a tile one cell late
+      // (shifted origin) or never emits the clipped remainder tile at the
+      // high edge. Both reduce to a region restriction of the statement, so
+      // injecting one reproduces exactly the footprint such a defect leaves.
+      dsl::Region cut;
+      switch (rng.next_below(4)) {
+        case 0:
+          cut.i_lo = {true, false, 1};
+          what = "shifted tile origin (i) of '" + stmt.lhs + "'";
+          break;
+        case 1:
+          cut.j_lo = {true, false, 1};
+          what = "shifted tile origin (j) of '" + stmt.lhs + "'";
+          break;
+        case 2:
+          cut.i_hi = {true, true, -1};
+          what = "dropped i remainder tile of '" + stmt.lhs + "'";
+          break;
+        default:
+          cut.j_hi = {true, true, -1};
+          what = "dropped j remainder tile of '" + stmt.lhs + "'";
+          break;
+      }
+      stmt.region = stmt.region ? stmt.region->intersect(cut) : cut;
+      return;
+    }
     switch (rng.next_below(stmt.region ? 4 : 3)) {
       case 0:
         stmt.rhs = dsl::Expr::binary(dsl::BinOp::Add, stmt.rhs, dsl::Expr::literal(1e-3));

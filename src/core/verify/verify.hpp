@@ -105,6 +105,32 @@ EquivalenceReport check_equivalent(const ir::Program& original, const ir::Progra
 EquivalenceReport check_backends_agree(const ir::Program& program,
                                        const VerifyOptions& options = {});
 
+/// Serial-vs-parallel check of the schedule-aware engine: run `program`
+/// through the serial reference interpreter and through the compiled engine
+/// under `run` (tile_i/tile_j >= 0 additionally override every stencil
+/// node's schedule tiles), comparing at 0 ULP regardless of the caller's
+/// tolerances — the engine's determinism contract promises bitwise identical
+/// results for any thread count and tile shape.
+EquivalenceReport check_parallel_agrees(const ir::Program& program, const exec::RunOptions& run,
+                                        int tile_i = -1, int tile_j = -1,
+                                        VerifyOptions options = {});
+
+/// Differential check where the transformed side executes on the parallel
+/// engine (serial reference oracle on the original side). This is the
+/// harness the tile-boundary mutation tests drive: a defect must be caught
+/// *by the parallel execution*, proving threading does not mask it.
+EquivalenceReport check_equivalent_parallel(const ir::Program& original,
+                                            const ir::Program& transformed,
+                                            const exec::RunOptions& run, int tile_i = -1,
+                                            int tile_j = -1, const VerifyOptions& options = {});
+
+/// Full determinism sweep of the parallel engine: thread counts {1, 2, 7}
+/// crossed with tile shapes (the nodes' own schedules, 8x3, 5x4), every
+/// combination compared bitwise against the serial interpreter. Returns the
+/// first failing configuration's report, or the last passing one.
+EquivalenceReport check_parallel_determinism(const ir::Program& program,
+                                             const VerifyOptions& options = {});
+
 /// Copy of `program` with Callback nodes removed. Pipeline guards verify on
 /// synthetic seeded catalogs where arbitrary host callbacks cannot safely run
 /// (they may touch fields or files that don't exist there); stripping them
@@ -112,12 +138,26 @@ EquivalenceReport check_backends_agree(const ir::Program& program,
 /// every stencil. Node ordering is otherwise preserved.
 ir::Program without_callbacks(const ir::Program& program);
 
+/// Families of injected defects for mutation testing.
+enum class MutationClass {
+  /// Semantic perturbations of a statement: constant bias, scaling, offset
+  /// shift, dropped region restriction.
+  Any,
+  /// Tile-boundary off-by-ones, modeled as region restrictions that shift
+  /// the apply origin or drop the remainder column/row at the domain's high
+  /// edge — the defect shapes a buggy tile decomposition would produce.
+  TileBoundary,
+};
+
 /// Deliberately miscompile `program`: pick a random stencil statement and
 /// perturb its semantics (constant bias, offset shift, operator swap, or
 /// dropped region restriction). Returns a human-readable description of the
 /// injected defect, or empty if the program has no mutable statement. Used to
 /// prove the checker actually catches miscompilations (mutation testing).
 std::string mutate_program(ir::Program& program, uint64_t seed);
+
+/// Same, restricted to one defect family.
+std::string mutate_program(ir::Program& program, uint64_t seed, MutationClass cls);
 
 /// JSON rendering of an equivalence report (same hand-rolled conventions as
 /// ir::to_json) for the verify_pipeline tool.

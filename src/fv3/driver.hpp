@@ -39,6 +39,12 @@ class DistributedModel {
   [[nodiscard]] comm::SimComm& comm() { return comm_; }
   [[nodiscard]] const comm::HaloUpdater& halo_updater() const { return halo_; }
 
+  /// Engine options (thread count, parallel on/off) used by every compute
+  /// state. Halo exchanges are unaffected; the reference backend ignores
+  /// them (it stays the serial oracle).
+  void set_run_options(const exec::RunOptions& run) { program_.set_run_options(run); }
+  [[nodiscard]] const exec::RunOptions& run_options() const { return program_.run_options(); }
+
   /// Advance one physics timestep on every rank.
   void step();
 

@@ -55,6 +55,49 @@ TEST(Machine, BwEfficiencyMonotonic) {
   EXPECT_EQ(haswell().bw_efficiency(1), 1.0);  // CPUs assumed saturated
 }
 
+TEST(Machine, ThreadScaledBandwidth) {
+  const MachineSpec m = haswell();
+  // All cores (the default) draw the full socket bandwidth.
+  EXPECT_DOUBLE_EQ(m.effective_bw(), m.dram_bw);
+  EXPECT_DOUBLE_EQ(m.with_threads(1).effective_bw(), m.core_bw);
+  EXPECT_DOUBLE_EQ(m.with_threads(2).effective_bw(), 2.0 * m.core_bw);
+  // Past the memory-controller knee the socket caps the team.
+  EXPECT_DOUBLE_EQ(m.with_threads(8).effective_bw(), m.dram_bw);
+  double prev = 0;
+  for (int t = 1; t <= m.cores; ++t) {
+    const double bw = m.with_threads(t).effective_bw();
+    EXPECT_GE(bw, prev);
+    EXPECT_LE(bw, m.dram_bw);
+    prev = bw;
+  }
+  // GPU specs keep their defaults (cores=1, core_bw=0): no thread scaling.
+  EXPECT_DOUBLE_EQ(p100().effective_bw(), p100().dram_bw);
+  EXPECT_DOUBLE_EQ(p100().with_threads(4).effective_bw(), p100().dram_bw);
+}
+
+TEST(Machine, ThreadScaledFlops) {
+  const MachineSpec m = haswell();
+  EXPECT_DOUBLE_EQ(m.effective_flops(), m.flop_peak);
+  EXPECT_DOUBLE_EQ(m.with_threads(6).effective_flops(), m.flop_peak * 0.5);
+  // Requests beyond the core count clamp to the socket.
+  EXPECT_DOUBLE_EQ(m.with_threads(4 * m.cores).effective_flops(), m.flop_peak);
+  EXPECT_DOUBLE_EQ(p100().effective_flops(), p100().flop_peak);
+}
+
+TEST(Model, CpuTimeShrinksWithThreadsUntilSaturation) {
+  const auto kernels = expand(copy_node(), exec::LaunchDomain{256, 256, 64});
+  const double t1 = model_module_cpu(kernels, haswell().with_threads(1));
+  const double t2 = model_module_cpu(kernels, haswell().with_threads(2));
+  const double t4 = model_module_cpu(kernels, haswell().with_threads(4));
+  const double t12 = model_module_cpu(kernels, haswell().with_threads(12));
+  EXPECT_GT(t1, t2);
+  EXPECT_GT(t2, t4);
+  // haswell() saturates the socket at ~4 threads: no further gain.
+  EXPECT_NEAR(t4, t12, t4 * 0.05);
+  // Speedup at the knee is meaningful (close to the 4x bandwidth ratio).
+  EXPECT_GT(t1 / t4, 2.0);
+}
+
 TEST(Model, CopyStencilNearPeak) {
   // A large copy stencil must achieve close to peak bandwidth (the paper
   // verifies GT4Py+DaCe reach 489.83 of 501.1 GB/s).

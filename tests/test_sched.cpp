@@ -48,6 +48,49 @@ TEST(Schedule, EnumerationSmallerForVertical) {
             enumerate_valid(dsl::IterOrder::Forward).size());
 }
 
+TEST(Schedule, RejectsNegativeAndOversizedTiles) {
+  // Tiles larger than any plausible domain would make every domain a single
+  // remainder tile; is_valid caps them so enumeration and fuzzed schedules
+  // can never produce one (negative sizes were always invalid).
+  Schedule s;
+  s.tile_i = -1;
+  EXPECT_FALSE(is_valid(s, dsl::IterOrder::Parallel));
+  s.tile_i = 8;
+  s.tile_j = -4;
+  EXPECT_FALSE(is_valid(s, dsl::IterOrder::Parallel));
+  s.tile_j = 8;
+  EXPECT_TRUE(is_valid(s, dsl::IterOrder::Parallel));
+  s.tile_i = kMaxTile + 1;
+  EXPECT_FALSE(is_valid(s, dsl::IterOrder::Parallel));
+  s.tile_i = kMaxTile;
+  s.tile_j = kMaxTile;
+  EXPECT_TRUE(is_valid(s, dsl::IterOrder::Parallel));
+  s.tile_j = kMaxTile + 1;
+  EXPECT_FALSE(is_valid(s, dsl::IterOrder::Parallel));
+}
+
+TEST(Schedule, EnumerationCoversTiledAndUntiledShapes) {
+  const auto all = enumerate_valid(dsl::IterOrder::Parallel);
+  bool untiled = false, square = false, skewed = false;
+  for (const auto& s : all) {
+    if (s.tile_i == 0 && s.tile_j == 0) untiled = true;
+    if (s.tile_i == 8 && s.tile_j == 8) square = true;
+    if (s.tile_i == 4 && s.tile_j == 16) skewed = true;
+    EXPECT_LE(s.tile_i, kMaxTile);
+    EXPECT_LE(s.tile_j, kMaxTile);
+  }
+  EXPECT_TRUE(untiled);
+  EXPECT_TRUE(square);
+  EXPECT_TRUE(skewed);
+}
+
+TEST(Schedule, DescribeMentionsTiles) {
+  Schedule s = tuned_horizontal();
+  s.tile_i = 8;
+  s.tile_j = 4;
+  EXPECT_NE(s.describe().find("tile=8x4"), std::string::npos);
+}
+
 TEST(Schedule, DescribeMentionsKeyKnobs) {
   const std::string d = tuned_vertical().describe();
   EXPECT_NE(d.find("k=loop"), std::string::npos);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/dsl/builder.hpp"
 #include "core/tune/tuner.hpp"
 #include "core/util/rng.hpp"
@@ -132,6 +134,36 @@ TEST(Tuner, AutotuneSchedulesImprovesModeledTime) {
   const double after = model_whole_program(prog, o);
   EXPECT_GT(changed, 0);
   EXPECT_LT(after, before);
+}
+
+TEST(Tuner, MeasuredExecutionTimesAreFinite) {
+  const ir::Program p = pointwise_chain();
+  TuningOptions o;
+  o.dom = exec::LaunchDomain{16, 16, 4};
+  o.measure_execution = true;
+  o.measure_reps = 2;
+  o.run.num_threads = 2;
+  const double t = model_state(p, p.states()[0], o);
+  EXPECT_GT(t, 0.0);
+  EXPECT_TRUE(std::isfinite(t));
+}
+
+TEST(Tuner, AutotuneWithMeasuredExecutionKeepsValidSchedules) {
+  // The measured path ranks candidates by wall time (noisy on purpose); the
+  // invariant is that whatever wins is a valid schedule for its node kind.
+  ir::Program prog = pointwise_chain();
+  TuningOptions o;
+  o.dom = exec::LaunchDomain{16, 16, 4};
+  o.measure_execution = true;
+  o.measure_reps = 1;
+  autotune_schedules(prog, o);
+  for (const auto& st : prog.states()) {
+    for (const auto& node : st.nodes) {
+      if (node.kind != ir::SNode::Kind::Stencil) continue;
+      EXPECT_TRUE(sched::is_valid(node.schedule, dsl::IterOrder::Parallel))
+          << node.label << ": " << node.schedule.describe();
+    }
+  }
 }
 
 TEST(Tuner, DycoreTransferTuningPreservesSemantics) {

@@ -8,6 +8,12 @@
 //   verify_pipeline --program fuzz:42 --passes strength_reduce,fuse_sgf
 //   verify_pipeline --program dycore --passes orchestrate
 //   verify_pipeline --program fuzz:7 --passes fuse_otf --mutate 3   # must FAIL
+//   verify_pipeline --program fuzz:9 --compare-serial --threads 7   # engine check
+//
+// With --compare-serial, the transformed program is additionally executed on
+// the parallel engine (--threads sets the team size) and compared bitwise
+// against the serial reference interpreter — the engine's determinism
+// contract, checked from the command line.
 //
 // Exit code: 0 equivalent, 1 divergent, 2 usage/build error.
 
@@ -19,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/exec/engine.hpp"
 #include "core/verify/pipeline.hpp"
 #include "core/verify/random_program.hpp"
 #include "core/verify/verify.hpp"
@@ -38,6 +45,9 @@ void usage() {
                "  --trials N         independent fills per domain (default 1)\n"
                "  --max-ulps X       per-field ulp tolerance (default 64)\n"
                "  --mutate N         inject a seeded defect after the passes\n"
+               "  --threads N        engine team size for --compare-serial (default: OpenMP)\n"
+               "  --compare-serial   also run the transformed program on the parallel\n"
+               "                     engine and compare bitwise vs the serial interpreter\n"
                "  --list-passes      print the known pass names and exit\n");
 }
 
@@ -72,6 +82,8 @@ int main(int argc, char** argv) {
   verify::VerifyOptions options;
   bool mutate = false;
   uint64_t mutate_seed = 0;
+  bool compare_serial = false;
+  exec::RunOptions run;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -95,6 +107,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--mutate") {
       mutate = true;
       mutate_seed = std::strtoull(value(), nullptr, 0);
+    } else if (arg == "--threads") {
+      run.num_threads = std::atoi(value());
+    } else if (arg == "--compare-serial") {
+      compare_serial = true;
     } else if (arg == "--list-passes") {
       for (const auto& name : verify::known_passes()) std::printf("%s\n", name.c_str());
       return 0;
@@ -159,7 +175,19 @@ int main(int argc, char** argv) {
   }
   out << "],\n";
   if (mutate) out << "  \"injected_defect\": \"" << json_escape(defect) << "\",\n";
+
+  // Optional serial-vs-parallel engine check of the transformed program.
+  bool parallel_ok = true;
+  if (compare_serial) {
+    verify::VerifyOptions po = options;
+    const verify::EquivalenceReport preport =
+        verify::check_parallel_agrees(verify::without_callbacks(transformed), run, -1, -1, po);
+    parallel_ok = preport.equivalent;
+    out << "  \"threads\": " << exec::resolved_num_threads(run) << ",\n"
+        << "  \"parallel_report\": " << verify::report_to_json(preport) << ",\n";
+  }
+
   out << "  \"report\": " << verify::report_to_json(report) << "\n}\n";
   std::fputs(out.str().c_str(), stdout);
-  return report.equivalent ? 0 : 1;
+  return report.equivalent && parallel_ok ? 0 : 1;
 }
