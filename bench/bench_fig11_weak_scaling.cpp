@@ -8,7 +8,12 @@
 
 #include "bench_common.hpp"
 #include "comm/halo.hpp"
+#include "comm/runtime.hpp"
+#include "core/dsl/builder.hpp"
+#include "core/util/rng.hpp"
 #include "core/xform/passes.hpp"
+#include "fv3/driver.hpp"
+#include "fv3/init/baroclinic.hpp"
 
 using namespace cyclone;
 
@@ -55,6 +60,104 @@ double comm_time_per_step(const fv3::FvConfig& cfg, int ranks_per_tile) {
   comm::NetworkModel net;
   return net.time(worst_msgs * scalar_exchanges,
                   static_cast<long>(bytes_per_exchange * scalar_exchanges));
+}
+
+/// Measured per-step wall time of the real distributed dycore under one of
+/// the schedulers. Concurrent runs simulate interconnect latency on every
+/// message (scaled alpha-beta model), so the overlap win is the latency the
+/// interior compute actually hides — measured, not modeled.
+double measured_step_seconds(const fv3::FvConfig& cfg, int ranks, bool concurrent, bool overlap,
+                             double net_scale, int steps,
+                             comm::RuntimeStats* stats_out = nullptr) {
+  fv3::DistributedModel model(cfg, ranks);
+  exec::RunOptions run;
+  run.threads_per_rank = 1;  // one hardware thread per rank; isolate overlap
+  model.set_run_options(run);
+  if (concurrent) {
+    model.set_exec_mode(fv3::DistributedModel::ExecMode::Concurrent);
+    comm::RuntimeOptions ro;
+    ro.overlap = overlap;
+    ro.channel.simulate_network = true;
+    ro.channel.network_time_scale = net_scale;
+    model.set_runtime_options(ro);
+  }
+  fv3::init_baroclinic(model);
+  model.step();  // warm-up: builds the runtime and all compiled stencils
+  WallTimer timer;
+  for (int s = 0; s < steps; ++s) model.step();
+  const double per_step = timer.seconds() / steps;
+  if (concurrent && stats_out != nullptr) *stats_out = model.concurrent_runtime().stats();
+  return per_step;
+}
+
+/// A halo-diffusion chain where *every* halo state passes the overlap
+/// analysis (radius-2 reads, no anti-dependences): `trips` iterations of
+/// exchange(q) -> lap/out stencils -> q = out. Upper bound on what overlap
+/// can buy, next to the dycore rows where only some states split.
+ir::Program diffusion_chain(int trips) {
+  ir::Program p("diffusion-chain");
+  const int hx = p.add_state(ir::State{"hx", {ir::SNode::make_halo_exchange("hx.q", {"q"}, 3)}});
+  dsl::StencilBuilder b("diffuse");
+  auto q = b.field("q");
+  auto lap = b.field("lap");
+  auto out = b.field("out");
+  b.parallel().full().assign(lap, q(1, 0) + q(-1, 0) + q(0, 1) + q(0, -1) - dsl::E(q) * 4.0);
+  b.parallel().full().assign(out, dsl::E(q) + (lap(1, 0) + lap(-1, 0) + lap(0, 1) + lap(0, -1) -
+                                               dsl::E(lap) * 4.0) *
+                                                  0.1);
+  const int cm = p.add_state(ir::State{"compute", {ir::SNode::make_stencil("diffuse", b.build())}});
+  dsl::StencilBuilder c("commit");
+  auto q2 = c.field("q");
+  auto out2 = c.field("out");
+  c.parallel().full().assign(q2, dsl::E(out2));
+  const int cp = p.add_state(ir::State{"commit", {ir::SNode::make_stencil("commit", c.build())}});
+  p.control_flow().children.push_back(ir::CFNode::loop(
+      "it", trips,
+      {ir::CFNode::state_ref(hx), ir::CFNode::state_ref(cm), ir::CFNode::state_ref(cp)}));
+  return p;
+}
+
+double measured_diffusion_seconds(int num_ranks, bool concurrent, bool overlap, double net_scale,
+                                  int steps) {
+  const ir::Program p = diffusion_chain(/*trips=*/8);
+  // Weak scaling: 48x48 per rank at every rank count (as in Fig. 11).
+  const int side = static_cast<int>(std::lround(std::sqrt(num_ranks / 6.0)));
+  const grid::Partitioner part = grid::Partitioner::for_ranks(48 * side, num_ranks);
+  const comm::HaloUpdater halo(part, 3);
+  const int nk = 32;
+  std::vector<FieldCatalog> cats;
+  std::vector<comm::RankDomain> ranks;
+  for (int r = 0; r < num_ranks; ++r) {
+    const grid::RankInfo info = part.info(r);
+    exec::LaunchDomain dom;
+    dom.ni = info.ni;
+    dom.nj = info.nj;
+    dom.nk = nk;
+    dom.gi0 = info.i0;
+    dom.gj0 = info.j0;
+    dom.gni = part.n();
+    dom.gnj = part.n();
+    cats.push_back(verify::make_test_catalog(p, p, dom, Rng::mix(0xF16, r)));
+    ranks.push_back(comm::RankDomain{nullptr, dom});
+  }
+  for (int r = 0; r < num_ranks; ++r) ranks[static_cast<size_t>(r)].catalog = &cats[static_cast<size_t>(r)];
+
+  if (!concurrent) {
+    comm::SimComm sim(num_ranks);
+    comm::run_lockstep_step(p, halo, ranks, sim);  // warm-up
+    WallTimer timer;
+    for (int s = 0; s < steps; ++s) comm::run_lockstep_step(p, halo, ranks, sim);
+    return timer.seconds() / steps;
+  }
+  comm::RuntimeOptions ro;
+  ro.overlap = overlap;
+  ro.channel.simulate_network = true;
+  ro.channel.network_time_scale = net_scale;
+  comm::ConcurrentRuntime rt(p, halo, ranks, ro);
+  rt.step();  // warm-up
+  WallTimer timer;
+  for (int s = 0; s < steps; ++s) rt.step();
+  return timer.seconds() / steps;
 }
 
 }  // namespace
@@ -128,5 +231,119 @@ int main() {
   std::printf(
       "Shapes: near-flat weak scaling for both lines, FORTRAN/GPU gap roughly\n"
       "constant and slightly wider at scale (edge specializations amortize away).\n");
+
+  // ---- Measured: thread-per-rank concurrent runtime ----------------------
+  // The numbers above are modeled; this section runs the real distributed
+  // dycore (scaled-down domain, one OS thread per rank) and measures the
+  // lockstep scheduler against the concurrent runtime with halo overlap off
+  // and on. Message delivery simulates a scaled Aries alpha-beta latency so
+  // the overlap win — latency hidden behind interior compute — is visible on
+  // a single machine.
+  bench::print_rule();
+  std::printf("Measured (not modeled): distributed dycore wall-clock per step\n");
+  {
+    // Latency scale: with every rank thread multiplexed onto the same cores,
+    // short delays are hidden by thread switching no matter the schedule;
+    // the win only becomes attributable to overlap once a message's flight
+    // time rivals the interior compute it can hide behind. Real networks
+    // reach that regime at scale via contention.
+    const double net_scale = 12000.0;
+    const int steps = 2;
+    std::printf("%-22s %6s %12s %16s %14s %12s\n", "program", "ranks", "lockstep",
+                "conc no-overlap", "conc overlap", "overlap win");
+    for (int ranks : {6, 24}) {
+      // Weak scaling: 24x24x16 per rank at every rank count.
+      const int side = static_cast<int>(std::lround(std::sqrt(ranks / 6.0)));
+      fv3::FvConfig mcfg = bench::paper_config(/*npx=*/24 * side, /*npz=*/16);
+      mcfg.k_split = 1;
+      mcfg.n_split = 3;
+      comm::RuntimeStats stats;
+      const double lockstep = measured_step_seconds(mcfg, ranks, false, false, net_scale, steps);
+      const double conc_off = measured_step_seconds(mcfg, ranks, true, false, net_scale, steps);
+      const double conc_on =
+          measured_step_seconds(mcfg, ranks, true, true, net_scale, steps, &stats);
+      const long halo_per_step = stats.steps > 0 ? stats.halo_states / stats.steps : 0;
+      const long split_per_step = stats.steps > 0 ? stats.overlapped_states / stats.steps : 0;
+      std::printf("dycore (%ld/%ld split)    %6d %12s %16s %14s %11.2f%%\n", split_per_step,
+                  halo_per_step, ranks, str::human_time(lockstep).c_str(),
+                  str::human_time(conc_off).c_str(), str::human_time(conc_on).c_str(),
+                  100.0 * (conc_off - conc_on) / conc_off);
+      bench::emit_json_record("fig11_measured", "dycore_lockstep_r" + std::to_string(ranks), 1,
+                              lockstep, 1.0);
+      bench::emit_json_record("fig11_measured",
+                              "dycore_concurrent_nooverlap_r" + std::to_string(ranks), 1,
+                              conc_off, lockstep / conc_off);
+      bench::emit_json_record("fig11_measured",
+                              "dycore_concurrent_overlap_r" + std::to_string(ranks), 1, conc_on,
+                              lockstep / conc_on);
+    }
+    // Fully splittable chain: every halo state overlaps, so this row is the
+    // upper bound of what interior/rim splitting buys at this latency.
+    for (int ranks : {6, 24}) {
+      const double d_scale = 10000.0;
+      const double lockstep = measured_diffusion_seconds(ranks, false, false, d_scale, 3);
+      const double conc_off = measured_diffusion_seconds(ranks, true, false, d_scale, 3);
+      const double conc_on = measured_diffusion_seconds(ranks, true, true, d_scale, 3);
+      std::printf("%-22s %6d %12s %16s %14s %11.2f%%\n", "diffusion (8/8 split)", ranks,
+                  str::human_time(lockstep).c_str(), str::human_time(conc_off).c_str(),
+                  str::human_time(conc_on).c_str(), 100.0 * (conc_off - conc_on) / conc_off);
+      bench::emit_json_record("fig11_measured", "diffusion_lockstep_r" + std::to_string(ranks),
+                              1, lockstep, 1.0);
+      bench::emit_json_record("fig11_measured",
+                              "diffusion_concurrent_nooverlap_r" + std::to_string(ranks), 1,
+                              conc_off, lockstep / conc_off);
+      bench::emit_json_record("fig11_measured",
+                              "diffusion_concurrent_overlap_r" + std::to_string(ranks), 1,
+                              conc_on, lockstep / conc_on);
+    }
+    std::printf(
+        "Anti-dependences pin most dycore halo states to the unsplit path, and the\n"
+        "rim recompute serializes across rank threads on shared cores, so the dycore\n"
+        "rows sit near zero here; the fully splittable chain shows the simulated\n"
+        "flight time genuinely hidden behind interior compute.\n");
+  }
+
+  // ---- Measured: halo staging-buffer pool --------------------------------
+  // Every exchange packs edges and corners into staging buffers; the pool
+  // recycles them so steady-state exchanges allocate nothing. Same exchange
+  // sequence with the pool on vs off, allocation counters from the updater.
+  bench::print_rule();
+  std::printf("Measured: staging-buffer pool (width-3 scalar exchange, 48x48x32 per rank)\n");
+  {
+    const grid::Partitioner part = grid::Partitioner::for_ranks(48, 6);
+    const int nk = 32, rounds = 200;
+    double seconds[2] = {0, 0};
+    long allocs[2] = {0, 0}, reuses[2] = {0, 0};
+    for (int pooled = 0; pooled < 2; ++pooled) {
+      comm::HaloUpdater updater(part, 3);
+      updater.set_buffer_pooling(pooled == 1);
+      comm::SimComm sim(part.num_ranks());
+      std::vector<std::unique_ptr<FieldD>> storage;
+      std::vector<FieldD*> fields;
+      for (int r = 0; r < part.num_ranks(); ++r) {
+        const grid::RankInfo info = part.info(r);
+        storage.push_back(std::make_unique<FieldD>(
+            "q", FieldShape(info.ni, info.nj, nk, HaloSpec{3, 3})));
+        storage.back()->fill(1.0 + r);
+        fields.push_back(storage.back().get());
+      }
+      updater.exchange_scalar(fields, sim);  // warm: populates the pool
+      WallTimer timer;
+      for (int i = 0; i < rounds; ++i) updater.exchange_scalar(fields, sim);
+      seconds[pooled] = timer.seconds() / rounds;
+      for (int r = 0; r < part.num_ranks(); ++r) {
+        allocs[pooled] += updater.pool_allocations(r);
+        reuses[pooled] += updater.pool_reuses(r);
+      }
+    }
+    std::printf("  pool off: %s/exchange (allocations untracked, every buffer malloc'd)\n",
+                str::human_time(seconds[0]).c_str());
+    std::printf("  pool on:  %s/exchange — %ld allocations total, %ld reuses (%.1fx faster)\n",
+                str::human_time(seconds[1]).c_str(), allocs[1], reuses[1],
+                seconds[0] / seconds[1]);
+    bench::emit_json_record("fig11_halo_pool", "pool_off", 1, seconds[0], 1.0);
+    bench::emit_json_record("fig11_halo_pool", "pool_on", 1, seconds[1],
+                            seconds[0] / seconds[1]);
+  }
   return 0;
 }

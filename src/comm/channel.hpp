@@ -1,0 +1,224 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "comm/simcomm.hpp"
+#include "core/util/rng.hpp"
+
+namespace cyclone::comm {
+
+/// Concurrent point-to-point channel for the thread-per-rank runtime: the
+/// same per-(src, dst, tag) FIFO mailboxes as SimComm, but guarded by a
+/// mutex/condvar pair so `isend` is a true nonblocking post from any thread
+/// and `recv` genuinely blocks until a matching message arrives.
+///
+/// Determinism: per-channel FIFO plus program-order sends means the n-th
+/// recv on a channel always matches the n-th send on that channel, no matter
+/// when either thread gets scheduled — the received *values* are a pure
+/// function of the program. The optional arrival jitter exploits exactly
+/// this: it perturbs *when* messages become visible (stress-testing every
+/// interleaving the runtime can observe) without being able to change what
+/// any recv returns.
+class ConcurrentComm : public Comm {
+ public:
+  struct Options {
+    /// How long a recv blocks before declaring a deadlock. Generous default:
+    /// TSan and loaded CI machines run slowly, and a genuine deadlock is a
+    /// program bug where an extra minute of latency is irrelevant.
+    double recv_timeout_seconds = 120.0;
+    /// Nonzero: each message becomes visible to recv only after a seeded
+    /// pseudo-random delay in [0, arrival_jitter_max_us]. Randomizes the
+    /// cross-channel arrival order while preserving per-channel FIFO.
+    uint64_t arrival_jitter_seed = 0;
+    int arrival_jitter_max_us = 200;
+    /// Simulate interconnect cost: each message is additionally held back by
+    /// the alpha-beta time of the network model (scaled by time_scale). Lets
+    /// the weak-scaling bench measure how much latency overlap actually
+    /// hides without real hardware.
+    bool simulate_network = false;
+    NetworkModel network{};
+    double network_time_scale = 1.0;
+  };
+
+  // Options is nested, so its default member initializers are only usable
+  // once ConcurrentComm is complete — a `= Options()` default argument is
+  // ill-formed here; delegate instead (inline bodies parse at end-of-class).
+  explicit ConcurrentComm(int nranks) : ConcurrentComm(nranks, Options()) {}
+
+  ConcurrentComm(int nranks, Options options)
+      : nranks_(nranks), options_(options), jitter_rng_(options.arrival_jitter_seed) {
+    CY_REQUIRE_MSG(nranks > 0, "need at least one rank");
+    sent_bytes_per_rank_.assign(static_cast<size_t>(nranks), 0);
+    sent_msgs_per_rank_.assign(static_cast<size_t>(nranks), 0);
+  }
+
+  [[nodiscard]] int nranks() const override { return nranks_; }
+
+  /// Nonblocking: posts the message (with its visibility time) and wakes any
+  /// blocked receiver. Never waits, so a sender can stream its whole halo
+  /// ring while the receivers are still computing.
+  void isend(int src, int dst, int tag, std::vector<double> data) override {
+    check_rank(src);
+    check_rank(dst);
+    const long bytes = static_cast<long>(data.size() * sizeof(double));
+    auto ready = Clock::now();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (options_.arrival_jitter_seed != 0 && options_.arrival_jitter_max_us > 0) {
+        const auto delay_us = static_cast<long>(
+            jitter_rng_.next_below(static_cast<uint64_t>(options_.arrival_jitter_max_us) + 1));
+        ready += std::chrono::microseconds(delay_us);
+      }
+      if (options_.simulate_network) {
+        const double t = options_.network.time(1, bytes) * options_.network_time_scale;
+        ready += std::chrono::duration_cast<Clock::duration>(std::chrono::duration<double>(t));
+      }
+      total_messages_ += 1;
+      total_bytes_ += bytes;
+      sent_msgs_per_rank_[static_cast<size_t>(src)] += 1;
+      sent_bytes_per_rank_[static_cast<size_t>(src)] += bytes;
+      mailboxes_[{src, dst, tag}].push_back(Message{std::move(data), ready});
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until the FIFO head of (src, dst, tag) is visible, the channel
+  /// is aborted, or the timeout expires. The timeout error carries the full
+  /// pending-message snapshot — the concurrent analog of SimComm's deadlock
+  /// error, with enough state to see which rank stopped sending.
+  std::vector<double> recv(int dst, int src, int tag) override {
+    check_rank(src);
+    check_rank(dst);
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(options_.recv_timeout_seconds));
+    const Key key{src, dst, tag};
+    for (;;) {
+      CY_REQUIRE_MSG(abort_reason_.empty(),
+                     "recv(" << src << "->" << dst << " tag " << tag
+                             << ") aborted: " << abort_reason_);
+      auto it = mailboxes_.find(key);
+      if (it != mailboxes_.end() && !it->second.empty()) {
+        Message& head = it->second.front();
+        if (head.ready <= Clock::now()) {
+          std::vector<double> data = std::move(head.data);
+          it->second.pop_front();
+          if (it->second.empty()) mailboxes_.erase(it);
+          return data;
+        }
+        // Head posted but still "in flight" (jitter / simulated network):
+        // wait for its visibility time. No deadlock is possible here — the
+        // message exists and will become visible.
+        cv_.wait_until(lock, head.ready);
+        continue;
+      }
+      // Channel empty: the timeout-bounded wait. Timing out with the channel
+      // still empty is the concurrent analog of SimComm's deadlock.
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        it = mailboxes_.find(key);
+        const bool arrived = it != mailboxes_.end() && !it->second.empty();
+        CY_REQUIRE_MSG(arrived, "recv deadlock: no message from "
+                                    << src << " to " << dst << " tag " << tag << " within "
+                                    << options_.recv_timeout_seconds
+                                    << "s; pending: " << describe_pending(pending_locked()));
+      }
+    }
+  }
+
+  [[nodiscard]] bool probe(int dst, int src, int tag) const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return probe_locked({src, dst, tag});
+  }
+
+  [[nodiscard]] std::vector<PendingMessage> pending() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_locked();
+  }
+
+  /// Wake every blocked recv with an error. Called by the runtime when one
+  /// rank thread fails, so the remaining ranks do not block on messages that
+  /// will never be sent.
+  void abort(const std::string& reason) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (abort_reason_.empty()) abort_reason_ = reason.empty() ? "aborted" : reason;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] long total_messages() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_messages_;
+  }
+  [[nodiscard]] long total_bytes() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_bytes_;
+  }
+  [[nodiscard]] long messages_from(int rank) const override {
+    check_rank(rank);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sent_msgs_per_rank_[static_cast<size_t>(rank)];
+  }
+  [[nodiscard]] long bytes_from(int rank) const override {
+    check_rank(rank);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sent_bytes_per_rank_[static_cast<size_t>(rank)];
+  }
+
+  void reset_counters() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_messages_ = 0;
+    total_bytes_ = 0;
+    sent_bytes_per_rank_.assign(sent_bytes_per_rank_.size(), 0);
+    sent_msgs_per_rank_.assign(sent_msgs_per_rank_.size(), 0);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  using Key = std::tuple<int, int, int>;
+  struct Message {
+    std::vector<double> data;
+    Clock::time_point ready;  ///< when recv may observe it
+  };
+
+  [[nodiscard]] bool probe_locked(const Key& key) const {
+    auto it = mailboxes_.find(key);
+    return it != mailboxes_.end() && !it->second.empty() &&
+           it->second.front().ready <= Clock::now();
+  }
+
+  [[nodiscard]] std::vector<PendingMessage> pending_locked() const {
+    std::vector<PendingMessage> out;
+    for (const auto& [key, queue] : mailboxes_) {
+      if (queue.empty()) continue;
+      PendingMessage p;
+      std::tie(p.src, p.dst, p.tag) = key;
+      p.count = static_cast<long>(queue.size());
+      for (const auto& msg : queue) p.bytes += static_cast<long>(msg.data.size() * sizeof(double));
+      out.push_back(p);
+    }
+    return out;
+  }
+
+  int nranks_;
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<Key, std::deque<Message>> mailboxes_;
+  std::string abort_reason_;
+  Rng jitter_rng_;  ///< guarded by mutex_
+  long total_messages_ = 0;
+  long total_bytes_ = 0;
+  std::vector<long> sent_msgs_per_rank_;
+  std::vector<long> sent_bytes_per_rank_;
+};
+
+}  // namespace cyclone::comm

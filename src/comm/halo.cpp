@@ -4,6 +4,13 @@
 
 namespace cyclone::comm {
 
+namespace {
+/// Message tags: one per exchange flavor so a scalar exchange can never
+/// consume a vector message posted on the same neighbor pair.
+constexpr int kTagScalar = 9;
+constexpr int kTagVector = 7;
+}  // namespace
+
 void fill_corners(FieldD& f, int width, CornerFill dir) {
   const int ni = f.shape().ni();
   const int nj = f.shape().nj();
@@ -42,6 +49,7 @@ HaloUpdater::HaloUpdater(const grid::Partitioner& part, int width)
   recv_plan_.resize(static_cast<size_t>(nranks));
   send_plan_.resize(static_cast<size_t>(nranks));
   corners_.resize(static_cast<size_t>(nranks));
+  pools_.resize(static_cast<size_t>(nranks));
 
   for (int rank = 0; rank < nranks; ++rank) {
     const grid::RankInfo info = part.info(rank);
@@ -103,145 +111,162 @@ HaloUpdater::HaloUpdater(const grid::Partitioner& part, int width)
   }
 }
 
-void HaloUpdater::exchange_scalar(const std::vector<FieldD*>& fields, SimComm& comm) const {
-  exchange_impl(fields, nullptr, comm);
+std::vector<double> HaloUpdater::acquire_buffer(int rank) const {
+  if (!pooling_) return {};
+  return pools_[static_cast<size_t>(rank)].acquire();
+}
+
+void HaloUpdater::release_buffer(int rank, std::vector<double>&& buf) const {
+  if (!pooling_) return;
+  pools_[static_cast<size_t>(rank)].release(std::move(buf));
+}
+
+// --- Per-rank split-phase primitives ---------------------------------------
+
+void HaloUpdater::start_scalars_rank(int rank, const std::vector<const FieldD*>& fields,
+                                     Comm& comm) const {
+  CY_REQUIRE_MSG(!fields.empty(), "empty field group");
+  // One packed message per neighbor carrying every field, field-major so the
+  // receiver unpacks in the same order. Pack order (fields, then plan cells,
+  // then k) is part of the wire contract: both schedulers produce identical
+  // buffers, which is what keeps them bitwise comparable.
+  for (const auto& [dst, cells] : send_plan_[static_cast<size_t>(rank)]) {
+    std::vector<double> buf = acquire_buffer(rank);
+    size_t total = 0;
+    for (const FieldD* f : fields) total += cells.size() * static_cast<size_t>(f->shape().nk());
+    buf.reserve(total);
+    for (const FieldD* f : fields) {
+      const int nk = f->shape().nk();
+      for (const auto& c : cells) {
+        for (int k = 0; k < nk; ++k) buf.push_back((*f)(c.src_li, c.src_lj, k));
+      }
+    }
+    comm.isend(rank, dst, kTagScalar, std::move(buf));
+  }
+}
+
+void HaloUpdater::finish_scalars_rank(int rank, const std::vector<FieldD*>& fields,
+                                      Comm& comm) const {
+  for (const auto& [src, cells] : recv_plan_[static_cast<size_t>(rank)]) {
+    std::vector<double> buf = comm.recv(rank, src, kTagScalar);
+    size_t idx = 0;
+    for (FieldD* f : fields) {
+      const int nk = f->shape().nk();
+      for (const auto& c : cells) {
+        for (int k = 0; k < nk; ++k) (*f)(c.li, c.lj, k) = buf[idx++];
+      }
+    }
+    CY_ENSURE(idx == buf.size());
+    release_buffer(rank, std::move(buf));
+  }
+}
+
+void HaloUpdater::start_vector_rank(int rank, const FieldD& u, const FieldD& v,
+                                    Comm& comm) const {
+  const int nk = u.shape().nk();
+  for (const auto& [dst, cells] : send_plan_[static_cast<size_t>(rank)]) {
+    std::vector<double> buf = acquire_buffer(rank);
+    buf.reserve(cells.size() * static_cast<size_t>(nk) * 2);
+    for (const auto& c : cells) {
+      for (int k = 0; k < nk; ++k) {
+        buf.push_back(u(c.src_li, c.src_lj, k));
+        buf.push_back(v(c.src_li, c.src_lj, k));
+      }
+    }
+    comm.isend(rank, dst, kTagVector, std::move(buf));
+  }
+}
+
+void HaloUpdater::finish_vector_rank(int rank, FieldD& u, FieldD& v, Comm& comm) const {
+  const int nk = u.shape().nk();
+  for (const auto& [src, cells] : recv_plan_[static_cast<size_t>(rank)]) {
+    std::vector<double> buf = comm.recv(rank, src, kTagVector);
+    CY_ENSURE(buf.size() == cells.size() * static_cast<size_t>(nk) * 2);
+    size_t idx = 0;
+    for (const auto& c : cells) {
+      for (int k = 0; k < nk; ++k) {
+        const double us = buf[idx++];
+        const double vs = buf[idx++];
+        u(c.li, c.lj, k) = c.m[0] * us + c.m[1] * vs;
+        v(c.li, c.lj, k) = c.m[2] * us + c.m[3] * vs;
+      }
+    }
+    release_buffer(rank, std::move(buf));
+  }
+}
+
+void HaloUpdater::fill_cube_corners_rank(int rank, FieldD& f, CornerFill dir) const {
+  const int nk = f.shape().nk();
+  for (const auto& c : corners_[static_cast<size_t>(rank)]) {
+    const int si = dir == CornerFill::XDir ? c.src_x_li : c.src_y_li;
+    const int sj = dir == CornerFill::XDir ? c.src_x_lj : c.src_y_lj;
+    for (int k = 0; k < nk; ++k) f(c.li, c.lj, k) = f(si, sj, k);
+  }
+}
+
+// --- All-rank collectives (lockstep wrappers) -------------------------------
+
+void HaloUpdater::exchange_scalar(const std::vector<FieldD*>& fields, Comm& comm) const {
+  const int nranks = part_.num_ranks();
+  CY_REQUIRE_MSG(static_cast<int>(fields.size()) == nranks,
+                 "need one field per rank (" << nranks << ")");
+  for (int src = 0; src < nranks; ++src) {
+    start_scalars_rank(src, {fields[static_cast<size_t>(src)]}, comm);
+  }
+  for (int dst = 0; dst < nranks; ++dst) {
+    finish_scalars_rank(dst, {fields[static_cast<size_t>(dst)]}, comm);
+  }
 }
 
 void HaloUpdater::exchange_vector(const std::vector<FieldD*>& u, const std::vector<FieldD*>& v,
-                                  SimComm& comm) const {
-  exchange_impl(u, &v, comm);
+                                  Comm& comm) const {
+  const int nranks = part_.num_ranks();
+  CY_REQUIRE_MSG(static_cast<int>(u.size()) == nranks && static_cast<int>(v.size()) == nranks,
+                 "need one (u, v) pair per rank (" << nranks << ")");
+  for (int src = 0; src < nranks; ++src) {
+    start_vector_rank(src, *u[static_cast<size_t>(src)], *v[static_cast<size_t>(src)], comm);
+  }
+  for (int dst = 0; dst < nranks; ++dst) {
+    finish_vector_rank(dst, *u[static_cast<size_t>(dst)], *v[static_cast<size_t>(dst)], comm);
+  }
 }
 
-void HaloUpdater::exchange_impl(const std::vector<FieldD*>& u, const std::vector<FieldD*>* v,
-                                SimComm& comm) const {
+void HaloUpdater::exchange_group(const std::vector<std::vector<FieldD*>>& groups,
+                                 Comm& comm) const {
+  CY_REQUIRE_MSG(!groups.empty(), "empty field group");
   const int nranks = part_.num_ranks();
-  CY_REQUIRE_MSG(static_cast<int>(u.size()) == nranks,
-                 "need one field per rank (" << nranks << ")");
-  const int components = v ? 2 : 1;
-  constexpr int kTag = 7;
-
-  // Phase 1: every rank packs and posts its sends (nonblocking).
   for (int src = 0; src < nranks; ++src) {
-    const FieldD& fu = *u[src];
-    const int nk = fu.shape().nk();
-    for (const auto& [dst, cells] : send_plan_[static_cast<size_t>(src)]) {
-      std::vector<double> buf;
-      buf.reserve(cells.size() * static_cast<size_t>(nk) * components);
-      for (const auto& c : cells) {
-        for (int k = 0; k < nk; ++k) {
-          buf.push_back(fu(c.src_li, c.src_lj, k));
-          if (v) buf.push_back((*(*v)[src])(c.src_li, c.src_lj, k));
-        }
-      }
-      comm.isend(src, dst, kTag, std::move(buf));
-    }
+    std::vector<const FieldD*> fields;
+    fields.reserve(groups.size());
+    for (const auto& g : groups) fields.push_back(g[static_cast<size_t>(src)]);
+    start_scalars_rank(src, fields, comm);
   }
-
-  // Phase 2: every rank receives, rotates and unpacks.
   for (int dst = 0; dst < nranks; ++dst) {
-    FieldD& fu = *u[dst];
-    const int nk = fu.shape().nk();
-    for (const auto& [src, cells] : recv_plan_[static_cast<size_t>(dst)]) {
-      const std::vector<double> buf = comm.recv(dst, src, kTag);
-      CY_ENSURE(buf.size() == cells.size() * static_cast<size_t>(nk) * components);
-      size_t idx = 0;
-      for (const auto& c : cells) {
-        for (int k = 0; k < nk; ++k) {
-          if (v) {
-            const double us = buf[idx++];
-            const double vs = buf[idx++];
-            fu(c.li, c.lj, k) = c.m[0] * us + c.m[1] * vs;
-            (*(*v)[dst])(c.li, c.lj, k) = c.m[2] * us + c.m[3] * vs;
-          } else {
-            fu(c.li, c.lj, k) = buf[idx++];
-          }
-        }
-      }
-    }
+    std::vector<FieldD*> fields;
+    fields.reserve(groups.size());
+    for (const auto& g : groups) fields.push_back(g[static_cast<size_t>(dst)]);
+    finish_scalars_rank(dst, fields, comm);
+  }
+}
+
+void HaloUpdater::start_exchange(const std::vector<FieldD*>& fields, Comm& comm) const {
+  const int nranks = part_.num_ranks();
+  for (int src = 0; src < nranks; ++src) {
+    start_scalars_rank(src, {fields[static_cast<size_t>(src)]}, comm);
+  }
+}
+
+void HaloUpdater::finish_exchange(const std::vector<FieldD*>& fields, Comm& comm) const {
+  const int nranks = part_.num_ranks();
+  for (int dst = 0; dst < nranks; ++dst) {
+    finish_scalars_rank(dst, {fields[static_cast<size_t>(dst)]}, comm);
   }
 }
 
 void HaloUpdater::fill_cube_corners(const std::vector<FieldD*>& fields, CornerFill dir) const {
   CY_REQUIRE(fields.size() == corners_.size());
   for (size_t rank = 0; rank < fields.size(); ++rank) {
-    FieldD& f = *fields[rank];
-    const int nk = f.shape().nk();
-    for (const auto& c : corners_[rank]) {
-      const int si = dir == CornerFill::XDir ? c.src_x_li : c.src_y_li;
-      const int sj = dir == CornerFill::XDir ? c.src_x_lj : c.src_y_lj;
-      for (int k = 0; k < nk; ++k) f(c.li, c.lj, k) = f(si, sj, k);
-    }
-  }
-}
-
-void HaloUpdater::exchange_group(const std::vector<std::vector<FieldD*>>& groups,
-                                 SimComm& comm) const {
-  CY_REQUIRE_MSG(!groups.empty(), "empty field group");
-  const int nranks = part_.num_ranks();
-  constexpr int kTag = 9;
-
-  // Phase 1: one packed message per (src, dst) carrying every field.
-  for (int src = 0; src < nranks; ++src) {
-    for (const auto& [dst, cells] : send_plan_[static_cast<size_t>(src)]) {
-      std::vector<double> buf;
-      for (const auto& fields : groups) {
-        const FieldD& f = *fields[static_cast<size_t>(src)];
-        const int nk = f.shape().nk();
-        for (const auto& c : cells) {
-          for (int k = 0; k < nk; ++k) buf.push_back(f(c.src_li, c.src_lj, k));
-        }
-      }
-      comm.isend(src, dst, kTag, std::move(buf));
-    }
-  }
-
-  // Phase 2: receive and unpack in the same field order.
-  for (int dst = 0; dst < nranks; ++dst) {
-    for (const auto& [src, cells] : recv_plan_[static_cast<size_t>(dst)]) {
-      const std::vector<double> buf = comm.recv(dst, src, kTag);
-      size_t idx = 0;
-      for (const auto& fields : groups) {
-        FieldD& f = *fields[static_cast<size_t>(dst)];
-        const int nk = f.shape().nk();
-        for (const auto& c : cells) {
-          for (int k = 0; k < nk; ++k) f(c.li, c.lj, k) = buf[idx++];
-        }
-      }
-      CY_ENSURE(idx == buf.size());
-    }
-  }
-}
-
-void HaloUpdater::start_exchange(const std::vector<FieldD*>& fields, SimComm& comm) const {
-  const int nranks = part_.num_ranks();
-  constexpr int kTag = 11;
-  for (int src = 0; src < nranks; ++src) {
-    const FieldD& f = *fields[static_cast<size_t>(src)];
-    const int nk = f.shape().nk();
-    for (const auto& [dst, cells] : send_plan_[static_cast<size_t>(src)]) {
-      std::vector<double> buf;
-      buf.reserve(cells.size() * static_cast<size_t>(nk));
-      for (const auto& c : cells) {
-        for (int k = 0; k < nk; ++k) buf.push_back(f(c.src_li, c.src_lj, k));
-      }
-      comm.isend(src, dst, kTag, std::move(buf));
-    }
-  }
-}
-
-void HaloUpdater::finish_exchange(const std::vector<FieldD*>& fields, SimComm& comm) const {
-  const int nranks = part_.num_ranks();
-  constexpr int kTag = 11;
-  for (int dst = 0; dst < nranks; ++dst) {
-    FieldD& f = *fields[static_cast<size_t>(dst)];
-    const int nk = f.shape().nk();
-    for (const auto& [src, cells] : recv_plan_[static_cast<size_t>(dst)]) {
-      const std::vector<double> buf = comm.recv(dst, src, kTag);
-      size_t idx = 0;
-      for (const auto& c : cells) {
-        for (int k = 0; k < nk; ++k) f(c.li, c.lj, k) = buf[idx++];
-      }
-    }
+    fill_cube_corners_rank(static_cast<int>(rank), *fields[rank], dir);
   }
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <map>
 #include <vector>
 
 #include "comm/simcomm.hpp"
@@ -17,11 +18,48 @@ enum class CornerFill { XDir, YDir };
 /// exchanged) edge halos with the transpose convention (see halo.cpp).
 void fill_corners(FieldD& f, int width, CornerFill dir);
 
+/// Recycles pack/unpack staging buffers so steady-state exchanges allocate
+/// nothing: a rank's sends draw from its pool, and every received buffer is
+/// returned to it after unpacking. In the thread-per-rank runtime each pool
+/// is touched only by its own rank's thread (sends and recvs of rank r both
+/// happen on r's thread), so no locking is needed; buffer handoff between
+/// ranks synchronizes through the channel.
+class BufferPool {
+ public:
+  /// An empty buffer with whatever capacity a previous exchange left behind.
+  std::vector<double> acquire() {
+    if (free_.empty()) {
+      ++allocations_;
+      return {};
+    }
+    ++reuses_;
+    std::vector<double> buf = std::move(free_.back());
+    free_.pop_back();
+    buf.clear();
+    return buf;
+  }
+  void release(std::vector<double>&& buf) { free_.push_back(std::move(buf)); }
+
+  [[nodiscard]] long allocations() const { return allocations_; }
+  [[nodiscard]] long reuses() const { return reuses_; }
+
+ private:
+  std::vector<std::vector<double>> free_;
+  long allocations_ = 0;
+  long reuses_ = 0;
+};
+
 /// Cubed-sphere halo updater: precomputes, per destination rank, the source
 /// rank/cell of every halo cell (with cross-edge index rotation) and the
-/// vector component transform. Exchanges run through SimComm as nonblocking
+/// vector component transform. Exchanges run through a Comm as nonblocking
 /// sends followed by receives, exactly like the paper's halo updater object
 /// (Sec. IV-C).
+///
+/// Every exchange is built from the per-rank split-phase primitives below
+/// (`start_*_rank` / `finish_*_rank`): the lockstep collectives loop them
+/// over all ranks, and the concurrent runtime calls them from each rank's
+/// own thread. One packing code path means the two schedulers are bitwise
+/// identical by construction.
 class HaloUpdater {
  public:
   HaloUpdater(const grid::Partitioner& part, int width);
@@ -31,27 +69,48 @@ class HaloUpdater {
 
   /// Exchange a scalar field; `fields[r]` is rank r's local field. All
   /// fields must share (ni, nj, nk) with halos >= width.
-  void exchange_scalar(const std::vector<FieldD*>& fields, SimComm& comm) const;
+  void exchange_scalar(const std::vector<FieldD*>& fields, Comm& comm) const;
 
   /// Exchange a vector pair with component rotation across tile edges.
   void exchange_vector(const std::vector<FieldD*>& u, const std::vector<FieldD*>& v,
-                       SimComm& comm) const;
+                       Comm& comm) const;
 
   /// Coalesced exchange: all fields of a group travel in one message per
   /// neighbor pair (FV3's grouped halo updates — pays the latency alpha
   /// once instead of once per field). `groups[g][r]` is rank r's field g.
-  void exchange_group(const std::vector<std::vector<FieldD*>>& groups, SimComm& comm) const;
+  void exchange_group(const std::vector<std::vector<FieldD*>>& groups, Comm& comm) const;
 
   /// Nonblocking split: `start` posts all sends (packing included), `finish`
   /// receives and unpacks; compute may overlap between the two calls (the
   /// paper's nonblocking halo exchanges, Sec. II).
-  void start_exchange(const std::vector<FieldD*>& fields, SimComm& comm) const;
-  void finish_exchange(const std::vector<FieldD*>& fields, SimComm& comm) const;
+  void start_exchange(const std::vector<FieldD*>& fields, Comm& comm) const;
+  void finish_exchange(const std::vector<FieldD*>& fields, Comm& comm) const;
 
   /// Fill only the *cube-corner* diagonal halo cells (the ones with no
   /// owning rank) with the transpose convention; halo cells that were
   /// exchanged stay untouched, so results are decomposition-independent.
   void fill_cube_corners(const std::vector<FieldD*>& fields, CornerFill dir) const;
+
+  // --- Per-rank split-phase primitives (the concurrent runtime's entry
+  // points; must only be called from rank `rank`'s thread). Scalars travel
+  // coalesced: one message per neighbor carries every field of the list.
+  void start_scalars_rank(int rank, const std::vector<const FieldD*>& fields, Comm& comm) const;
+  void finish_scalars_rank(int rank, const std::vector<FieldD*>& fields, Comm& comm) const;
+  void start_vector_rank(int rank, const FieldD& u, const FieldD& v, Comm& comm) const;
+  void finish_vector_rank(int rank, FieldD& u, FieldD& v, Comm& comm) const;
+  void fill_cube_corners_rank(int rank, FieldD& f, CornerFill dir) const;
+
+  /// Staging-buffer reuse (on by default). Off allocates a fresh vector per
+  /// message — the pre-pool behavior, kept so the weak-scaling bench can
+  /// measure the allocation win.
+  void set_buffer_pooling(bool on) { pooling_ = on; }
+  [[nodiscard]] bool buffer_pooling() const { return pooling_; }
+  [[nodiscard]] long pool_allocations(int rank) const {
+    return pools_[static_cast<size_t>(rank)].allocations();
+  }
+  [[nodiscard]] long pool_reuses(int rank) const {
+    return pools_[static_cast<size_t>(rank)].reuses();
+  }
 
   /// Messages a single rank sends per scalar exchange (for the network
   /// model; the same count is received).
@@ -80,9 +139,12 @@ class HaloUpdater {
 
   grid::Partitioner part_;
   int width_;
+  bool pooling_ = true;
+  /// pools_[r] is touched only by rank r's thread (see BufferPool).
+  mutable std::vector<BufferPool> pools_;
 
-  void exchange_impl(const std::vector<FieldD*>& u, const std::vector<FieldD*>* v,
-                     SimComm& comm) const;
+  std::vector<double> acquire_buffer(int rank) const;
+  void release_buffer(int rank, std::vector<double>&& buf) const;
 };
 
 }  // namespace cyclone::comm

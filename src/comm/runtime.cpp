@@ -1,0 +1,361 @@
+#include "comm/runtime.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "core/exec/extents.hpp"
+
+namespace cyclone::comm {
+
+namespace {
+
+bool is_halo_only(const ir::State& st) {
+  return !st.nodes.empty() &&
+         std::all_of(st.nodes.begin(), st.nodes.end(), [](const ir::SNode& n) {
+           return n.kind == ir::SNode::Kind::HaloExchange;
+         });
+}
+
+/// Post rank `rank`'s sends for one halo-exchange node (pack included, so
+/// the source cells may be overwritten as soon as this returns).
+void start_halo_node_rank(const HaloUpdater& halo, const ir::SNode& node, RankDomain& rd,
+                          int rank, Comm& comm) {
+  if (node.halo_vector) {
+    CY_REQUIRE_MSG(node.halo_fields.size() % 2 == 0, "vector halo exchange needs (u, v) pairs");
+    for (size_t p = 0; p < node.halo_fields.size(); p += 2) {
+      halo.start_vector_rank(rank, rd.catalog->at(node.halo_fields[p]),
+                             rd.catalog->at(node.halo_fields[p + 1]), comm);
+    }
+    return;
+  }
+  std::vector<const FieldD*> fields;
+  fields.reserve(node.halo_fields.size());
+  for (const auto& name : node.halo_fields) fields.push_back(&rd.catalog->at(name));
+  halo.start_scalars_rank(rank, fields, comm);
+}
+
+/// Receive, unpack and corner-fill rank `rank`'s side of one halo-exchange
+/// node. Blocks (under ConcurrentComm) until the neighbors' messages arrive.
+void finish_halo_node_rank(const HaloUpdater& halo, const ir::SNode& node, RankDomain& rd,
+                           int rank, Comm& comm) {
+  if (node.halo_vector) {
+    for (size_t p = 0; p < node.halo_fields.size(); p += 2) {
+      FieldD& u = rd.catalog->at(node.halo_fields[p]);
+      FieldD& v = rd.catalog->at(node.halo_fields[p + 1]);
+      halo.finish_vector_rank(rank, u, v, comm);
+      halo.fill_cube_corners_rank(rank, u, CornerFill::XDir);
+      halo.fill_cube_corners_rank(rank, v, CornerFill::YDir);
+    }
+    return;
+  }
+  std::vector<FieldD*> fields;
+  fields.reserve(node.halo_fields.size());
+  for (const auto& name : node.halo_fields) fields.push_back(&rd.catalog->at(name));
+  halo.finish_scalars_rank(rank, fields, comm);
+  for (FieldD* f : fields) halo.fill_cube_corners_rank(rank, *f, CornerFill::XDir);
+}
+
+}  // namespace
+
+void run_halo_node(const HaloUpdater& halo, const ir::SNode& node,
+                   std::vector<RankDomain>& ranks, Comm& comm) {
+  // The collective form is just the per-rank primitives looped over ranks:
+  // one packing code path keeps the lockstep and concurrent schedulers
+  // bitwise identical by construction.
+  for (size_t r = 0; r < ranks.size(); ++r) {
+    start_halo_node_rank(halo, node, ranks[r], static_cast<int>(r), comm);
+  }
+  for (size_t r = 0; r < ranks.size(); ++r) {
+    finish_halo_node_rank(halo, node, ranks[r], static_cast<int>(r), comm);
+  }
+}
+
+void run_lockstep_step(const ir::Program& program, const HaloUpdater& halo,
+                       std::vector<RankDomain>& ranks, Comm& comm) {
+  CY_REQUIRE_MSG(static_cast<int>(ranks.size()) == halo.partitioner().num_ranks(),
+                 "rank count mismatch");
+  for (int sidx : program.flatten_execution_order()) {
+    const ir::State& st = program.states()[static_cast<size_t>(sidx)];
+    if (is_halo_only(st)) {
+      for (const auto& node : st.nodes) run_halo_node(halo, node, ranks, comm);
+      continue;
+    }
+    for (auto& rd : ranks) program.execute_state(sidx, *rd.catalog, rd.dom);
+  }
+}
+
+// --- Overlap analysis -------------------------------------------------------
+
+namespace {
+
+/// Horizontal apply-rectangle extension of one statement beyond the launch
+/// rectangle (write extent from the extent analysis plus the node's own
+/// domain extension), per side. Two statements with equal tuples cover any
+/// cell in exactly the same set of interior/rim launches.
+struct ExtTuple {
+  int ilo = 0, ihi = 0, jlo = 0, jhi = 0;
+  [[nodiscard]] bool zero() const { return !ilo && !ihi && !jlo && !jhi; }
+  [[nodiscard]] int max() const { return std::max({ilo, ihi, jlo, jhi, 0}); }
+  friend bool operator==(const ExtTuple&, const ExtTuple&) = default;
+};
+
+struct FlatAccess {
+  std::string lhs;  ///< resolved: catalog name, or per-node-scoped temp key
+  ExtTuple ext;
+  struct Read {
+    std::string name;
+    int h_off = 0;  ///< max |horizontal offset|
+    int k_lo = 0, k_hi = 0;
+  };
+  std::vector<Read> reads;
+};
+
+}  // namespace
+
+OverlapPlan analyze_overlap(const ir::Program& program, int state_index) {
+  OverlapPlan plan;
+  CY_REQUIRE_MSG(state_index >= 0 && state_index < static_cast<int>(program.states().size()),
+                 "state index " << state_index << " out of range");
+  const ir::State& st = program.states()[static_cast<size_t>(state_index)];
+  if (st.nodes.empty()) {
+    plan.reason = "empty state";
+    return plan;
+  }
+
+  // Flatten every statement of the state into execution order, resolving
+  // field names through the node's argument binding. Temporaries are scoped
+  // per node (each launch has private scratch), so they can never alias a
+  // catalog field or another node's temp.
+  std::vector<FlatAccess> flat;
+  for (size_t n = 0; n < st.nodes.size(); ++n) {
+    const ir::SNode& node = st.nodes[n];
+    if (node.kind != ir::SNode::Kind::Stencil) {
+      plan.reason = "non-stencil node '" + node.label + "'";
+      return plan;
+    }
+    const auto temp_key = [n](const std::string& name) {
+      return "#" + std::to_string(n) + ":" + name;
+    };
+    for (const auto& a : exec::collect_stmt_accesses(*node.stencil)) {
+      FlatAccess fa;
+      fa.lhs = a.lhs_is_temp ? temp_key(a.lhs) : node.args.actual(a.lhs);
+      fa.ext = ExtTuple{-a.write_extent.i_lo + node.ext.ilo, a.write_extent.i_hi + node.ext.ihi,
+                        -a.write_extent.j_lo + node.ext.jlo, a.write_extent.j_hi + node.ext.jhi};
+      for (const auto& r : a.reads) {
+        FlatAccess::Read read;
+        read.name = r.is_temp ? temp_key(r.name) : node.args.actual(r.name);
+        read.h_off = std::max({-r.ext.i_lo, r.ext.i_hi, -r.ext.j_lo, r.ext.j_hi});
+        read.k_lo = r.ext.k_lo;
+        read.k_hi = r.ext.k_hi;
+        fa.reads.push_back(std::move(read));
+      }
+      flat.push_back(std::move(fa));
+    }
+  }
+
+  // Rule 1 (anti-dependences): a read of a name that the same or a later
+  // statement writes. At nonzero horizontal offset the rim pass would see
+  // post-state values where the full launch saw pre-state ones — never
+  // splittable. At zero horizontal offset the read-then-write must happen
+  // exactly once per cell and inside one launch, which requires both rects
+  // to tile the launch rectangle exactly (zero extension). The one
+  // exception is a statement's own vertical recurrence (reads its own LHS
+  // only at k offsets): each launch re-runs the whole column sweep, so the
+  // recurrence is recomputed identically from its (idempotent) base.
+  for (size_t p = 0; p < flat.size(); ++p) {
+    for (const auto& read : flat[p].reads) {
+      for (size_t q = p; q < flat.size(); ++q) {
+        if (flat[q].lhs != read.name) continue;
+        if (read.h_off > 0) {
+          plan.reason = "statement " + std::to_string(p) + " reads '" + read.name +
+                        "' at horizontal offset " + std::to_string(read.h_off) +
+                        " which statement " + std::to_string(q) + " overwrites";
+          return plan;
+        }
+        const bool self_recurrence = q == p && (read.k_lo > 0 || read.k_hi < 0);
+        if (self_recurrence) continue;  // handled by rule 2's writer equality
+        if (!flat[p].ext.zero() || !flat[q].ext.zero()) {
+          plan.reason = "read-modify-write of '" + read.name +
+                        "' with an extended apply domain (statements " + std::to_string(p) +
+                        ", " + std::to_string(q) + ")";
+          return plan;
+        }
+      }
+    }
+  }
+
+  // Rule 2 (output dependences): every writer of a multiply-written name
+  // must carry the same extension tuple. Equal rects mean every launch that
+  // covers a cell runs *all* its writers in program order, so the final
+  // value comes from the same statement as in the full launch.
+  {
+    std::map<std::string, ExtTuple> writer_ext;
+    for (const auto& fa : flat) {
+      auto [it, inserted] = writer_ext.emplace(fa.lhs, fa.ext);
+      if (!inserted && !(it->second == fa.ext)) {
+        plan.reason = "'" + fa.lhs + "' is written by statements with different apply extensions";
+        return plan;
+      }
+    }
+  }
+
+  // Transitive read radius: how deep into the owned region a cell must sit
+  // for its value (through all intermediates and apply extensions) to be a
+  // function of owned pre-state cells only. depth[f] = how far f's written
+  // values reach; a statement's reads reach base depth + |offset|, and its
+  // own rect extends ext.max() beyond the launch rectangle.
+  std::map<std::string, int> depth;
+  int radius = 0;
+  for (const auto& fa : flat) {
+    int d = 0;
+    for (const auto& read : fa.reads) {
+      auto it = depth.find(read.name);
+      const int base = it == depth.end() ? 0 : it->second;
+      d = std::max(d, base + read.h_off);
+    }
+    radius = std::max(radius, d + fa.ext.max());
+    auto [it, inserted] = depth.emplace(fa.lhs, d);
+    if (!inserted) it->second = std::max(it->second, d);
+  }
+
+  plan.splittable = true;
+  plan.radius = radius;
+  return plan;
+}
+
+// --- Concurrent runtime -----------------------------------------------------
+
+ConcurrentRuntime::ConcurrentRuntime(const ir::Program& program, const HaloUpdater& halo,
+                                     std::vector<RankDomain> ranks, RuntimeOptions options)
+    : halo_(halo),
+      ranks_(std::move(ranks)),
+      options_(options),
+      comm_(static_cast<int>(ranks_.size()), options.channel) {
+  CY_REQUIRE_MSG(!ranks_.empty(), "need at least one rank");
+  CY_REQUIRE_MSG(static_cast<int>(ranks_.size()) == halo.partitioner().num_ranks(),
+                 "rank count mismatch with halo updater");
+  for (const auto& rd : ranks_) CY_REQUIRE_MSG(rd.catalog, "rank without catalog");
+
+  order_ = program.flatten_execution_order();
+  halo_only_.resize(program.states().size());
+  plans_.resize(program.states().size());
+  for (size_t s = 0; s < program.states().size(); ++s) {
+    halo_only_[s] = is_halo_only(program.states()[s]) ? 1 : 0;
+    if (!halo_only_[s]) plans_[s] = analyze_overlap(program, static_cast<int>(s));
+  }
+
+  // One program copy per rank. The copy shares the immutable stencil IR
+  // (shared_ptr) but must not share the executor caches: CompiledStencil
+  // keeps a mutable temp pool, which would race across rank threads.
+  exec::RunOptions per_rank = options_.run;
+  per_rank.num_threads = options_.run.threads_per_rank > 0 ? options_.run.threads_per_rank : 1;
+  programs_.reserve(ranks_.size());
+  for (size_t r = 0; r < ranks_.size(); ++r) {
+    programs_.push_back(program);
+    programs_.back().invalidate_compiled();
+    programs_.back().set_run_options(per_rank);
+    programs_.back().precompile();
+  }
+}
+
+bool ConcurrentRuntime::can_overlap(int rank, int state_index) const {
+  const OverlapPlan& plan = plans_[static_cast<size_t>(state_index)];
+  if (!plan.splittable) return false;
+  const exec::LaunchDomain& dom = ranks_[static_cast<size_t>(rank)].dom;
+  // The four rim strips tile the boundary only while 2R fits the subdomain;
+  // smaller ranks fall back to compute-after-exchange (still bitwise equal).
+  return dom.ni >= 2 * plan.radius && dom.nj >= 2 * plan.radius;
+}
+
+void ConcurrentRuntime::execute_with_ext(int rank, int state_index, const exec::DomainExt& ext) {
+  RankDomain& rd = ranks_[static_cast<size_t>(rank)];
+  exec::LaunchDomain dom = rd.dom;
+  dom.ext.ilo += ext.ilo;
+  dom.ext.ihi += ext.ihi;
+  dom.ext.jlo += ext.jlo;
+  dom.ext.jhi += ext.jhi;
+  programs_[static_cast<size_t>(rank)].execute_state(state_index, *rd.catalog, dom);
+}
+
+void ConcurrentRuntime::run_rank(int rank) {
+  RankDomain& rd = ranks_[static_cast<size_t>(rank)];
+  const ir::Program& prog = programs_[static_cast<size_t>(rank)];
+  for (size_t p = 0; p < order_.size(); ++p) {
+    const int sidx = order_[p];
+    if (!halo_only_[static_cast<size_t>(sidx)]) {
+      prog.execute_state(sidx, *rd.catalog, rd.dom);
+      continue;
+    }
+    const ir::State& st = prog.states()[static_cast<size_t>(sidx)];
+    for (const auto& node : st.nodes) start_halo_node_rank(halo_, node, rd, rank, comm_);
+    const bool overlap =
+        options_.overlap && p + 1 < order_.size() && can_overlap(rank, order_[p + 1]);
+    if (!overlap) {
+      for (const auto& node : st.nodes) finish_halo_node_rank(halo_, node, rd, rank, comm_);
+      continue;
+    }
+    const int next = order_[p + 1];
+    const int R = plans_[static_cast<size_t>(next)].radius;
+    // Interior: shrink all four sides by R. Every cell it writes depends
+    // only on owned pre-state data, so it runs while messages are in
+    // flight (the exchange touches halo cells only).
+    execute_with_ext(rank, next, exec::DomainExt{-R, -R, -R, -R});
+    for (const auto& node : st.nodes) finish_halo_node_rank(halo_, node, rd, rank, comm_);
+    if (R > 0) {
+      // Rim: south/north full-width strips, west/east between them.
+      const int ni = rd.dom.ni, nj = rd.dom.nj;
+      execute_with_ext(rank, next, exec::DomainExt{0, 0, 0, R - nj});
+      execute_with_ext(rank, next, exec::DomainExt{0, 0, -(nj - R), 0});
+      execute_with_ext(rank, next, exec::DomainExt{0, R - ni, -R, -R});
+      execute_with_ext(rank, next, exec::DomainExt{-(ni - R), 0, -R, -R});
+    }
+    ++p;  // the split state is done; skip its position in the order
+  }
+}
+
+void ConcurrentRuntime::step() {
+  std::vector<std::thread> threads;
+  threads.reserve(ranks_.size());
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  for (size_t r = 0; r < ranks_.size(); ++r) {
+    threads.emplace_back([this, r, &error_mutex, &first_error] {
+      try {
+        run_rank(static_cast<int>(r));
+      } catch (const std::exception& e) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          // Keep the temporally-first failure: abort-induced errors in other
+          // ranks arrive later and only echo the root cause.
+          if (!first_error) first_error = std::current_exception();
+        }
+        comm_.abort("rank " + std::to_string(r) + " failed: " + e.what());
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        comm_.abort("rank " + std::to_string(r) + " failed");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  comm_.assert_drained();
+
+  ++stats_.steps;
+  for (size_t p = 0; p < order_.size(); ++p) {
+    if (!halo_only_[static_cast<size_t>(order_[p])]) continue;
+    ++stats_.halo_states;
+    if (options_.overlap && p + 1 < order_.size() && can_overlap(0, order_[p + 1])) {
+      ++stats_.overlapped_states;
+      ++p;
+    }
+  }
+}
+
+}  // namespace cyclone::comm

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "comm/halo.hpp"
+#include "core/field/catalog.hpp"
+#include "core/ir/program.hpp"
+
+namespace cyclone::comm {
+
+/// One rank's slice of the model: the catalog holding its fields and the
+/// launch domain carrying its global placement on the cubed sphere.
+struct RankDomain {
+  FieldCatalog* catalog = nullptr;
+  exec::LaunchDomain dom;
+};
+
+/// Execute one program pass over all ranks with the sequential phase-based
+/// scheduler: compute states run per rank in rank order; halo-only states
+/// run as collective exchanges through `comm`. This is the lockstep
+/// reference the concurrent runtime is verified bitwise against (and the
+/// loop fv3::DistributedModel::step used to inline).
+void run_lockstep_step(const ir::Program& program, const HaloUpdater& halo,
+                       std::vector<RankDomain>& ranks, Comm& comm);
+
+/// Run a single halo-exchange node collectively over all ranks (exchange +
+/// cube-corner fills), exactly as the lockstep scheduler does.
+void run_halo_node(const HaloUpdater& halo, const ir::SNode& node,
+                   std::vector<RankDomain>& ranks, Comm& comm);
+
+/// Whether (and how deep) a state's launch may be split into an interior
+/// region — computable while halo messages are in flight — and a rim of
+/// four boundary strips computed after the exchange completes.
+struct OverlapPlan {
+  bool splittable = false;
+  /// Transitive horizontal read radius of the state: every cell at owned
+  /// depth >= radius is computed, through all intermediates and apply
+  /// extensions, from owned pre-state cells only. The interior launch
+  /// shrinks all four sides by this much.
+  int radius = 0;
+  /// Why the state cannot be split (diagnostics / tests).
+  std::string reason;
+};
+
+/// Analyze one state of a program for interior/rim splittability. A state
+/// splits iff every node is a stencil and:
+///  - no statement reads its own LHS at a nonzero horizontal offset;
+///  - no statement reads a field at a nonzero horizontal offset that the
+///    same or a later statement of the state writes (anti-dependence: the
+///    rim pass would observe post-state values where the full launch saw
+///    pre-state ones);
+///  - zero-offset anti-dependences (read-modify-write updates) only occur
+///    between statements whose apply rectangles match the launch rectangle
+///    exactly (zero write extent and zero node extension), so the interior
+///    and the four rim strips tile the domain exactly once per cell.
+/// Flow dependences (writer strictly earlier) are safe at any offset: each
+/// sub-launch recomputes the intermediate over its own support region, and
+/// recomputation is a pure function of pre-state inputs.
+OverlapPlan analyze_overlap(const ir::Program& program, int state_index);
+
+/// Options of the concurrent runtime.
+struct RuntimeOptions {
+  /// Split halo-dependent states into interior + rim to overlap compute
+  /// with communication (off = compute strictly after finish_exchange;
+  /// results are bitwise identical either way).
+  bool overlap = true;
+  /// Engine options applied to every rank's program copy. The OpenMP team
+  /// of each rank thread is capped at run.threads_per_rank (0 = serial
+  /// per-rank execution, one hardware thread per rank).
+  exec::RunOptions run{};
+  /// Channel behavior (recv timeout, arrival jitter, simulated network).
+  ConcurrentComm::Options channel{};
+};
+
+/// Cumulative execution statistics (written between steps, not by rank
+/// threads; safe to read when no step is running).
+struct RuntimeStats {
+  long steps = 0;
+  long halo_states = 0;       ///< halo-only state executions per rank
+  long overlapped_states = 0; ///< compute states overlapped with a halo state
+};
+
+/// Thread-per-rank distributed runtime: every rank executes the program on
+/// its own std::thread and exchanges halos through a ConcurrentComm. At a
+/// halo-only state each rank posts its sends, optionally computes the
+/// *interior* of the next state while messages are in flight, then blocks
+/// in recv, fills cube corners, and computes the rim strips.
+///
+/// Determinism: field ownership is static (each rank thread writes only its
+/// own catalog; remote data crosses only as packed channel messages), the
+/// channel is FIFO per (src, dst, tag), and the interior/rim split changes
+/// the iteration-space decomposition but not any statement's inputs — so
+/// the runtime is bitwise identical to run_lockstep_step for every rank
+/// count, thread budget, and message arrival order.
+class ConcurrentRuntime {
+ public:
+  ConcurrentRuntime(const ir::Program& program, const HaloUpdater& halo,
+                    std::vector<RankDomain> ranks, RuntimeOptions options = {});
+
+  /// Advance one program pass on every rank concurrently. Throws the first
+  /// (lowest-rank) failure after aborting the channel and joining all
+  /// threads; asserts the channel drained on success.
+  void step();
+
+  [[nodiscard]] ConcurrentComm& comm() { return comm_; }
+  [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
+  [[nodiscard]] const OverlapPlan& plan(int state_index) const {
+    return plans_[static_cast<size_t>(state_index)];
+  }
+  [[nodiscard]] const RuntimeOptions& options() const { return options_; }
+
+ private:
+  void run_rank(int rank);
+  void execute_with_ext(int rank, int state_index, const exec::DomainExt& ext);
+  [[nodiscard]] bool can_overlap(int rank, int state_index) const;
+
+  const HaloUpdater& halo_;
+  std::vector<RankDomain> ranks_;
+  RuntimeOptions options_;
+  /// One program copy per rank: Program's lazily-built executor caches (and
+  /// CompiledStencil's temp pools behind them) are per-thread state, so
+  /// rank threads must not share them. Copies are warmed by precompile().
+  std::vector<ir::Program> programs_;
+  std::vector<int> order_;          ///< flattened state execution order
+  std::vector<char> halo_only_;     ///< per state: all nodes are HaloExchange
+  std::vector<OverlapPlan> plans_;  ///< per state
+  ConcurrentComm comm_;
+  RuntimeStats stats_;
+};
+
+}  // namespace cyclone::comm

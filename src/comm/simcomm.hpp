@@ -2,6 +2,8 @@
 
 #include <deque>
 #include <map>
+#include <sstream>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -9,12 +11,98 @@
 
 namespace cyclone::comm {
 
+/// Snapshot of one non-empty (src, dst, tag) mailbox: how many messages and
+/// payload bytes sit unconsumed on that channel. Surfaced in drain checks and
+/// deadlock errors so a distributed failure names the channels involved
+/// instead of just "a message was left over".
+struct PendingMessage {
+  int src = 0;
+  int dst = 0;
+  int tag = 0;
+  long count = 0;  ///< queued messages on this channel
+  long bytes = 0;  ///< total queued payload bytes
+};
+
+/// Render a pending-message set for error text: "(src->dst tag t: n msgs,
+/// b bytes), ...". Caps the listing so a pathological state stays readable.
+inline std::string describe_pending(const std::vector<PendingMessage>& pending) {
+  if (pending.empty()) return "none";
+  std::ostringstream os;
+  constexpr size_t kMaxListed = 16;
+  for (size_t i = 0; i < pending.size() && i < kMaxListed; ++i) {
+    const PendingMessage& p = pending[i];
+    if (i) os << ", ";
+    os << "(" << p.src << "->" << p.dst << " tag " << p.tag << ": " << p.count << " msg, "
+       << p.bytes << " B)";
+  }
+  if (pending.size() > kMaxListed) os << ", ... " << pending.size() - kMaxListed << " more";
+  return os.str();
+}
+
+/// Point-to-point message layer the halo updater and the distributed runtime
+/// talk to. Two implementations exist: SimComm (below), the sequential
+/// phase-based mailbox used by the lockstep scheduler, and ConcurrentComm
+/// (channel.hpp), a mutex/condvar channel for thread-per-rank execution.
+///
+/// Both promise per-(src, dst, tag) FIFO delivery — MPI's non-overtaking
+/// rule. Senders post in program order, so message *matching* is a pure
+/// function of the program, independent of delivery timing; that is the
+/// property that makes every received value (and hence the whole concurrent
+/// runtime) bitwise deterministic.
+class Comm {
+ public:
+  virtual ~Comm() = default;
+
+  [[nodiscard]] virtual int nranks() const = 0;
+
+  /// Nonblocking send: the payload is handed to the channel immediately.
+  virtual void isend(int src, int dst, int tag, std::vector<double> data) = 0;
+
+  /// Receive the next message matched by (src, dst, tag). SimComm throws if
+  /// none is pending (a deadlock under the phase-based scheduler);
+  /// ConcurrentComm blocks until one arrives or a timeout expires.
+  virtual std::vector<double> recv(int dst, int src, int tag) = 0;
+
+  /// True if a matching message is pending. Inherently racy under
+  /// concurrency; useful for tests and polling loops only.
+  [[nodiscard]] virtual bool probe(int dst, int src, int tag) const = 0;
+
+  /// Snapshot of every non-empty mailbox.
+  [[nodiscard]] virtual std::vector<PendingMessage> pending() const = 0;
+
+  [[nodiscard]] virtual long total_messages() const = 0;
+  [[nodiscard]] virtual long total_bytes() const = 0;
+  [[nodiscard]] virtual long messages_from(int rank) const = 0;
+  [[nodiscard]] virtual long bytes_from(int rank) const = 0;
+  virtual void reset_counters() = 0;
+
+  /// No message may be left unconsumed at the end of a phase.
+  [[nodiscard]] bool all_drained() const { return pending().empty(); }
+
+  /// Throws if any mailbox is non-empty, listing exactly which (src, dst,
+  /// tag) channels were left with messages.
+  void assert_drained() const {
+    const auto left = pending();
+    CY_REQUIRE_MSG(left.empty(),
+                   "comm not drained: " << left.size()
+                                        << " mailbox(es) left non-empty: " << describe_pending(left));
+  }
+
+ protected:
+  void check_rank(int r) const {
+    CY_REQUIRE_MSG(r >= 0 && r < nranks(), "rank " << r << " out of range");
+  }
+};
+
 /// In-process stand-in for the MPI point-to-point layer: ranks exchange
 /// messages through per-(src, dst, tag) FIFO mailboxes. Because the rank
 /// scheduler is phase-based (all ranks post their sends before any rank
 /// waits), nonblocking semantics are preserved deterministically. Message
 /// and byte counters feed the network cost model for distributed timing.
-class SimComm {
+///
+/// Not thread-safe by design — it is the sequential reference the concurrent
+/// channel is verified against.
+class SimComm : public Comm {
  public:
   explicit SimComm(int nranks) : nranks_(nranks) {
     CY_REQUIRE_MSG(nranks > 0, "need at least one rank");
@@ -22,10 +110,10 @@ class SimComm {
     sent_msgs_per_rank_.assign(static_cast<size_t>(nranks), 0);
   }
 
-  [[nodiscard]] int nranks() const { return nranks_; }
+  [[nodiscard]] int nranks() const override { return nranks_; }
 
   /// Nonblocking send: the payload is moved into the mailbox immediately.
-  void isend(int src, int dst, int tag, std::vector<double> data) {
+  void isend(int src, int dst, int tag, std::vector<double> data) override {
     check_rank(src);
     check_rank(dst);
     total_messages_ += 1;
@@ -38,13 +126,16 @@ class SimComm {
 
   /// Blocking receive matched by (src, dst, tag); throws if no message is
   /// pending (a deadlock under the phase-based scheduler — always a bug).
-  std::vector<double> recv(int dst, int src, int tag) {
+  /// The error lists what *is* pending, so a mismatched tag or a send posted
+  /// to the wrong destination is visible directly in the message.
+  std::vector<double> recv(int dst, int src, int tag) override {
     check_rank(src);
     check_rank(dst);
     auto it = mailboxes_.find({src, dst, tag});
     CY_REQUIRE_MSG(it != mailboxes_.end() && !it->second.empty(),
                    "recv would deadlock: no message from " << src << " to " << dst << " tag "
-                                                           << tag);
+                                                           << tag << "; pending: "
+                                                           << describe_pending(pending()));
     std::vector<double> data = std::move(it->second.front());
     it->second.pop_front();
     if (it->second.empty()) mailboxes_.erase(it);
@@ -52,24 +143,34 @@ class SimComm {
   }
 
   /// True if a matching message is pending.
-  [[nodiscard]] bool probe(int dst, int src, int tag) const {
+  [[nodiscard]] bool probe(int dst, int src, int tag) const override {
     auto it = mailboxes_.find({src, dst, tag});
     return it != mailboxes_.end() && !it->second.empty();
   }
 
-  /// No message may be left unconsumed at the end of a phase.
-  [[nodiscard]] bool all_drained() const { return mailboxes_.empty(); }
+  [[nodiscard]] std::vector<PendingMessage> pending() const override {
+    std::vector<PendingMessage> out;
+    for (const auto& [key, queue] : mailboxes_) {
+      if (queue.empty()) continue;
+      PendingMessage p;
+      std::tie(p.src, p.dst, p.tag) = key;
+      p.count = static_cast<long>(queue.size());
+      for (const auto& msg : queue) p.bytes += static_cast<long>(msg.size() * sizeof(double));
+      out.push_back(p);
+    }
+    return out;
+  }
 
-  [[nodiscard]] long total_messages() const { return total_messages_; }
-  [[nodiscard]] long total_bytes() const { return total_bytes_; }
-  [[nodiscard]] long messages_from(int rank) const {
+  [[nodiscard]] long total_messages() const override { return total_messages_; }
+  [[nodiscard]] long total_bytes() const override { return total_bytes_; }
+  [[nodiscard]] long messages_from(int rank) const override {
     return sent_msgs_per_rank_[static_cast<size_t>(rank)];
   }
-  [[nodiscard]] long bytes_from(int rank) const {
+  [[nodiscard]] long bytes_from(int rank) const override {
     return sent_bytes_per_rank_[static_cast<size_t>(rank)];
   }
 
-  void reset_counters() {
+  void reset_counters() override {
     total_messages_ = 0;
     total_bytes_ = 0;
     sent_bytes_per_rank_.assign(sent_bytes_per_rank_.size(), 0);
@@ -77,10 +178,6 @@ class SimComm {
   }
 
  private:
-  void check_rank(int r) const {
-    CY_REQUIRE_MSG(r >= 0 && r < nranks_, "rank " << r << " out of range");
-  }
-
   int nranks_;
   std::map<std::tuple<int, int, int>, std::deque<std::vector<double>>> mailboxes_;
   long total_messages_ = 0;

@@ -1,0 +1,134 @@
+#include "comm/verify_distributed.hpp"
+
+#include <exception>
+#include <sstream>
+#include <string>
+
+#include "comm/simcomm.hpp"
+#include "core/util/rng.hpp"
+
+namespace cyclone::verify {
+
+namespace {
+
+std::vector<exec::LaunchDomain> rank_domains(const grid::Partitioner& part, int nk) {
+  std::vector<exec::LaunchDomain> doms;
+  doms.reserve(static_cast<size_t>(part.num_ranks()));
+  for (int r = 0; r < part.num_ranks(); ++r) {
+    const auto info = part.info(r);
+    exec::LaunchDomain dom{info.ni, info.nj, nk};
+    dom.gi0 = info.i0;
+    dom.gj0 = info.j0;
+    dom.gni = part.n();
+    dom.gnj = part.n();
+    doms.push_back(dom);
+  }
+  return doms;
+}
+
+/// Identically seeded per-rank catalogs; both schedulers start from these.
+std::vector<FieldCatalog> seeded_catalogs(const ir::Program& program,
+                                          const std::vector<exec::LaunchDomain>& doms,
+                                          uint64_t seed) {
+  std::vector<FieldCatalog> cats;
+  cats.reserve(doms.size());
+  for (size_t r = 0; r < doms.size(); ++r) {
+    cats.push_back(make_test_catalog(program, program, doms[r], Rng::mix(seed, r)));
+  }
+  return cats;
+}
+
+std::vector<comm::RankDomain> bind(std::vector<FieldCatalog>& cats,
+                                   const std::vector<exec::LaunchDomain>& doms) {
+  std::vector<comm::RankDomain> ranks;
+  ranks.reserve(cats.size());
+  for (size_t r = 0; r < cats.size(); ++r) {
+    ranks.push_back(comm::RankDomain{&cats[r], doms[r]});
+  }
+  return ranks;
+}
+
+}  // namespace
+
+EquivalenceReport check_distributed_agrees(const ir::Program& program,
+                                           const grid::Partitioner& part, int nk,
+                                           int halo_width,
+                                           const DistributedVerifyOptions& options) {
+  EquivalenceReport report;
+  report.data_seed = options.data_seed;
+
+  const auto doms = rank_domains(part, nk);
+  const comm::HaloUpdater halo(part, halo_width);
+
+  // Lockstep reference: the sequential phase-based scheduler through the
+  // deterministic SimComm mailboxes.
+  auto ref_cats = seeded_catalogs(program, doms, options.data_seed);
+  comm::SimComm sim(part.num_ranks());
+  {
+    auto ranks = bind(ref_cats, doms);
+    for (int s = 0; s < options.steps; ++s) {
+      comm::run_lockstep_step(program, halo, ranks, sim);
+    }
+  }
+
+  int config = 0;
+  for (const int budget : options.thread_budgets) {
+    for (const bool overlap : {true, false}) {
+      if (!overlap && !options.include_overlap_off) continue;
+      for (int rep = 0; rep < options.repetitions; ++rep, ++config) {
+        const uint64_t jitter_seed = Rng::mix(options.data_seed ^ 0xA221117ull, config);
+        DomainResult dr;
+        dr.dom = doms[0];
+        dr.fill_seed = jitter_seed;
+        try {
+          auto cats = seeded_catalogs(program, doms, options.data_seed);
+          comm::RuntimeOptions ro;
+          ro.overlap = overlap;
+          ro.run = program.run_options();
+          ro.run.threads_per_rank = budget;
+          ro.channel.recv_timeout_seconds = options.recv_timeout_seconds;
+          ro.channel.arrival_jitter_seed = jitter_seed;
+          ro.channel.arrival_jitter_max_us = options.arrival_jitter_max_us;
+          comm::ConcurrentRuntime rt(program, halo, bind(cats, doms), ro);
+          for (int s = 0; s < options.steps; ++s) rt.step();
+
+          FieldDivergence worst;
+          for (int r = 0; r < part.num_ranks(); ++r) {
+            for (const auto& name : ref_cats[static_cast<size_t>(r)].names()) {
+              FieldDivergence d = compare_fields_bitwise(
+                  "r" + std::to_string(r) + "/" + name,
+                  ref_cats[static_cast<size_t>(r)].at(name),
+                  cats[static_cast<size_t>(r)].at(name));
+              if (!d.ok) dr.fields.push_back(d);
+              if (worst.field.empty() || d.max_ulps > worst.max_ulps) worst = d;
+            }
+          }
+          if (dr.fields.empty() && !worst.field.empty()) dr.fields.push_back(worst);
+          dr.ok = dr.fields.empty() || (dr.fields.size() == 1 && dr.fields[0].ok);
+          // The concurrent channel must account for exactly the traffic the
+          // lockstep mailboxes saw.
+          if (rt.comm().total_messages() != sim.total_messages() ||
+              rt.comm().total_bytes() != sim.total_bytes()) {
+            std::ostringstream os;
+            os << "channel counters diverge from lockstep reference: messages "
+               << rt.comm().total_messages() << " vs " << sim.total_messages() << ", bytes "
+               << rt.comm().total_bytes() << " vs " << sim.total_bytes();
+            dr.error = os.str();
+            dr.ok = false;
+          }
+        } catch (const std::exception& e) {
+          std::ostringstream os;
+          os << "threads_per_rank=" << budget << " overlap=" << (overlap ? "on" : "off")
+             << " rep=" << rep << ": " << e.what();
+          dr.error = os.str();
+          dr.ok = false;
+        }
+        report.equivalent = report.equivalent && dr.ok;
+        report.domains.push_back(std::move(dr));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace cyclone::verify

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/runtime.hpp"
+#include "core/verify/verify.hpp"
+#include "grid/partitioner.hpp"
+
+namespace cyclone::verify {
+
+/// Knobs of the distributed scheduler-equivalence checker.
+struct DistributedVerifyOptions {
+  /// OpenMP team budgets for each rank thread (RunOptions::threads_per_rank)
+  /// to sweep. 1 exercises serial per-rank compute under concurrency, 2
+  /// composes rank threads with engine teams.
+  std::vector<int> thread_budgets = {1, 2};
+  /// Randomized message-arrival-order repetitions per configuration: each
+  /// repetition re-runs the concurrent runtime with a different channel
+  /// jitter seed, perturbing when messages become visible (never what a recv
+  /// returns).
+  int repetitions = 20;
+  /// Seed of the per-rank random field fills (and, mixed per repetition, of
+  /// the arrival jitter).
+  uint64_t data_seed = 0xD157ull;
+  /// Program passes per run (halo state results feed later steps).
+  int steps = 1;
+  /// Channel recv timeout; generous by default so slow CI never misfires.
+  double recv_timeout_seconds = 120.0;
+  /// Max artificial message delivery delay (microseconds of steady-clock
+  /// "readiness", not sleeps).
+  int arrival_jitter_max_us = 200;
+  /// Also run every configuration with overlap disabled: interior/rim
+  /// splitting must be unobservable in the results.
+  bool include_overlap_off = true;
+};
+
+/// Verify that the thread-per-rank concurrent runtime reproduces the
+/// sequential lockstep scheduler bitwise — every field of every rank,
+/// halos included, at 0 ULP — for every thread budget, overlap mode, and
+/// randomized message arrival order.
+///
+/// The lockstep reference runs `program` once over `steps` passes through
+/// SimComm; each concurrent configuration then re-runs from identically
+/// seeded catalogs through a ConcurrentRuntime and is compared field by
+/// field. Channel message/byte counters must also match the SimComm totals.
+///
+/// One DomainResult is recorded per (thread budget, overlap mode,
+/// repetition); its fill_seed logs the jitter seed so any failure replays
+/// bit-exactly. Note the partitioner requires a rank count that is a
+/// positive multiple of 6 (one cubed-sphere face per tile), so 6 is the
+/// smallest verifiable layout — there is no 1-rank decomposition.
+EquivalenceReport check_distributed_agrees(const ir::Program& program,
+                                           const grid::Partitioner& part, int nk,
+                                           int halo_width,
+                                           const DistributedVerifyOptions& options = {});
+
+}  // namespace cyclone::verify

@@ -64,6 +64,11 @@ struct LaunchDomain {
 struct RunOptions {
   int num_threads = 0;
   bool parallel = true;
+  /// OpenMP team size budget for each rank thread of the concurrent
+  /// distributed runtime (0 = one thread per rank, i.e. no nested
+  /// parallelism). Rank threads and OpenMP teams compose: total hardware
+  /// threads used is num_ranks * threads_per_rank.
+  int threads_per_rank = 0;
 
   friend bool operator==(const RunOptions&, const RunOptions&) = default;
 };

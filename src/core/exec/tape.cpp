@@ -170,8 +170,11 @@ void CompiledStencil::run(FieldCatalog& catalog, const StencilArgs& args, const 
   // Resolve slots. Temporaries come from a pool reused across launches with
   // the same geometry (allocation off the critical path, as orchestration
   // arranges); a geometry change rebuilds the pool.
-  const PoolKey key{dom.ni, dom.nj, dom.nk, std::max(dom.ext.ilo, dom.ext.ihi),
-                    std::max(dom.ext.jlo, dom.ext.jhi)};
+  // Negative extensions (the concurrent runtime's interior/rim launches)
+  // shrink the apply rectangle, so they never enlarge temp halos: clamp at 0
+  // so shrunk launches share pool geometry with the full launch.
+  const PoolKey key{dom.ni, dom.nj, dom.nk, std::max({dom.ext.ilo, dom.ext.ihi, 0}),
+                    std::max({dom.ext.jlo, dom.ext.jhi, 0})};
   std::vector<std::unique_ptr<FieldD>> local_temps;
   std::vector<std::unique_ptr<FieldD>>* temps = &local_temps;
   if (temp_pooling_) {

@@ -77,7 +77,13 @@ void Program::exec_state(const State& state, FieldCatalog& catalog,
     switch (node.kind) {
       case SNode::Kind::Stencil: {
         exec::LaunchDomain node_dom = dom;
-        node_dom.ext = node.ext;
+        // Compose the node's own extension with the caller's launch-level
+        // extension (the concurrent runtime passes negative extensions to
+        // shrink a launch to its interior, or offsets to select a rim strip).
+        node_dom.ext.ilo = node.ext.ilo + dom.ext.ilo;
+        node_dom.ext.ihi = node.ext.ihi + dom.ext.ihi;
+        node_dom.ext.jlo = node.ext.jlo + dom.ext.jlo;
+        node_dom.ext.jhi = node.ext.jhi + dom.ext.jhi;
         if (backend_ == Backend::Reference) {
           auto it = reference_.find(node.stencil.get());
           if (it == reference_.end()) {
@@ -106,6 +112,23 @@ void Program::exec_state(const State& state, FieldCatalog& catalog,
       case SNode::Kind::HaloExchange:
         if (halo) halo(node.halo_fields, node.halo_width, node.halo_vector);
         break;
+    }
+  }
+}
+
+void Program::precompile() const {
+  for (const auto& state : states_) {
+    for (const auto& node : state.nodes) {
+      if (node.kind != SNode::Kind::Stencil) continue;
+      if (backend_ == Backend::Reference) {
+        if (!reference_.count(node.stencil.get())) {
+          reference_.emplace(node.stencil.get(),
+                             std::make_shared<exec::RefExecutor>(*node.stencil));
+        }
+      } else if (!compiled_.count(node.stencil.get())) {
+        compiled_.emplace(node.stencil.get(),
+                          std::make_shared<exec::CompiledStencil>(*node.stencil));
+      }
     }
   }
 }

@@ -200,11 +200,18 @@ class Program {
   void set_run_options(exec::RunOptions run) { run_options_ = run; }
   [[nodiscard]] const exec::RunOptions& run_options() const { return run_options_; }
 
-  /// Drop compiled-stencil caches (call after mutating stencils in place).
+  /// Drop compiled-stencil caches (call after mutating stencils in place,
+  /// and on per-rank Program copies: copies share the cache shared_ptrs, and
+  /// CompiledStencil's temp pool must not be shared across rank threads).
   void invalidate_compiled() const {
     compiled_.clear();
     reference_.clear();
   }
+
+  /// Warm the executor cache for every stencil node up front, so concurrent
+  /// rank threads never compile lazily mid-run (compilation is pure, but
+  /// doing it on the critical path skews measured wall-clock).
+  void precompile() const;
 
  private:
   void exec_cf(const CFNode& node, FieldCatalog& catalog, const exec::LaunchDomain& dom,

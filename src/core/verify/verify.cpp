@@ -33,6 +33,33 @@ double ulp_distance(double a, double b) {
   return static_cast<double>(dist);
 }
 
+FieldDivergence compare_fields_bitwise(const std::string& label, const FieldD& a,
+                                       const FieldD& b) {
+  FieldDivergence d;
+  d.field = label;
+  CY_REQUIRE_MSG(a.shape() == b.shape(),
+                 "compare_fields_bitwise(" << label << "): shape mismatch");
+  const FieldShape& shape = a.shape();
+  for (int k = 0; k < shape.nk(); ++k) {
+    for (int j = -shape.halo().j; j < shape.nj() + shape.halo().j; ++j) {
+      for (int i = -shape.halo().i; i < shape.ni() + shape.halo().i; ++i) {
+        const double va = a(i, j, k);
+        const double vb = b(i, j, k);
+        const double ulps = ulp_distance(va, vb);
+        if (ulps > d.max_ulps) {
+          d.max_ulps = ulps;
+          d.max_abs = std::abs(va - vb);
+          d.at_i = i;
+          d.at_j = j;
+          d.at_k = k;
+        }
+      }
+    }
+  }
+  d.ok = d.max_ulps == 0.0;
+  return d;
+}
+
 std::vector<exec::LaunchDomain> default_domains() {
   std::vector<exec::LaunchDomain> doms;
   // Bulk whole-tile domain: regions resolve against the domain itself, and

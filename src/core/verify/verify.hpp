@@ -83,6 +83,13 @@ std::vector<exec::LaunchDomain> default_domains();
 /// NaN/sign boundaries).
 double ulp_distance(double a, double b);
 
+/// Bitwise comparison of two same-shaped fields over their full storage,
+/// halos included. Used by the distributed runtime checks, where halo cells
+/// are observable state (the exchange writes them) and the contract is exact
+/// equality: ok iff every cell matches at 0 ULP.
+FieldDivergence compare_fields_bitwise(const std::string& label, const FieldD& a,
+                                       const FieldD& b);
+
 /// Build a field catalog sized for `program` under `dom`: every catalog-level
 /// field either program accesses is created with halos wide enough for the
 /// union of both programs' read extents and filled with seeded uniform values

@@ -24,57 +24,42 @@ DistributedModel::DistributedModel(const FvConfig& config, int num_ranks,
   program_ = build_dycore_program(*states_[0], schedules);
 }
 
-void DistributedModel::run_halo_node(const ir::SNode& node) {
-  if (node.halo_vector) {
-    CY_REQUIRE_MSG(node.halo_fields.size() % 2 == 0,
-                   "vector halo exchange needs (u, v) pairs");
-    for (size_t p = 0; p < node.halo_fields.size(); p += 2) {
-      std::vector<FieldD*> u, v;
-      u.reserve(states_.size());
-      v.reserve(states_.size());
-      for (auto& st : states_) {
-        u.push_back(&st->f(node.halo_fields[p]));
-        v.push_back(&st->f(node.halo_fields[p + 1]));
-      }
-      halo_.exchange_vector(u, v, comm_);
-      halo_.fill_cube_corners(u, comm::CornerFill::XDir);
-      halo_.fill_cube_corners(v, comm::CornerFill::YDir);
-    }
-    return;
+std::vector<comm::RankDomain> DistributedModel::rank_domains() {
+  std::vector<comm::RankDomain> ranks;
+  ranks.reserve(states_.size());
+  for (auto& st : states_) ranks.push_back(comm::RankDomain{&st->catalog(), st->domain()});
+  return ranks;
+}
+
+void DistributedModel::set_run_options(const exec::RunOptions& run) {
+  program_.set_run_options(run);
+  runtime_.reset();  // per-rank program copies carry stale options
+}
+
+void DistributedModel::set_exec_mode(ExecMode mode) { exec_mode_ = mode; }
+
+void DistributedModel::set_runtime_options(const comm::RuntimeOptions& options) {
+  runtime_options_ = options;
+  runtime_.reset();
+}
+
+comm::ConcurrentRuntime& DistributedModel::concurrent_runtime() {
+  if (!runtime_) {
+    comm::RuntimeOptions options = runtime_options_;
+    options.run = program_.run_options();
+    runtime_ = std::make_unique<comm::ConcurrentRuntime>(program_, halo_, rank_domains(),
+                                                         options);
   }
-  // Scalars of one exchange node travel coalesced: one message per
-  // neighbor pair for the whole group (FV3's grouped halo updates).
-  std::vector<std::vector<FieldD*>> groups;
-  for (const auto& name : node.halo_fields) {
-    std::vector<FieldD*> fields;
-    fields.reserve(states_.size());
-    for (auto& st : states_) fields.push_back(&st->f(name));
-    groups.push_back(std::move(fields));
-  }
-  if (groups.size() == 1) {
-    halo_.exchange_scalar(groups[0], comm_);
-  } else {
-    halo_.exchange_group(groups, comm_);
-  }
-  for (auto& fields : groups) halo_.fill_cube_corners(fields, comm::CornerFill::XDir);
+  return *runtime_;
 }
 
 void DistributedModel::step() {
-  const auto order = program_.flatten_execution_order();
-  for (int sidx : order) {
-    const ir::State& st = program_.states()[static_cast<size_t>(sidx)];
-    const bool halo_only =
-        !st.nodes.empty() && std::all_of(st.nodes.begin(), st.nodes.end(), [](const ir::SNode& n) {
-          return n.kind == ir::SNode::Kind::HaloExchange;
-        });
-    if (halo_only) {
-      for (const auto& node : st.nodes) run_halo_node(node);
-      continue;
-    }
-    for (auto& state : states_) {
-      program_.execute_state(sidx, state->catalog(), state->domain());
-    }
+  if (exec_mode_ == ExecMode::Concurrent) {
+    concurrent_runtime().step();
+    return;
   }
+  auto ranks = rank_domains();
+  comm::run_lockstep_step(program_, halo_, ranks, comm_);
 }
 
 void DistributedModel::exchange_prognostics() {

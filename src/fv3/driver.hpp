@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "comm/halo.hpp"
+#include "comm/runtime.hpp"
 #include "fv3/dyn_core.hpp"
 #include "fv3/state.hpp"
 #include "grid/partitioner.hpp"
@@ -21,13 +22,25 @@ struct GlobalDiagnostics {
   [[nodiscard]] bool finite() const;
 };
 
-/// Runs the dycore on all ranks of a simulated cubed-sphere decomposition in
-/// lockstep: compute states execute per rank, halo-exchange states
-/// synchronize across ranks through the simulated MPI layer. The program is
-/// shared — horizontal regions resolve per rank through the launch domain's
-/// global placement, exactly as in the distributed GT4Py model.
+/// Runs the dycore on all ranks of a simulated cubed-sphere decomposition.
+/// Two execution modes share one program and one halo-exchange code path:
+///
+///  - Lockstep (default): ranks execute sequentially, phase by phase,
+///    through the deterministic SimComm mailboxes — the reference
+///    scheduler.
+///  - Concurrent: every rank runs on its own thread against a real
+///    mutex/condvar channel (comm::ConcurrentRuntime), optionally
+///    overlapping interior compute with in-flight halo exchanges. Bitwise
+///    identical to Lockstep by construction (verified in
+///    verify::check_distributed_agrees).
+///
+/// The program is shared — horizontal regions resolve per rank through the
+/// launch domain's global placement, exactly as in the distributed GT4Py
+/// model.
 class DistributedModel {
  public:
+  enum class ExecMode { Lockstep, Concurrent };
+
   DistributedModel(const FvConfig& config, int num_ranks,
                    const DycoreSchedules& schedules = DycoreSchedules::tuned());
 
@@ -38,12 +51,26 @@ class DistributedModel {
   [[nodiscard]] ir::Program& program() { return program_; }
   [[nodiscard]] comm::SimComm& comm() { return comm_; }
   [[nodiscard]] const comm::HaloUpdater& halo_updater() const { return halo_; }
+  [[nodiscard]] comm::HaloUpdater& halo_updater() { return halo_; }
 
   /// Engine options (thread count, parallel on/off) used by every compute
   /// state. Halo exchanges are unaffected; the reference backend ignores
-  /// them (it stays the serial oracle).
-  void set_run_options(const exec::RunOptions& run) { program_.set_run_options(run); }
+  /// them (it stays the serial oracle). In Concurrent mode these also seed
+  /// the per-rank programs (threads_per_rank caps each rank's OpenMP team).
+  void set_run_options(const exec::RunOptions& run);
   [[nodiscard]] const exec::RunOptions& run_options() const { return program_.run_options(); }
+
+  /// Select the scheduler used by step(). Concurrent mode builds the
+  /// thread-per-rank runtime lazily on the first step.
+  void set_exec_mode(ExecMode mode);
+  [[nodiscard]] ExecMode exec_mode() const { return exec_mode_; }
+
+  /// Concurrent-runtime behavior (overlap on/off, channel jitter/timeout).
+  /// The `run` member is overwritten from run_options() at build time.
+  void set_runtime_options(const comm::RuntimeOptions& options);
+
+  /// The concurrent runtime (built on demand) — stats, channel counters.
+  [[nodiscard]] comm::ConcurrentRuntime& concurrent_runtime();
 
   /// Advance one physics timestep on every rank.
   void step();
@@ -54,7 +81,7 @@ class DistributedModel {
   [[nodiscard]] GlobalDiagnostics diagnostics() const;
 
  private:
-  void run_halo_node(const ir::SNode& node);
+  [[nodiscard]] std::vector<comm::RankDomain> rank_domains();
 
   FvConfig config_;
   grid::Partitioner part_;
@@ -62,6 +89,9 @@ class DistributedModel {
   ir::Program program_;
   comm::SimComm comm_;
   comm::HaloUpdater halo_;
+  ExecMode exec_mode_ = ExecMode::Lockstep;
+  comm::RuntimeOptions runtime_options_{};
+  std::unique_ptr<comm::ConcurrentRuntime> runtime_;
 };
 
 }  // namespace cyclone::fv3

@@ -1,0 +1,53 @@
+#include "fv3/verify_distributed.hpp"
+
+#include <exception>
+#include <string>
+
+#include "fv3/init/baroclinic.hpp"
+
+namespace cyclone::fv3 {
+
+verify::EquivalenceReport verify_concurrent_dycore(const FvConfig& config, int num_ranks,
+                                                   const DycoreVerifyOptions& options) {
+  verify::EquivalenceReport report;
+  verify::DomainResult dr;
+  try {
+    DistributedModel lockstep(config, num_ranks);
+    DistributedModel concurrent(config, num_ranks);
+    dr.dom = lockstep.state(0).domain();
+    lockstep.set_run_options(options.run);
+    concurrent.set_run_options(options.run);
+    concurrent.set_exec_mode(DistributedModel::ExecMode::Concurrent);
+    concurrent.set_runtime_options(options.runtime);
+
+    init_baroclinic(lockstep);
+    init_baroclinic(concurrent);
+
+    for (int s = 0; s < options.steps; ++s) {
+      lockstep.step();
+      concurrent.step();
+    }
+
+    verify::FieldDivergence worst;
+    for (int r = 0; r < lockstep.num_ranks(); ++r) {
+      const FieldCatalog& a = lockstep.state(r).catalog();
+      const FieldCatalog& b = concurrent.state(r).catalog();
+      for (const auto& name : a.names()) {
+        verify::FieldDivergence d = verify::compare_fields_bitwise(
+            "r" + std::to_string(r) + "/" + name, a.at(name), b.at(name));
+        if (!d.ok) dr.fields.push_back(d);
+        if (worst.field.empty() || d.max_ulps > worst.max_ulps) worst = d;
+      }
+    }
+    if (dr.fields.empty() && !worst.field.empty()) dr.fields.push_back(worst);
+    dr.ok = dr.fields.empty() || (dr.fields.size() == 1 && dr.fields[0].ok);
+  } catch (const std::exception& e) {
+    dr.error = e.what();
+    dr.ok = false;
+  }
+  report.equivalent = dr.ok;
+  report.domains.push_back(std::move(dr));
+  return report;
+}
+
+}  // namespace cyclone::fv3

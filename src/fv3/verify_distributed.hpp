@@ -1,0 +1,28 @@
+#pragma once
+
+#include "core/verify/verify.hpp"
+#include "fv3/driver.hpp"
+
+namespace cyclone::fv3 {
+
+/// Knobs of the dycore scheduler-equivalence check.
+struct DycoreVerifyOptions {
+  int steps = 1;
+  /// Concurrent-runtime behavior for the checked side (jitter, overlap).
+  comm::RuntimeOptions runtime{};
+  /// Engine options applied to both models (the concurrent side additionally
+  /// honors runtime.run.threads_per_rank through set_run_options).
+  exec::RunOptions run{};
+};
+
+/// End-to-end check that the concurrent thread-per-rank runtime reproduces
+/// the lockstep dycore bitwise: two DistributedModels with identical config
+/// and baroclinic initialization advance `steps` timesteps — one per
+/// scheduler — and every field of every rank must match at 0 ULP, halos
+/// included. Complements verify::check_distributed_agrees (synthetic
+/// programs) with the full FV3 program graph: acoustic loop, tracer
+/// transport, remap, and all halo-exchange nodes.
+verify::EquivalenceReport verify_concurrent_dycore(const FvConfig& config, int num_ranks,
+                                                   const DycoreVerifyOptions& options = {});
+
+}  // namespace cyclone::fv3

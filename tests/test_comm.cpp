@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <memory>
+#include <thread>
 
+#include "comm/channel.hpp"
 #include "comm/halo.hpp"
 #include "core/util/rng.hpp"
 #include "grid/geometry.hpp"
@@ -320,6 +322,71 @@ TEST(HaloUpdater, GroupedExchangeMatchesPerField) {
   EXPECT_EQ(c_grp.total_messages() * 2, c_sep.total_messages());
 }
 
+TEST(CommCounters, AssertDrainedListsNonEmptyMailboxes) {
+  SimComm comm(4);
+  comm.isend(0, 1, 7, {1.0, 2.0});
+  comm.isend(2, 3, 9, {3.0});
+  try {
+    comm.assert_drained();
+    FAIL() << "expected assert_drained to throw";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    // The error names every (src, dst, tag) channel left non-empty.
+    EXPECT_NE(msg.find("0->1 tag 7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2->3 tag 9"), std::string::npos) << msg;
+  }
+}
+
+TEST(CommCounters, RecvDeadlockErrorListsPendingMessages) {
+  SimComm comm(4);
+  comm.isend(0, 1, 7, {1.0, 2.0});
+  try {
+    (void)comm.recv(3, 2, 5);  // nothing was ever sent on this channel
+    FAIL() << "expected recv to throw";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no message from 2 to 3 tag 5"), std::string::npos) << msg;
+    // The pending-message snapshot shows which sends are still in flight.
+    EXPECT_NE(msg.find("0->1 tag 7"), std::string::npos) << msg;
+  }
+}
+
+TEST(HaloUpdater, BufferPoolReusesStagingBuffers) {
+  const grid::Partitioner part(12, 1, 1);
+  HaloUpdater updater(part, 3);
+  SimComm comm(6);
+  DistField q(part, 2, 3, "q");
+  fill_signature(part, q);
+
+  const auto totals = [&] {
+    long alloc = 0, reuse = 0;
+    for (int r = 0; r < 6; ++r) {
+      alloc += updater.pool_allocations(r);
+      reuse += updater.pool_reuses(r);
+    }
+    return std::pair{alloc, reuse};
+  };
+
+  updater.exchange_scalar(q.ptrs, comm);
+  const auto [alloc1, reuse1] = totals();
+  EXPECT_GT(alloc1, 0);
+  EXPECT_EQ(reuse1, 0);
+
+  // Steady state: every message's staging buffer comes from the pool.
+  updater.exchange_scalar(q.ptrs, comm);
+  const auto [alloc2, reuse2] = totals();
+  EXPECT_EQ(alloc2, alloc1);
+  EXPECT_EQ(reuse2, alloc1);
+
+  // Pooling off restores the allocate-per-message behavior (counters idle).
+  updater.set_buffer_pooling(false);
+  updater.exchange_scalar(q.ptrs, comm);
+  const auto [alloc3, reuse3] = totals();
+  EXPECT_EQ(alloc3, alloc2);
+  EXPECT_EQ(reuse3, reuse2);
+  updater.set_buffer_pooling(true);
+}
+
 TEST(HaloUpdater, SplitExchangeOverlapsCompute) {
   const grid::Partitioner part(12, 1, 1);
   HaloUpdater updater(part, 3);
@@ -344,6 +411,115 @@ TEST(HaloUpdater, SplitExchangeOverlapsCompute) {
     }
     // ...and the interior update survived the overlap.
     EXPECT_EQ((*q.ptrs[r])(5, 5, 0), (*ref.ptrs[r])(5, 5, 0) + 1.0);
+  }
+}
+
+// ---- Concurrent-channel stress --------------------------------------------
+
+/// Fill a vector pair with per-component signatures so a sign flip or a
+/// swapped (u, v) rotation at a cube face shows up as a value mismatch.
+void fill_vector_signature(const grid::Partitioner& part, DistField& u, DistField& v) {
+  fill_signature(part, u);
+  fill_signature(part, v);
+  for (int r = 0; r < part.num_ranks(); ++r) {
+    const auto info = part.info(r);
+    for (int k = 0; k < v.ptrs[r]->shape().nk(); ++k) {
+      for (int j = 0; j < info.nj; ++j) {
+        for (int i = 0; i < info.ni; ++i) (*v.ptrs[r])(i, j, k) += 0.25;
+      }
+    }
+  }
+}
+
+TEST(CommStress, RandomizedArrivalMatchesLockstepReference) {
+  // Drive the per-rank exchange primitives from real threads through the
+  // concurrent channel, with seeded arrival jitter randomizing the
+  // cross-channel message order, and require the result to be bitwise
+  // identical to the sequential SimComm reference — including the
+  // sign-flipping vector rotation at cube faces.
+  const grid::Partitioner part = grid::Partitioner::for_ranks(12, 6);
+  const int width = 3, nk = 2, nranks = part.num_ranks();
+  HaloUpdater updater(part, width);
+
+  DistField ref_q(part, nk, width, "q"), ref_u(part, nk, width, "u"), ref_v(part, nk, width, "v");
+  fill_signature(part, ref_q);
+  fill_vector_signature(part, ref_u, ref_v);
+  SimComm sim(nranks);
+  updater.exchange_scalar(ref_q.ptrs, sim);
+  updater.exchange_vector(ref_u.ptrs, ref_v.ptrs, sim);
+  EXPECT_TRUE(sim.all_drained());
+
+  for (int rep = 0; rep < 20; ++rep) {
+    ConcurrentComm::Options opt;
+    opt.arrival_jitter_seed = Rng::mix(0xC0117E57ull, static_cast<uint64_t>(rep));
+    opt.arrival_jitter_max_us = 150;
+    ConcurrentComm comm(nranks, opt);
+
+    DistField q(part, nk, width, "q"), u(part, nk, width, "u"), v(part, nk, width, "v");
+    fill_signature(part, q);
+    fill_vector_signature(part, u, v);
+
+    std::vector<std::thread> threads;
+    for (int r = 0; r < nranks; ++r) {
+      threads.emplace_back([&, r] {
+        updater.start_scalars_rank(r, {q.ptrs[r]}, comm);
+        updater.start_vector_rank(r, *u.ptrs[r], *v.ptrs[r], comm);
+        updater.finish_scalars_rank(r, {q.ptrs[r]}, comm);
+        updater.finish_vector_rank(r, *u.ptrs[r], *v.ptrs[r], comm);
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_TRUE(comm.all_drained());
+    EXPECT_EQ(comm.total_messages(), sim.total_messages());
+    EXPECT_EQ(comm.total_bytes(), sim.total_bytes());
+
+    for (int r = 0; r < nranks; ++r) {
+      EXPECT_EQ(FieldD::max_abs_diff(*q.ptrs[r], *ref_q.ptrs[r], true), 0.0)
+          << "q rank " << r << " rep " << rep;
+      EXPECT_EQ(FieldD::max_abs_diff(*u.ptrs[r], *ref_u.ptrs[r], true), 0.0)
+          << "u rank " << r << " rep " << rep;
+      EXPECT_EQ(FieldD::max_abs_diff(*v.ptrs[r], *ref_v.ptrs[r], true), 0.0)
+          << "v rank " << r << " rep " << rep;
+    }
+  }
+}
+
+TEST(CommStress, GroupedExchangeUnderThreads) {
+  // Coalesced multi-field messages through the concurrent channel: one
+  // message per neighbor carries both fields, in the same pack order as the
+  // lockstep grouped exchange.
+  const grid::Partitioner part = grid::Partitioner::for_ranks(12, 6);
+  const int nranks = part.num_ranks();
+  HaloUpdater updater(part, 3);
+
+  DistField ra(part, 2, 3, "a"), rb(part, 2, 3, "b");
+  fill_signature(part, ra);
+  fill_vector_signature(part, ra, rb);  // rb = signature + 0.25
+  SimComm sim(nranks);
+  updater.exchange_group({ra.ptrs, rb.ptrs}, sim);
+
+  ConcurrentComm::Options opt;
+  opt.arrival_jitter_seed = 0x6E0;
+  ConcurrentComm comm(nranks, opt);
+  DistField a(part, 2, 3, "a"), b(part, 2, 3, "b");
+  fill_signature(part, a);
+  fill_vector_signature(part, a, b);
+
+  std::vector<std::thread> threads;
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      const std::vector<const FieldD*> send{a.ptrs[r], b.ptrs[r]};
+      std::vector<FieldD*> recv{a.ptrs[r], b.ptrs[r]};
+      updater.start_scalars_rank(r, send, comm);
+      updater.finish_scalars_rank(r, recv, comm);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(comm.total_messages(), sim.total_messages());
+  for (int r = 0; r < nranks; ++r) {
+    EXPECT_EQ(FieldD::max_abs_diff(*a.ptrs[r], *ra.ptrs[r], true), 0.0) << "a rank " << r;
+    EXPECT_EQ(FieldD::max_abs_diff(*b.ptrs[r], *rb.ptrs[r], true), 0.0) << "b rank " << r;
   }
 }
 

@@ -9,11 +9,20 @@
 //   verify_pipeline --program dycore --passes orchestrate
 //   verify_pipeline --program fuzz:7 --passes fuse_otf --mutate 3   # must FAIL
 //   verify_pipeline --program fuzz:9 --compare-serial --threads 7   # engine check
+//   verify_pipeline --program dycore --concurrent --ranks 24        # runtime check
 //
 // With --compare-serial, the transformed program is additionally executed on
 // the parallel engine (--threads sets the team size) and compared bitwise
 // against the serial reference interpreter — the engine's determinism
 // contract, checked from the command line.
+//
+// With --concurrent, the transformed program is additionally run through the
+// thread-per-rank concurrent runtime on --ranks ranks (a multiple of 6) and
+// compared bitwise against the sequential lockstep scheduler across thread
+// budgets, overlap on/off, and randomized message-arrival orders. If a
+// placement-dependent pass was applied, the concurrent check falls back to
+// the original program (the transformed one is only valid on the pass
+// placement); the JSON records which subject was checked.
 //
 // Exit code: 0 equivalent, 1 divergent, 2 usage/build error.
 
@@ -25,12 +34,14 @@
 #include <string>
 #include <vector>
 
+#include "comm/verify_distributed.hpp"
 #include "core/exec/engine.hpp"
 #include "core/verify/pipeline.hpp"
 #include "core/verify/random_program.hpp"
 #include "core/verify/verify.hpp"
 #include "fv3/dyn_core.hpp"
 #include "fv3/state.hpp"
+#include "grid/partitioner.hpp"
 
 namespace {
 
@@ -48,6 +59,10 @@ void usage() {
                "  --threads N        engine team size for --compare-serial (default: OpenMP)\n"
                "  --compare-serial   also run the transformed program on the parallel\n"
                "                     engine and compare bitwise vs the serial interpreter\n"
+               "  --concurrent       also run through the thread-per-rank concurrent\n"
+               "                     runtime and compare bitwise vs the lockstep scheduler\n"
+               "  --ranks N          rank count for --concurrent, a multiple of 6 (default 6)\n"
+               "  --reps N           arrival-order repetitions for --concurrent (default 5)\n"
                "  --list-passes      print the known pass names and exit\n");
 }
 
@@ -83,6 +98,9 @@ int main(int argc, char** argv) {
   bool mutate = false;
   uint64_t mutate_seed = 0;
   bool compare_serial = false;
+  bool concurrent = false;
+  int ranks = 6;
+  int concurrent_reps = 5;
   exec::RunOptions run;
 
   for (int i = 1; i < argc; ++i) {
@@ -111,6 +129,12 @@ int main(int argc, char** argv) {
       run.num_threads = std::atoi(value());
     } else if (arg == "--compare-serial") {
       compare_serial = true;
+    } else if (arg == "--concurrent") {
+      concurrent = true;
+    } else if (arg == "--ranks") {
+      ranks = std::atoi(value());
+    } else if (arg == "--reps") {
+      concurrent_reps = std::atoi(value());
     } else if (arg == "--list-passes") {
       for (const auto& name : verify::known_passes()) std::printf("%s\n", name.c_str());
       return 0;
@@ -149,13 +173,17 @@ int main(int argc, char** argv) {
 
   ir::Program transformed = original;
   std::vector<verify::PassResult> applied;
+  bool placement_dependent_pass = false;
   for (const auto& name : split_csv(passes_csv)) {
     const verify::PassResult r = verify::apply_pass(transformed, name, pass_dom);
     if (!r.known) {
       std::fprintf(stderr, "unknown pass '%s' (see --list-passes)\n", name.c_str());
       return 2;
     }
-    if (r.placement_dependent) sweep = false;  // valid only on pass_dom
+    if (r.placement_dependent) {
+      sweep = false;  // valid only on pass_dom
+      placement_dependent_pass = true;
+    }
     applied.push_back(r);
   }
 
@@ -187,7 +215,32 @@ int main(int argc, char** argv) {
         << "  \"parallel_report\": " << verify::report_to_json(preport) << ",\n";
   }
 
+  // Optional concurrent-runtime-vs-lockstep check on a rank decomposition.
+  bool concurrent_ok = true;
+  if (concurrent) {
+    verify::DistributedVerifyOptions dvo;
+    dvo.repetitions = concurrent_reps;
+    dvo.data_seed = options.data_seed;
+    if (run.num_threads > 0) dvo.thread_budgets = {run.num_threads};
+    // A placement-dependent pass produced a program that is only valid on
+    // pass_dom; the rank subdomains differ, so check the original instead.
+    const ir::Program& subject = placement_dependent_pass ? original : transformed;
+    try {
+      const grid::Partitioner part = grid::Partitioner::for_ranks(12, ranks);
+      const verify::EquivalenceReport creport = verify::check_distributed_agrees(
+          verify::without_callbacks(subject), part, pass_dom.nk, /*halo_width=*/3, dvo);
+      concurrent_ok = creport.equivalent;
+      out << "  \"ranks\": " << ranks << ",\n"
+          << "  \"concurrent_subject\": \""
+          << (placement_dependent_pass ? "original" : "transformed") << "\",\n"
+          << "  \"concurrent_report\": " << verify::report_to_json(creport) << ",\n";
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "concurrent check failed to run: %s\n", e.what());
+      return 2;
+    }
+  }
+
   out << "  \"report\": " << verify::report_to_json(report) << "\n}\n";
   std::fputs(out.str().c_str(), stdout);
-  return report.equivalent && parallel_ok ? 0 : 1;
+  return report.equivalent && parallel_ok && concurrent_ok ? 0 : 1;
 }
