@@ -63,14 +63,29 @@ inline exec::RunOptions parse_run_options(int argc, char** argv,
   return run;
 }
 
+/// Channel recv timeout for the distributed bench sections. Overridable via
+/// CYCLONE_RECV_TIMEOUT (seconds) so loaded CI machines can widen it — or
+/// shrink it to fail fast with the pending-mailbox diagnostic when a bench
+/// wedges.
+inline double recv_timeout_seconds(double fallback = 120.0) {
+  const char* env = std::getenv("CYCLONE_RECV_TIMEOUT");
+  if (env == nullptr || *env == '\0') return fallback;
+  const double v = std::atof(env);
+  return v > 0 ? v : fallback;
+}
+
 /// One machine-readable record per measurement. Every record carries the
 /// engine thread count so scaling sweeps can be joined across bench runs.
+/// `extra` is an optional pre-rendered JSON fragment ("\"key\":1,...")
+/// appended to the record — the fault-tolerance rows use it for the
+/// reliability and recovery counters.
 inline void emit_json_record(const char* bench, const std::string& config, int threads,
-                             double seconds, double speedup) {
+                             double seconds, double speedup, const std::string& extra = {}) {
   std::printf(
       "{\"bench\":\"%s\",\"config\":\"%s\",\"threads\":%d,\"seconds\":%.6e,"
-      "\"speedup\":%.3f}\n",
-      bench, config.c_str(), threads, seconds, speedup);
+      "\"speedup\":%.3f%s%s}\n",
+      bench, config.c_str(), threads, seconds, speedup, extra.empty() ? "" : ",",
+      extra.c_str());
 }
 
 inline void print_rule(int width = 96) {

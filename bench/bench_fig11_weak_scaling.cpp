@@ -77,6 +77,7 @@ double measured_step_seconds(const fv3::FvConfig& cfg, int ranks, bool concurren
     model.set_exec_mode(fv3::DistributedModel::ExecMode::Concurrent);
     comm::RuntimeOptions ro;
     ro.overlap = overlap;
+    ro.channel.recv_timeout_seconds = bench::recv_timeout_seconds();
     ro.channel.simulate_network = true;
     ro.channel.network_time_scale = net_scale;
     model.set_runtime_options(ro);
@@ -151,6 +152,7 @@ double measured_diffusion_seconds(int num_ranks, bool concurrent, bool overlap, 
   }
   comm::RuntimeOptions ro;
   ro.overlap = overlap;
+  ro.channel.recv_timeout_seconds = bench::recv_timeout_seconds();
   ro.channel.simulate_network = true;
   ro.channel.network_time_scale = net_scale;
   comm::ConcurrentRuntime rt(p, halo, ranks, ro);
@@ -344,6 +346,91 @@ int main() {
     bench::emit_json_record("fig11_halo_pool", "pool_off", 1, seconds[0], 1.0);
     bench::emit_json_record("fig11_halo_pool", "pool_on", 1, seconds[1],
                             seconds[0] / seconds[1]);
+  }
+
+  // ---- Measured: fault-tolerance overhead --------------------------------
+  // What resilience costs when nothing goes wrong, and what absorbing faults
+  // costs when it does: the same diffusion chain (a) clean, (b) with the
+  // reliable envelope and 5% drop + 5% corruption on every wire message, and
+  // (c) with a mid-run rank crash recovered by rollback-restart from a
+  // per-step checkpoint. Each JSON record carries the reliability/recovery
+  // counters, so regressions in retransmit volume are as visible as time.
+  bench::print_rule();
+  std::printf("Measured: fault-tolerance overhead (diffusion chain, 6 ranks, 48x48x32)\n");
+  {
+    const ir::Program p = diffusion_chain(/*trips=*/8);
+    const grid::Partitioner part = grid::Partitioner::for_ranks(48, 6);
+    const comm::HaloUpdater halo(part, 3);
+    const int nk = 32, steps = 4;
+
+    struct Scenario {
+      const char* name;
+      comm::FaultPlan plan;
+      bool recover;
+    };
+    comm::FaultPlan clean;
+    comm::FaultPlan lossy;
+    lossy.seed = 0xBE4C;
+    lossy.drop_rate = 0.05;
+    lossy.corrupt_rate = 0.05;
+    comm::FaultPlan crash;
+    crash.seed = 0xBE4C;
+    crash.failure = comm::FaultPlan::Failure::Crash;
+    crash.fail_rank = 3;
+    crash.fail_step = steps / 2;
+    crash.fail_at_state = 1;
+    const Scenario scenarios[] = {
+        {"clean", clean, false}, {"drop_corrupt_5pct", lossy, false}, {"crash_recovery", crash, true}};
+
+    double clean_seconds = 0;
+    for (const Scenario& sc : scenarios) {
+      std::vector<FieldCatalog> cats;
+      std::vector<comm::RankDomain> ranks;
+      for (int r = 0; r < part.num_ranks(); ++r) {
+        const grid::RankInfo info = part.info(r);
+        exec::LaunchDomain dom;
+        dom.ni = info.ni;
+        dom.nj = info.nj;
+        dom.nk = nk;
+        dom.gi0 = info.i0;
+        dom.gj0 = info.j0;
+        dom.gni = part.n();
+        dom.gnj = part.n();
+        cats.push_back(verify::make_test_catalog(p, p, dom, Rng::mix(0xFA17, r)));
+        ranks.push_back(comm::RankDomain{&cats.back(), dom});
+      }
+      for (int r = 0; r < part.num_ranks(); ++r) {
+        ranks[static_cast<size_t>(r)].catalog = &cats[static_cast<size_t>(r)];
+      }
+      comm::RuntimeOptions ro;
+      ro.channel.recv_timeout_seconds = bench::recv_timeout_seconds();
+      ro.faults = sc.plan;
+      ro.recovery.enabled = sc.recover;
+      comm::ConcurrentRuntime rt(p, halo, ranks, ro);
+      rt.step();  // warm-up (also consumes fail_step 0 as a clean pass)
+      rt.set_fault_options(sc.plan, ro.recovery);  // re-arm for the timed run
+      WallTimer timer;
+      const comm::RunReport rr = rt.run(steps);
+      const double per_step = timer.seconds() / steps;
+      if (std::strcmp(sc.name, "clean") == 0) clean_seconds = per_step;
+      const comm::ReliabilityCounters& c = rr.channel;
+      std::printf(
+          "  %-18s %s/step (%+.1f%%)  retransmits=%ld corrupt_detected=%ld dups_dropped=%ld "
+          "restarts=%d rolled_back=%ld%s\n",
+          sc.name, str::human_time(per_step).c_str(),
+          clean_seconds > 0 ? 100.0 * (per_step - clean_seconds) / clean_seconds : 0.0,
+          c.retransmits, c.corrupt_detected, c.dups_dropped, rr.restarts, rr.rolled_back_steps,
+          rr.ok ? "" : "  [FAILED]");
+      char extra[256];
+      std::snprintf(extra, sizeof extra,
+                    "\"ok\":%s,\"retransmits\":%ld,\"corrupt_detected\":%ld,"
+                    "\"dups_dropped\":%ld,\"faults_injected\":%ld,\"restarts\":%d,"
+                    "\"checkpoints\":%d,\"rolled_back_steps\":%ld",
+                    rr.ok ? "true" : "false", c.retransmits, c.corrupt_detected, c.dups_dropped,
+                    c.faults_injected(), rr.restarts, rr.checkpoints, rr.rolled_back_steps);
+      bench::emit_json_record("fig11_fault_tolerance", sc.name, 1, per_step,
+                              clean_seconds > 0 ? clean_seconds / per_step : 1.0, extra);
+    }
   }
   return 0;
 }

@@ -1,0 +1,27 @@
+#include "comm/faults.hpp"
+
+#include <sstream>
+
+namespace cyclone::comm {
+
+std::string describe_plan(const FaultPlan& plan) {
+  std::ostringstream os;
+  os << "seed=0x" << std::hex << plan.seed << std::dec;
+  if (plan.drop_rate > 0) os << " drop=" << plan.drop_rate;
+  if (plan.duplicate_rate > 0) os << " dup=" << plan.duplicate_rate;
+  if (plan.reorder_rate > 0) os << " reorder=" << plan.reorder_rate;
+  if (plan.corrupt_rate > 0) os << " corrupt=" << plan.corrupt_rate;
+  if (plan.delay_rate > 0) {
+    os << " delay=" << plan.delay_rate << "(<=" << plan.delay_max_us << "us)";
+  }
+  if (plan.failure != FaultPlan::Failure::None) {
+    os << (plan.failure == FaultPlan::Failure::Crash ? " crash(r" : " hang(r") << plan.fail_rank
+       << "@s" << plan.fail_step << ")";
+  }
+  if (plan.only_src >= 0) os << " only_src=" << plan.only_src;
+  if (plan.only_tag >= 0) os << " only_tag=" << plan.only_tag;
+  if (!plan.active()) os << " (inactive)";
+  return os.str();
+}
+
+}  // namespace cyclone::comm

@@ -28,6 +28,7 @@ class BufferPool {
  public:
   /// An empty buffer with whatever capacity a previous exchange left behind.
   std::vector<double> acquire() {
+    ++outstanding_;
     if (free_.empty()) {
       ++allocations_;
       return {};
@@ -38,15 +39,28 @@ class BufferPool {
     buf.clear();
     return buf;
   }
-  void release(std::vector<double>&& buf) { free_.push_back(std::move(buf)); }
+  void release(std::vector<double>&& buf) {
+    --outstanding_;
+    free_.push_back(std::move(buf));
+  }
 
   [[nodiscard]] long allocations() const { return allocations_; }
   [[nodiscard]] long reuses() const { return reuses_; }
+  /// Buffers acquired but not yet released. Every logical message costs one
+  /// acquire (sender) and one release (receiver of the delivered buffer), so
+  /// this returns to zero whenever the channel is drained — the invariant
+  /// the recovery tests assert.
+  [[nodiscard]] long outstanding() const { return outstanding_; }
+  /// Forget in-flight buffers after a crash tore rank threads down mid-step
+  /// (their wire copies were destroyed with the channel, so the matching
+  /// releases will never happen).
+  void reset_outstanding() { outstanding_ = 0; }
 
  private:
   std::vector<std::vector<double>> free_;
   long allocations_ = 0;
   long reuses_ = 0;
+  long outstanding_ = 0;
 };
 
 /// Cubed-sphere halo updater: precomputes, per destination rank, the source
@@ -110,6 +124,18 @@ class HaloUpdater {
   }
   [[nodiscard]] long pool_reuses(int rank) const {
     return pools_[static_cast<size_t>(rank)].reuses();
+  }
+  /// Sum of acquired-but-unreleased staging buffers across all rank pools.
+  /// Zero whenever no exchange is mid-flight; recovery resets it.
+  [[nodiscard]] long pool_outstanding() const {
+    long n = 0;
+    for (const auto& pool : pools_) n += pool.outstanding();
+    return n;
+  }
+  /// Drop in-flight accounting after a rollback-restart (see
+  /// BufferPool::reset_outstanding). Retained free buffers stay reusable.
+  void reset_pools() const {
+    for (auto& pool : pools_) pool.reset_outstanding();
   }
 
   /// Messages a single rank sends per scalar exchange (for the network

@@ -260,6 +260,25 @@ ConcurrentRuntime::ConcurrentRuntime(const ir::Program& program, const HaloUpdat
     programs_.back().set_run_options(per_rank);
     programs_.back().precompile();
   }
+
+  heartbeats_ = std::make_unique<std::atomic<long>[]>(ranks_.size());
+  for (size_t r = 0; r < ranks_.size(); ++r) heartbeats_[r].store(0, std::memory_order_relaxed);
+  if (options_.faults.active()) comm_.set_fault_plan(options_.faults);
+  if (options_.faults.failure != FaultPlan::Failure::None) {
+    fail_injector_ = std::make_unique<FaultInjector>(options_.faults);
+  }
+}
+
+void ConcurrentRuntime::set_fault_options(const FaultPlan& faults, const RecoveryOptions& recovery) {
+  options_.faults = faults;
+  options_.recovery = recovery;
+  comm_.set_fault_plan(faults);
+  fail_injector_ = faults.failure != FaultPlan::Failure::None
+                       ? std::make_unique<FaultInjector>(faults)
+                       : nullptr;
+  comm_.reset_for_recovery();
+  halo_.reset_pools();
+  step_index_ = 0;
 }
 
 bool ConcurrentRuntime::can_overlap(int rank, int state_index) const {
@@ -284,7 +303,28 @@ void ConcurrentRuntime::execute_with_ext(int rank, int state_index, const exec::
 void ConcurrentRuntime::run_rank(int rank) {
   RankDomain& rd = ranks_[static_cast<size_t>(rank)];
   const ir::Program& prog = programs_[static_cast<size_t>(rank)];
+  // Heartbeat + injected-failure hook for position `p` of the flattened
+  // order. Called at the top of every iteration AND for a state the overlap
+  // path consumes early, so a planned kill point fires regardless of whether
+  // its state runs standalone or fused into the preceding exchange.
+  const auto maybe_fail = [&](size_t p) {
+    heartbeats_[static_cast<size_t>(rank)].fetch_add(1, std::memory_order_relaxed);
+    if (!fail_injector_ || !fail_injector_->should_fail(rank, step_index_, static_cast<int>(p))) {
+      return;
+    }
+    if (options_.faults.failure == FaultPlan::Failure::Hang) {
+      // A hung rank does not throw — it just stops. Block (and stop
+      // heartbeating) until the health monitor declares the job dead,
+      // then unwind like a crash so recovery can take over.
+      comm_.wait_aborted();
+      CY_REQUIRE_MSG(false, "rank " << rank << " hung (injected) at step " << step_index_
+                                    << " state " << p);
+    }
+    CY_REQUIRE_MSG(false, "rank " << rank << " crashed (injected) at step " << step_index_
+                                  << " state " << p);
+  };
   for (size_t p = 0; p < order_.size(); ++p) {
+    maybe_fail(p);
     const int sidx = order_[p];
     if (!halo_only_[static_cast<size_t>(sidx)]) {
       prog.execute_state(sidx, *rd.catalog, rd.dom);
@@ -299,6 +339,7 @@ void ConcurrentRuntime::run_rank(int rank) {
       continue;
     }
     const int next = order_[p + 1];
+    maybe_fail(p + 1);  // the fused state's kill point, before its interior runs
     const int R = plans_[static_cast<size_t>(next)].radius;
     // Interior: shrink all four sides by R. Every cell it writes depends
     // only on owned pre-state data, so it runs while messages are in
@@ -343,10 +384,61 @@ void ConcurrentRuntime::step() {
       }
     });
   }
+
+  // Health monitor: a hung rank never throws, so nobody would abort the
+  // channel — the job would sit in recv until the (long) timeout. The
+  // monitor watches the per-rank heartbeats; when *no* rank has advanced
+  // for heartbeat_timeout_seconds, it names the least-advanced rank (the
+  // one everyone else is stuck waiting on) and aborts.
+  std::atomic<bool> step_done{false};
+  std::thread monitor;
+  const double hb_timeout = options_.recovery.heartbeat_timeout_seconds;
+  if (options_.recovery.enabled && hb_timeout > 0 && fail_injector_) {
+    monitor = std::thread([this, &step_done, hb_timeout] {
+      using Clock = std::chrono::steady_clock;
+      std::vector<long> last(ranks_.size(), -1);
+      auto last_progress = Clock::now();
+      while (!step_done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        bool progressed = false;
+        for (size_t r = 0; r < ranks_.size(); ++r) {
+          const long beat = heartbeats_[r].load(std::memory_order_relaxed);
+          if (beat != last[r]) {
+            last[r] = beat;
+            progressed = true;
+          }
+        }
+        const auto now = Clock::now();
+        if (progressed) {
+          last_progress = now;
+          continue;
+        }
+        if (std::chrono::duration<double>(now - last_progress).count() < hb_timeout) continue;
+        if (step_done.load(std::memory_order_acquire)) break;
+        size_t suspect = 0;
+        for (size_t r = 1; r < ranks_.size(); ++r) {
+          if (last[r] < last[suspect]) suspect = r;
+        }
+        comm_.abort("rank " + std::to_string(suspect) + " unresponsive: no heartbeat for " +
+                    std::to_string(hb_timeout) + "s (suspected hang)");
+        break;
+      }
+    });
+  }
+
   for (auto& t : threads) t.join();
+  step_done.store(true, std::memory_order_release);
+  if (monitor.joinable()) monitor.join();
   if (first_error) std::rethrow_exception(first_error);
+  // The monitor may fire between the last heartbeat and the joins on a very
+  // slow machine; with every rank actually finished that abort is spurious,
+  // but the channel is poisoned — surface it as a step failure so run()
+  // rolls back instead of wedging the next step.
+  CY_REQUIRE_MSG(!comm_.aborted(), "channel aborted with all ranks complete");
+  comm_.purge_acknowledged();
   comm_.assert_drained();
 
+  ++step_index_;
   ++stats_.steps;
   for (size_t p = 0; p < order_.size(); ++p) {
     if (!halo_only_[static_cast<size_t>(order_[p])]) continue;
@@ -356,6 +448,53 @@ void ConcurrentRuntime::step() {
       ++p;
     }
   }
+}
+
+RunReport ConcurrentRuntime::run(int nsteps) {
+  CY_REQUIRE_MSG(nsteps >= 0, "negative step count");
+  RunReport report;
+  MemoryCheckpointStore internal;
+  CheckpointStore* store = options_.recovery.store ? options_.recovery.store : &internal;
+  const bool recover = options_.recovery.enabled;
+  const int interval = std::max(1, options_.recovery.checkpoint_interval);
+  if (fail_injector_) fail_injector_->rearm();
+  step_index_ = 0;
+  if (recover) {
+    store->save(-1, ranks_);
+    ++report.checkpoints;
+  }
+  while (step_index_ < nsteps) {
+    try {
+      step();
+    } catch (const std::exception& e) {
+      if (!recover || report.restarts >= options_.recovery.max_restarts) {
+        report.ok = false;
+        report.failure = e.what();
+        report.steps_completed = step_index_;
+        report.channel = comm_.reliability();
+        comm_.reset_for_recovery();  // leave the runtime reusable
+        halo_.reset_pools();
+        return report;
+      }
+      // Rollback-restart: rewind every rank to the last consistent
+      // checkpoint, clear the transport (in-flight wire copies died with
+      // the step) and the pool accounting of buffers those copies held.
+      ++report.restarts;
+      const long restored = store->restore(ranks_);
+      report.rolled_back_steps += step_index_ - (restored + 1);
+      comm_.reset_for_recovery();
+      halo_.reset_pools();
+      step_index_ = restored + 1;
+      continue;
+    }
+    if (recover && step_index_ % interval == 0) {
+      store->save(step_index_ - 1, ranks_);
+      ++report.checkpoints;
+    }
+  }
+  report.steps_completed = step_index_;
+  report.channel = comm_.reliability();
+  return report;
 }
 
 }  // namespace cyclone::comm

@@ -1,9 +1,13 @@
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "comm/channel.hpp"
+#include "comm/faults.hpp"
 #include "comm/halo.hpp"
 #include "core/field/catalog.hpp"
 #include "core/ir/program.hpp"
@@ -15,6 +19,81 @@ namespace cyclone::comm {
 struct RankDomain {
   FieldCatalog* catalog = nullptr;
   exec::LaunchDomain dom;
+};
+
+/// Destination for rollback-restart checkpoints. Implementations capture the
+/// complete field state of every rank; `save` is only ever called at a step
+/// boundary with the channel drained, so a checkpoint is globally consistent
+/// by construction — no Chandy-Lamport marker protocol is needed.
+class CheckpointStore {
+ public:
+  virtual ~CheckpointStore() = default;
+  /// Capture all ranks' state as of the *end* of step `step` (-1 = initial).
+  virtual void save(long step, const std::vector<RankDomain>& ranks) = 0;
+  /// Restore the newest checkpoint into the ranks; returns its step.
+  virtual long restore(std::vector<RankDomain>& ranks) = 0;
+};
+
+/// Default store: deep copies of every rank's fields held in memory — the
+/// stand-in for node-local burst-buffer checkpointing. fv3 provides a
+/// Savepoint-backed implementation that reuses the serialization layer.
+class MemoryCheckpointStore : public CheckpointStore {
+ public:
+  void save(long step, const std::vector<RankDomain>& ranks) override {
+    step_ = step;
+    snaps_.clear();
+    snaps_.reserve(ranks.size());
+    for (const auto& rd : ranks) {
+      std::vector<std::pair<std::string, FieldD>> snap;
+      for (const auto& name : rd.catalog->names()) snap.emplace_back(name, rd.catalog->at(name));
+      snaps_.push_back(std::move(snap));
+    }
+    ++saves_;
+  }
+
+  long restore(std::vector<RankDomain>& ranks) override {
+    CY_REQUIRE_MSG(!snaps_.empty(), "no checkpoint to restore");
+    CY_REQUIRE_MSG(snaps_.size() == ranks.size(), "checkpoint rank count mismatch");
+    for (size_t r = 0; r < ranks.size(); ++r) {
+      for (const auto& [name, field] : snaps_[r]) ranks[r].catalog->at(name).copy_from(field);
+    }
+    ++restores_;
+    return step_;
+  }
+
+  [[nodiscard]] long saves() const { return saves_; }
+  [[nodiscard]] long restores() const { return restores_; }
+
+ private:
+  long step_ = -1;
+  std::vector<std::vector<std::pair<std::string, FieldD>>> snaps_;
+  long saves_ = 0;
+  long restores_ = 0;
+};
+
+/// Crash-recovery policy of ConcurrentRuntime::run.
+struct RecoveryOptions {
+  bool enabled = false;
+  int checkpoint_interval = 1;  ///< checkpoint every N successful steps
+  int max_restarts = 8;         ///< beyond this, degrade to a failing RunReport
+  /// Declare the job hung when no rank advances its heartbeat for this long
+  /// (0 disables the monitor). Generous: a slow CI machine mid-state must
+  /// not be mistaken for a hang.
+  double heartbeat_timeout_seconds = 5.0;
+  CheckpointStore* store = nullptr;  ///< null = runtime-internal memory store
+};
+
+/// Structured outcome of a (possibly fault-injected) multi-step run: instead
+/// of an escaping exception, callers get what completed, what it cost, and —
+/// when recovery was impossible — why.
+struct RunReport {
+  bool ok = true;
+  long steps_completed = 0;
+  int restarts = 0;            ///< rollback-restart cycles performed
+  int checkpoints = 0;         ///< checkpoints written (incl. the initial one)
+  long rolled_back_steps = 0;  ///< completed steps discarded by rollbacks
+  std::string failure;         ///< root cause when !ok
+  ReliabilityCounters channel; ///< what the reliable layer absorbed
 };
 
 /// Execute one program pass over all ranks with the sequential phase-based
@@ -72,6 +151,11 @@ struct RuntimeOptions {
   exec::RunOptions run{};
   /// Channel behavior (recv timeout, arrival jitter, simulated network).
   ConcurrentComm::Options channel{};
+  /// Deterministic fault injection (inactive by default). Message faults are
+  /// absorbed by the channel's reliable layer; rank failures are recovered
+  /// by run() when `recovery.enabled`.
+  FaultPlan faults{};
+  RecoveryOptions recovery{};
 };
 
 /// Cumulative execution statistics (written between steps, not by rank
@@ -100,9 +184,23 @@ class ConcurrentRuntime {
                     std::vector<RankDomain> ranks, RuntimeOptions options = {});
 
   /// Advance one program pass on every rank concurrently. Throws the first
-  /// (lowest-rank) failure after aborting the channel and joining all
+  /// (temporally-first) failure after aborting the channel and joining all
   /// threads; asserts the channel drained on success.
   void step();
+
+  /// Advance `nsteps` passes with fault recovery: checkpoints every
+  /// `recovery.checkpoint_interval` successful steps, and on a failed step
+  /// rolls all ranks back to the last checkpoint, resets the channel and
+  /// halo pools, and retries — up to `recovery.max_restarts` times. Never
+  /// throws for rank failures: an unrecoverable run comes back as a
+  /// structured failing RunReport. With recovery disabled, the first failure
+  /// also degrades to a failing report.
+  RunReport run(int nsteps);
+
+  /// Swap the fault plan and recovery policy without rebuilding the per-rank
+  /// program copies (chaos sweeps reuse one runtime across hundreds of
+  /// plans). Resets channel transport state and pool accounting.
+  void set_fault_options(const FaultPlan& faults, const RecoveryOptions& recovery);
 
   [[nodiscard]] ConcurrentComm& comm() { return comm_; }
   [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
@@ -110,6 +208,7 @@ class ConcurrentRuntime {
     return plans_[static_cast<size_t>(state_index)];
   }
   [[nodiscard]] const RuntimeOptions& options() const { return options_; }
+  [[nodiscard]] const HaloUpdater& halo() const { return halo_; }
 
  private:
   void run_rank(int rank);
@@ -128,6 +227,15 @@ class ConcurrentRuntime {
   std::vector<OverlapPlan> plans_;  ///< per state
   ConcurrentComm comm_;
   RuntimeStats stats_;
+  /// Injected rank-failure oracle (crash/hang one-shot latch). Null without
+  /// a planned failure; the channel holds its own injector for wire faults.
+  std::unique_ptr<FaultInjector> fail_injector_;
+  /// Program pass index, advanced by step() on success and rewound by run()
+  /// on rollback; read by the failure hook to match FaultPlan::fail_step.
+  long step_index_ = 0;
+  /// Per-rank liveness beats (relaxed increments from rank threads, polled
+  /// by the health monitor). unique_ptr array: atomics are not movable.
+  std::unique_ptr<std::atomic<long>[]> heartbeats_;
 };
 
 }  // namespace cyclone::comm

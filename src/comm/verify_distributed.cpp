@@ -1,5 +1,6 @@
 #include "comm/verify_distributed.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <sstream>
 #include <string>
@@ -126,6 +127,160 @@ EquivalenceReport check_distributed_agrees(const ir::Program& program,
         report.equivalent = report.equivalent && dr.ok;
         report.domains.push_back(std::move(dr));
       }
+    }
+  }
+  return report;
+}
+
+const char* fault_mode_name(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::Drop: return "drop";
+    case FaultMode::Duplicate: return "duplicate";
+    case FaultMode::Reorder: return "reorder";
+    case FaultMode::Corrupt: return "corrupt";
+    case FaultMode::Delay: return "delay";
+    case FaultMode::Crash: return "crash";
+    case FaultMode::Hang: return "hang";
+  }
+  return "?";
+}
+
+FaultMode parse_fault_mode(const std::string& name) {
+  for (const FaultMode m : {FaultMode::Drop, FaultMode::Duplicate, FaultMode::Reorder,
+                            FaultMode::Corrupt, FaultMode::Delay, FaultMode::Crash,
+                            FaultMode::Hang}) {
+    if (name == fault_mode_name(m)) return m;
+  }
+  CY_REQUIRE_MSG(false, "unknown fault mode '" << name
+                                               << "' (want drop/duplicate/reorder/corrupt/"
+                                                  "delay/crash/hang)");
+  return FaultMode::Drop;  // unreachable
+}
+
+comm::FaultPlan make_chaos_plan(FaultMode mode, uint64_t fault_seed, double rate, int steps,
+                                int crash_rank, int crash_step, int nranks, size_t order_len) {
+  comm::FaultPlan plan;
+  plan.seed = fault_seed;
+  switch (mode) {
+    case FaultMode::Drop: plan.drop_rate = rate; break;
+    case FaultMode::Duplicate: plan.duplicate_rate = rate; break;
+    case FaultMode::Reorder: plan.reorder_rate = rate; break;
+    case FaultMode::Corrupt: plan.corrupt_rate = rate; break;
+    case FaultMode::Delay: plan.delay_rate = rate; break;
+    case FaultMode::Crash:
+    case FaultMode::Hang: {
+      plan.failure = mode == FaultMode::Crash ? comm::FaultPlan::Failure::Crash
+                                              : comm::FaultPlan::Failure::Hang;
+      Rng rng = Rng::derive(fault_seed, 0x0DDull);
+      plan.fail_rank = crash_rank >= 0
+                           ? crash_rank
+                           : static_cast<int>(rng.next_below(static_cast<uint64_t>(nranks)));
+      plan.fail_step =
+          crash_step >= 0
+              ? crash_step
+              : static_cast<long>(rng.next_below(static_cast<uint64_t>(std::max(steps, 1))));
+      plan.fail_at_state = static_cast<int>(rng.next_below(order_len ? order_len : 1));
+      break;
+    }
+  }
+  return plan;
+}
+
+EquivalenceReport check_fault_tolerant(const ir::Program& program,
+                                       const grid::Partitioner& part, int nk, int halo_width,
+                                       const FaultToleranceOptions& options) {
+  EquivalenceReport report;
+  report.data_seed = options.data_seed;
+
+  const auto doms = rank_domains(part, nk);
+  const comm::HaloUpdater halo(part, halo_width);
+  const size_t order_len = program.flatten_execution_order().size();
+
+  // Fault-free lockstep reference, run once.
+  auto ref_cats = seeded_catalogs(program, doms, options.data_seed);
+  comm::SimComm sim(part.num_ranks());
+  {
+    auto ranks = bind(ref_cats, doms);
+    for (int s = 0; s < options.steps; ++s) {
+      comm::run_lockstep_step(program, halo, ranks, sim);
+    }
+  }
+
+  // One subject runtime reused across all plans (rebuilding per-rank program
+  // copies per plan would dominate the sweep); pristine initial fields are
+  // kept aside and copied back in before every run.
+  const auto init_cats = seeded_catalogs(program, doms, options.data_seed);
+  auto cats = seeded_catalogs(program, doms, options.data_seed);
+  comm::RuntimeOptions ro;
+  ro.run = program.run_options();
+  ro.run.threads_per_rank = options.threads_per_rank;
+  ro.channel.recv_timeout_seconds = options.recv_timeout_seconds;
+  comm::ConcurrentRuntime rt(program, halo, bind(cats, doms), ro);
+
+  comm::RecoveryOptions recovery;
+  recovery.enabled = true;
+  recovery.checkpoint_interval = options.checkpoint_interval;
+  recovery.max_restarts = options.max_restarts;
+
+  int config = 0;
+  for (const FaultMode mode : options.modes) {
+    for (int s = 0; s < options.seeds_per_mode; ++s, ++config) {
+      const uint64_t fault_seed = Rng::mix(options.fault_seed_base, config);
+      const comm::FaultPlan plan =
+          make_chaos_plan(mode, fault_seed, options.rate, options.steps, options.crash_rank,
+                          options.crash_step, part.num_ranks(), order_len);
+      comm::RecoveryOptions rec = recovery;
+      if (mode == FaultMode::Hang) rec.heartbeat_timeout_seconds = options.hang_heartbeat_seconds;
+      DomainResult dr;
+      dr.dom = doms[0];
+      dr.fill_seed = fault_seed;
+      try {
+        for (size_t r = 0; r < doms.size(); ++r) {
+          for (const auto& name : init_cats[r].names()) {
+            cats[r].at(name).copy_from(init_cats[r].at(name));
+          }
+        }
+        rt.set_fault_options(plan, rec);
+        const comm::RunReport rr = rt.run(options.steps);
+        if (!rr.ok) {
+          dr.error = std::string(fault_mode_name(mode)) + " plan [" +
+                     comm::describe_plan(plan) + "] did not recover: " + rr.failure;
+          dr.ok = false;
+        } else {
+          FieldDivergence worst;
+          for (int r = 0; r < part.num_ranks(); ++r) {
+            for (const auto& name : ref_cats[static_cast<size_t>(r)].names()) {
+              FieldDivergence d = compare_fields_bitwise(
+                  "r" + std::to_string(r) + "/" + name,
+                  ref_cats[static_cast<size_t>(r)].at(name),
+                  cats[static_cast<size_t>(r)].at(name));
+              if (!d.ok) dr.fields.push_back(d);
+              if (worst.field.empty() || d.max_ulps > worst.max_ulps) worst = d;
+            }
+          }
+          if (dr.fields.empty() && !worst.field.empty()) dr.fields.push_back(worst);
+          dr.ok = dr.fields.empty() || (dr.fields.size() == 1 && dr.fields[0].ok);
+          if (!dr.ok) {
+            dr.error = std::string("recovered run diverges under ") + fault_mode_name(mode) +
+                       " plan [" + comm::describe_plan(plan) + "]";
+          }
+          // Staging buffers must all be back in their pools once drained.
+          if (rt.halo().pool_outstanding() != 0) {
+            std::ostringstream os;
+            os << "halo pool leak under " << fault_mode_name(mode) << " plan ["
+               << comm::describe_plan(plan) << "]: " << rt.halo().pool_outstanding()
+               << " buffers outstanding after drain";
+            dr.error = os.str();
+            dr.ok = false;
+          }
+        }
+      } catch (const std::exception& e) {
+        dr.error = std::string(fault_mode_name(mode)) + " plan [" + comm::describe_plan(plan) +
+                   "]: " + e.what();
+        dr.ok = false;
+      }
+      report.equivalent = report.equivalent && dr.ok;
+      report.domains.push_back(std::move(dr));
     }
   }
   return report;

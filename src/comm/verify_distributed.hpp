@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "comm/runtime.hpp"
@@ -54,5 +55,61 @@ EquivalenceReport check_distributed_agrees(const ir::Program& program,
                                            const grid::Partitioner& part, int nk,
                                            int halo_width,
                                            const DistributedVerifyOptions& options = {});
+
+/// One fault family of the chaos sweep. Message modes exercise the reliable
+/// channel; Crash and Hang exercise checkpoint/rollback-restart.
+enum class FaultMode { Drop, Duplicate, Reorder, Corrupt, Delay, Crash, Hang };
+
+[[nodiscard]] const char* fault_mode_name(FaultMode mode);
+/// Parse "drop" / "duplicate" / "reorder" / "corrupt" / "delay" / "crash" /
+/// "hang" (throws on anything else).
+[[nodiscard]] FaultMode parse_fault_mode(const std::string& name);
+
+/// Knobs of the chaos checker.
+struct FaultToleranceOptions {
+  /// Fault families to sweep. Hang is opt-in: it costs a heartbeat timeout
+  /// of wall-clock per seed.
+  std::vector<FaultMode> modes = {FaultMode::Drop, FaultMode::Duplicate, FaultMode::Reorder,
+                                  FaultMode::Corrupt, FaultMode::Crash};
+  int seeds_per_mode = 20;
+  uint64_t fault_seed_base = 0xC4405ull;
+  /// Per-message probability for the message-fault modes.
+  double rate = 0.25;
+  /// Program passes per run — at least 2 so a recovered step's results feed
+  /// a later exchange.
+  int steps = 2;
+  uint64_t data_seed = 0xD157ull;
+  int threads_per_rank = 1;
+  double recv_timeout_seconds = 120.0;
+  /// Crash/hang placement: negative = derive rank/step/state deterministically
+  /// from each fault seed; >= 0 pins it (the --crash-rank CLI knob).
+  int crash_rank = -1;
+  int crash_step = -1;
+  /// Heartbeat timeout for Hang runs (a hang costs this much wall-clock per
+  /// seed; the default trades detection latency against TSan-slow machines).
+  double hang_heartbeat_seconds = 0.5;
+  /// Rollback-restart policy (store = null uses the runtime's memory store).
+  int checkpoint_interval = 1;
+  int max_restarts = 8;
+};
+
+/// Deterministic plan for one (mode, fault seed) cell of a chaos sweep.
+/// Message modes set the mode's probability to `rate`; crash/hang placement
+/// (rank, step, state position) is itself seed-derived — so N seeds probe N
+/// different kill points — unless pinned via crash_rank/crash_step >= 0.
+[[nodiscard]] comm::FaultPlan make_chaos_plan(FaultMode mode, uint64_t fault_seed, double rate,
+                                              int steps, int crash_rank, int crash_step,
+                                              int nranks, size_t order_len);
+
+/// Chaos-verify the self-healing runtime: for every fault mode and seed,
+/// build a deterministic FaultPlan, run the concurrent runtime with
+/// fault injection + recovery enabled, and require (a) the run to complete
+/// (recovering as needed) and (b) every field of every rank to match the
+/// fault-free lockstep reference bitwise at 0 ULP. One DomainResult is
+/// recorded per (mode, seed); its fill_seed logs the fault seed and its
+/// error names the injected plan, so any failure replays bit-exactly.
+EquivalenceReport check_fault_tolerant(const ir::Program& program,
+                                       const grid::Partitioner& part, int nk, int halo_width,
+                                       const FaultToleranceOptions& options = {});
 
 }  // namespace cyclone::verify

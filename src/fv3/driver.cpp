@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fv3/serialization.hpp"
+
 namespace cyclone::fv3 {
 
 bool GlobalDiagnostics::finite() const {
@@ -51,6 +53,19 @@ comm::ConcurrentRuntime& DistributedModel::concurrent_runtime() {
                                                          options);
   }
   return *runtime_;
+}
+
+comm::RunReport DistributedModel::run_resilient(int steps) {
+  set_exec_mode(ExecMode::Concurrent);
+  comm::ConcurrentRuntime& rt = concurrent_runtime();
+  // Checkpoint through the savepoint serialization layer unless the caller
+  // supplied a store. The store only needs to outlive the (synchronous) run.
+  SavepointStore store;
+  comm::RecoveryOptions recovery = rt.options().recovery;
+  recovery.enabled = true;
+  if (!recovery.store) recovery.store = &store;
+  rt.set_fault_options(rt.options().faults, recovery);
+  return rt.run(steps);
 }
 
 void DistributedModel::step() {

@@ -75,6 +75,15 @@ class DistributedModel {
   /// Advance one physics timestep on every rank.
   void step();
 
+  /// Advance `steps` timesteps through the self-healing concurrent runtime:
+  /// faults from runtime_options().faults are injected, rank-local
+  /// checkpoints are written through a SavepointStore (reusing the savepoint
+  /// serialization layer) unless runtime_options().recovery.store is set,
+  /// and crashed/hung steps roll back and restart. Switches the model to
+  /// Concurrent mode. Returns the structured outcome instead of throwing on
+  /// rank failure.
+  comm::RunReport run_resilient(int steps);
+
   /// Exchange the prognostic fields' halos (used after initialization).
   void exchange_prognostics();
 

@@ -36,6 +36,10 @@ Savepoint Savepoint::capture(const FieldCatalog& catalog,
   return sp;
 }
 
+Savepoint Savepoint::capture_all(const FieldCatalog& catalog) {
+  return capture(catalog, catalog.names());
+}
+
 void Savepoint::restore(FieldCatalog& catalog) const {
   for (const auto& name : names_) {
     const Entry& e = entries_.at(name);
@@ -117,6 +121,27 @@ Savepoint Savepoint::load(const std::string& path) {
   }
   CY_ENSURE_MSG(in.good(), "truncated savepoint '" << path << "'");
   return sp;
+}
+
+void SavepointStore::save(long step, const std::vector<comm::RankDomain>& ranks) {
+  step_ = step;
+  snaps_.clear();
+  snaps_.reserve(ranks.size());
+  for (const auto& rd : ranks) snaps_.push_back(Savepoint::capture_all(*rd.catalog));
+  if (!dir_.empty()) {
+    for (size_t r = 0; r < snaps_.size(); ++r) {
+      snaps_[r].save(dir_ + "/ckpt_r" + std::to_string(r) + ".sav");
+    }
+  }
+  ++saves_;
+}
+
+long SavepointStore::restore(std::vector<comm::RankDomain>& ranks) {
+  CY_REQUIRE_MSG(!snaps_.empty(), "no checkpoint to restore");
+  CY_REQUIRE_MSG(snaps_.size() == ranks.size(), "checkpoint rank count mismatch");
+  for (size_t r = 0; r < ranks.size(); ++r) snaps_[r].restore(*ranks[r].catalog);
+  ++restores_;
+  return step_;
 }
 
 }  // namespace cyclone::fv3

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/runtime.hpp"
 #include "core/field/catalog.hpp"
 
 namespace cyclone::fv3 {
@@ -17,6 +18,9 @@ class Savepoint {
   /// Capture a snapshot of the named fields (full allocation incl. halos).
   static Savepoint capture(const FieldCatalog& catalog,
                            const std::vector<std::string>& fields);
+
+  /// Capture every field of the catalog (checkpointing a whole rank).
+  static Savepoint capture_all(const FieldCatalog& catalog);
 
   /// Restore the snapshot into a catalog (shapes must match).
   void restore(FieldCatalog& catalog) const;
@@ -37,6 +41,31 @@ class Savepoint {
   };
   std::vector<std::string> names_;
   std::map<std::string, Entry> entries_;
+};
+
+/// Checkpoint store for the self-healing runtime backed by the savepoint
+/// layer: each checkpoint is one Savepoint per rank (full allocation, halos
+/// included), so rollback-restart reuses exactly the snapshot/restore code
+/// the module-validation harness trusts. With a non-empty directory every
+/// checkpoint is also mirrored to `ckpt_r<rank>.sav` files — the stand-in
+/// for writing to a burst buffer; restore always reads the in-memory copy.
+class SavepointStore : public comm::CheckpointStore {
+ public:
+  explicit SavepointStore(std::string directory = "") : dir_(std::move(directory)) {}
+
+  void save(long step, const std::vector<comm::RankDomain>& ranks) override;
+  long restore(std::vector<comm::RankDomain>& ranks) override;
+
+  [[nodiscard]] long saves() const { return saves_; }
+  [[nodiscard]] long restores() const { return restores_; }
+  [[nodiscard]] long checkpoint_step() const { return step_; }
+
+ private:
+  std::string dir_;
+  long step_ = -1;
+  std::vector<Savepoint> snaps_;  ///< one per rank
+  long saves_ = 0;
+  long restores_ = 0;
 };
 
 }  // namespace cyclone::fv3

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "comm/verify_distributed.hpp"
 #include "core/verify/verify.hpp"
 #include "fv3/driver.hpp"
 
@@ -24,5 +25,31 @@ struct DycoreVerifyOptions {
 /// transport, remap, and all halo-exchange nodes.
 verify::EquivalenceReport verify_concurrent_dycore(const FvConfig& config, int num_ranks,
                                                    const DycoreVerifyOptions& options = {});
+
+/// Knobs of the full-dycore chaos check.
+struct DycoreChaosOptions {
+  std::vector<verify::FaultMode> modes = {verify::FaultMode::Drop, verify::FaultMode::Duplicate,
+                                          verify::FaultMode::Reorder, verify::FaultMode::Corrupt,
+                                          verify::FaultMode::Crash};
+  int seeds_per_mode = 20;
+  uint64_t fault_seed_base = 0xFC4405ull;
+  double rate = 0.1;
+  int steps = 2;
+  int threads_per_rank = 1;
+  double recv_timeout_seconds = 120.0;
+  int crash_rank = -1;
+  int crash_step = -1;
+  double hang_heartbeat_seconds = 0.5;
+};
+
+/// Chaos-verify the full dycore: a fault-free lockstep model provides the
+/// reference trajectory; one concurrent model is then re-initialized (same
+/// baroclinic state) and advanced through run_resilient for every (mode,
+/// seed) plan. Each recovered run must match the reference bitwise at 0 ULP
+/// on every field of every rank. The subject model — and its precompiled
+/// per-rank programs — is reused across plans via set_fault_options, so the
+/// sweep cost is dominated by the runs themselves.
+verify::EquivalenceReport verify_resilient_dycore(const FvConfig& config, int num_ranks,
+                                                  const DycoreChaosOptions& options = {});
 
 }  // namespace cyclone::fv3

@@ -301,6 +301,28 @@ TEST(Channel, AbortWakesBlockedRecv) {
   aborter.join();
 }
 
+TEST(Channel, ConcurrentAbortsKeepFirstReasonAndAppendRest) {
+  // Two ranks failing at once race to abort the channel. The first reason
+  // must win the headline and the second must still be recorded — losing
+  // either would hide a root cause from the failure report.
+  for (int trial = 0; trial < 20; ++trial) {
+    ConcurrentComm comm(2);
+    std::thread a([&] { comm.abort("rank 0 died"); });
+    std::thread b([&] { comm.abort("rank 1 died"); });
+    a.join();
+    b.join();
+    try {
+      (void)comm.recv(1, 0, 4);
+      FAIL() << "expected abort to interrupt recv";
+    } catch (const Error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("rank 0 died"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("rank 1 died"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("; also: "), std::string::npos) << msg;
+    }
+  }
+}
+
 TEST(Channel, TimeoutErrorListsPendingMessages) {
   ConcurrentComm::Options opt;
   opt.recv_timeout_seconds = 0.05;

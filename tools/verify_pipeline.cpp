@@ -35,12 +35,14 @@
 #include <vector>
 
 #include "comm/verify_distributed.hpp"
+#include "core/dsl/builder.hpp"
 #include "core/exec/engine.hpp"
 #include "core/verify/pipeline.hpp"
 #include "core/verify/random_program.hpp"
 #include "core/verify/verify.hpp"
 #include "fv3/dyn_core.hpp"
 #include "fv3/state.hpp"
+#include "fv3/verify_distributed.hpp"
 #include "grid/partitioner.hpp"
 
 namespace {
@@ -61,9 +63,55 @@ void usage() {
                "                     engine and compare bitwise vs the serial interpreter\n"
                "  --concurrent       also run through the thread-per-rank concurrent\n"
                "                     runtime and compare bitwise vs the lockstep scheduler\n"
-               "  --ranks N          rank count for --concurrent, a multiple of 6 (default 6)\n"
+               "  --ranks N          rank count for --concurrent/--chaos, a multiple of 6\n"
+               "                     (default 6)\n"
                "  --reps N           arrival-order repetitions for --concurrent (default 5)\n"
+               "  --recv-timeout S   channel recv timeout in seconds for --concurrent and\n"
+               "                     --chaos (default 120)\n"
+               "  --chaos            chaos-verify the self-healing runtime: inject faults,\n"
+               "                     recover, and require bitwise identity with the\n"
+               "                     fault-free lockstep run. Programs: diffusion, vector,\n"
+               "                     dycore, fuzz:<seed>\n"
+               "  --fault-modes CSV  fault families to sweep (drop,duplicate,reorder,\n"
+               "                     corrupt,delay,crash,hang; default drop,corrupt,crash)\n"
+               "  --chaos-seeds N    fault seeds per mode (default 5)\n"
+               "  --fault-seed N     base seed the per-run fault seeds derive from\n"
+               "  --fault-rate X     per-message fault probability (default 0.25)\n"
+               "  --crash-rank N     pin the crashing/hanging rank (default: seed-derived)\n"
+               "  --crash-step N     pin the failing step (default: seed-derived)\n"
+               "  --chaos-steps N    program passes per chaos run (default 2)\n"
                "  --list-passes      print the known pass names and exit\n");
+}
+
+/// exchange(q) -> lap = 5-point laplacian of q -> out = 5-point of lap. The
+/// same shape the runtime tests use: radius-2 overlap, one scalar exchange.
+ir::Program make_diffusion_program() {
+  using dsl::E;
+  ir::Program p("diffusion");
+  p.append_state(ir::State{"hx", {ir::SNode::make_halo_exchange("hx.q", {"q"}, 3)}});
+  dsl::StencilBuilder b("diffuse");
+  auto q = b.field("q");
+  auto lap = b.field("lap");
+  auto out = b.field("out");
+  b.parallel().full().assign(lap, q(1, 0) + q(-1, 0) + q(0, 1) + q(0, -1) - E(q) * 4.0);
+  b.parallel().full().assign(
+      out, E(q) + (lap(1, 0) + lap(-1, 0) + lap(0, 1) + lap(0, -1) - E(lap) * 4.0) * 0.1);
+  p.append_state(ir::State{"compute", {ir::SNode::make_stencil("diffuse", b.build())}});
+  return p;
+}
+
+/// Vector exchange (u, v) + divergence: the rotated-component wire path.
+ir::Program make_vector_program() {
+  ir::Program p("vector");
+  p.append_state(
+      ir::State{"hx", {ir::SNode::make_halo_exchange("hx.uv", {"u", "v"}, 3, true)}});
+  dsl::StencilBuilder b("div");
+  auto u = b.field("u");
+  auto v = b.field("v");
+  auto d = b.field("d");
+  b.parallel().full().assign(d, u(1, 0) - u(-1, 0) + v(0, 1) - v(0, -1));
+  p.append_state(ir::State{"compute", {ir::SNode::make_stencil("div", b.build())}});
+  return p;
 }
 
 std::string json_escape(const std::string& s) {
@@ -102,6 +150,15 @@ int main(int argc, char** argv) {
   int ranks = 6;
   int concurrent_reps = 5;
   exec::RunOptions run;
+  bool chaos = false;
+  std::string fault_modes_csv = "drop,corrupt,crash";
+  int chaos_seeds = 5;
+  uint64_t fault_seed = 0xC4405ull;
+  double fault_rate = 0.25;
+  int crash_rank = -1;
+  int crash_step = -1;
+  int chaos_steps = 2;
+  double recv_timeout = 120.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -135,11 +192,94 @@ int main(int argc, char** argv) {
       ranks = std::atoi(value());
     } else if (arg == "--reps") {
       concurrent_reps = std::atoi(value());
+    } else if (arg == "--recv-timeout") {
+      recv_timeout = std::atof(value());
+    } else if (arg == "--chaos") {
+      chaos = true;
+    } else if (arg == "--fault-modes") {
+      fault_modes_csv = value();
+    } else if (arg == "--chaos-seeds") {
+      chaos_seeds = std::atoi(value());
+    } else if (arg == "--fault-seed") {
+      fault_seed = std::strtoull(value(), nullptr, 0);
+    } else if (arg == "--fault-rate") {
+      fault_rate = std::atof(value());
+    } else if (arg == "--crash-rank") {
+      crash_rank = std::atoi(value());
+    } else if (arg == "--crash-step") {
+      crash_step = std::atoi(value());
+    } else if (arg == "--chaos-steps") {
+      chaos_steps = std::atoi(value());
     } else if (arg == "--list-passes") {
       for (const auto& name : verify::known_passes()) std::printf("%s\n", name.c_str());
       return 0;
     } else {
       usage();
+      return 2;
+    }
+  }
+
+  // Chaos mode is self-contained: build the program, sweep fault plans, and
+  // require every recovered run to match the fault-free lockstep reference
+  // bitwise. The pass-equivalence machinery below is not involved.
+  if (chaos) {
+    try {
+      std::vector<verify::FaultMode> modes;
+      for (const auto& name : split_csv(fault_modes_csv)) {
+        modes.push_back(verify::parse_fault_mode(name));
+      }
+      verify::EquivalenceReport report;
+      if (program_spec == "dycore") {
+        fv3::FvConfig cfg;
+        cfg.npx = 12;
+        cfg.npz = 4;
+        cfg.ntracers = 1;
+        fv3::DycoreChaosOptions co;
+        co.modes = modes;
+        co.seeds_per_mode = chaos_seeds;
+        co.fault_seed_base = fault_seed;
+        co.rate = fault_rate;
+        co.steps = chaos_steps;
+        co.crash_rank = crash_rank;
+        co.crash_step = crash_step;
+        co.recv_timeout_seconds = recv_timeout;
+        report = fv3::verify_resilient_dycore(cfg, ranks, co);
+      } else {
+        ir::Program prog("empty");
+        if (program_spec == "diffusion") {
+          prog = make_diffusion_program();
+        } else if (program_spec == "vector") {
+          prog = make_vector_program();
+        } else if (program_spec.rfind("fuzz:", 0) == 0) {
+          prog = verify::random_program(std::strtoull(program_spec.c_str() + 5, nullptr, 0));
+        } else {
+          std::fprintf(stderr, "unknown chaos program spec '%s'\n", program_spec.c_str());
+          return 2;
+        }
+        verify::FaultToleranceOptions fo;
+        fo.modes = modes;
+        fo.seeds_per_mode = chaos_seeds;
+        fo.fault_seed_base = fault_seed;
+        fo.rate = fault_rate;
+        fo.steps = chaos_steps;
+        fo.data_seed = options.data_seed;
+        fo.crash_rank = crash_rank;
+        fo.crash_step = crash_step;
+        fo.recv_timeout_seconds = recv_timeout;
+        const grid::Partitioner part = grid::Partitioner::for_ranks(12, ranks);
+        report = verify::check_fault_tolerant(prog, part, /*nk=*/4, /*halo_width=*/3, fo);
+      }
+      std::ostringstream out;
+      out << "{\n  \"program\": \"" << json_escape(program_spec) << "\",\n"
+          << "  \"ranks\": " << ranks << ",\n"
+          << "  \"fault_modes\": \"" << json_escape(fault_modes_csv) << "\",\n"
+          << "  \"seeds_per_mode\": " << chaos_seeds << ",\n"
+          << "  \"fault_rate\": " << fault_rate << ",\n"
+          << "  \"chaos_report\": " << verify::report_to_json(report) << "\n}\n";
+      std::fputs(out.str().c_str(), stdout);
+      return report.equivalent ? 0 : 1;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "chaos check failed to run: %s\n", e.what());
       return 2;
     }
   }
@@ -221,6 +361,7 @@ int main(int argc, char** argv) {
     verify::DistributedVerifyOptions dvo;
     dvo.repetitions = concurrent_reps;
     dvo.data_seed = options.data_seed;
+    dvo.recv_timeout_seconds = recv_timeout;
     if (run.num_threads > 0) dvo.thread_budgets = {run.num_threads};
     // A placement-dependent pass produced a program that is only valid on
     // pass_dom; the rank subdomains differ, so check the original instead.
