@@ -48,14 +48,20 @@ inline exec::LaunchDomain tile_domain(int npx, int npz) {
   return dom;
 }
 
-/// Parse the shared `--threads N` bench flag; every other argument is
-/// appended to `positional` in order.
+/// Parse the shared `--threads N` and `--backend NAME` bench flags; every
+/// other argument is appended to `positional` in order.
 inline exec::RunOptions parse_run_options(int argc, char** argv,
                                           std::vector<const char*>* positional = nullptr) {
   exec::RunOptions run;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
       run.num_threads = std::atoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--backend") == 0 && a + 1 < argc) {
+      const char* name = argv[++a];
+      if (!exec::parse_backend(name, run.backend)) {
+        std::fprintf(stderr, "unknown backend '%s' (interp|tape|openmp|jit)\n", name);
+        std::exit(2);
+      }
     } else if (positional != nullptr) {
       positional->push_back(argv[a]);
     }
@@ -99,20 +105,29 @@ inline void print_header(const std::string& title) {
   print_rule();
 }
 
-/// Measured wall time of one whole-program execution on the parallel engine
-/// at the given team size (seeded synthetic catalog; one warm-up run builds
-/// executor caches and temporary pools first).
+/// Measured wall time of one whole-program execution under the given run
+/// options (backend + team size; seeded synthetic catalog). precompile()
+/// runs first so on the JIT backend codegen and the host compiler stay off
+/// the measured path, then one warm-up execution builds executor caches and
+/// temporary pools.
 inline double measure_program(const ir::Program& prog, const exec::LaunchDomain& dom,
-                              int threads) {
+                              const exec::RunOptions& run) {
   ir::Program p = verify::without_callbacks(prog);
-  exec::RunOptions run;
-  run.num_threads = threads;
   p.set_run_options(run);
+  p.precompile();
   FieldCatalog cat = verify::make_test_catalog(p, p, dom, /*seed=*/42);
   p.execute(cat, dom);
   WallTimer timer;
   p.execute(cat, dom);
   return timer.seconds();
+}
+
+/// Measured wall time on the default (OpenMP) engine at the given team size.
+inline double measure_program(const ir::Program& prog, const exec::LaunchDomain& dom,
+                              int threads) {
+  exec::RunOptions run;
+  run.num_threads = threads;
+  return measure_program(prog, dom, run);
 }
 
 /// Modeled GPU time of a node list at a domain.

@@ -61,15 +61,7 @@ struct ThreadState {
   }
 };
 
-Rect apply_rect(const CStmt& stmt, const LaunchDomain& dom) {
-  Rect rect;
-  rect.i = {stmt.info.write_extent.i_lo - dom.ext.ilo,
-            dom.ni + stmt.info.write_extent.i_hi + dom.ext.ihi};
-  rect.j = {stmt.info.write_extent.j_lo - dom.ext.jlo,
-            dom.nj + stmt.info.write_extent.j_hi + dom.ext.jhi};
-  if (stmt.region) rect = resolve_region(*stmt.region, dom, rect);
-  return rect;
-}
+Rect apply_rect(const CStmt& stmt, const LaunchDomain& dom) { return stmt_apply_rect(stmt, dom); }
 
 /// Tiles to distribute: the schedule's tile shape when set; otherwise, when
 /// the k units alone cannot occupy the team, a static j band per thread.
@@ -256,6 +248,16 @@ void run_interval_columns(dsl::IterOrder order, const CInterval& iv, const Launc
 }
 
 }  // namespace
+
+Rect stmt_apply_rect(const CStmt& stmt, const LaunchDomain& dom) {
+  Rect rect;
+  rect.i = {stmt.info.write_extent.i_lo - dom.ext.ilo,
+            dom.ni + stmt.info.write_extent.i_hi + dom.ext.ihi};
+  rect.j = {stmt.info.write_extent.j_lo - dom.ext.jlo,
+            dom.nj + stmt.info.write_extent.j_hi + dom.ext.jhi};
+  if (stmt.region) rect = resolve_region(*stmt.region, dom, rect);
+  return rect;
+}
 
 double run_tape(const CStmt& stmt, const double* const* lptr, const ptrdiff_t* lsi,
                 const double* params, int i) {

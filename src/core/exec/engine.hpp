@@ -7,16 +7,6 @@
 
 namespace cyclone::exec {
 
-/// Resolved storage for one slot during a run: pointer at logical (0, 0, 0)
-/// plus strides, the k offset of allocation level 0, and the allocated level
-/// count used to clip statement k ranges.
-struct SlotBind {
-  double* origin = nullptr;
-  ptrdiff_t si = 0, sj = 0, sk = 0;
-  int koff = 0;
-  int nk = 0;
-};
-
 /// One horizontal tile of an apply rectangle. Tiles are the engine's unit of
 /// work distribution: each tile is owned by exactly one thread, so there are
 /// no cross-thread writes and no reductions (the determinism contract).
@@ -35,6 +25,13 @@ std::vector<Tile> decompose_tiles(const Rect& rect, int tile_i, int tile_j);
 /// OpenMP is absent, the explicit request when given, else the OpenMP
 /// runtime default.
 int resolved_num_threads(const RunOptions& run);
+
+/// Apply rectangle of one compiled statement under a launch: compute domain
+/// extended by the statement's write extent and the launch extension, then
+/// clipped by the statement's region restriction (if any). Shared with the
+/// JIT backend, which resolves every statement's bounds host-side before
+/// handing them to the generated kernel.
+Rect stmt_apply_rect(const CStmt& stmt, const LaunchDomain& dom);
 
 /// Evaluate one compiled statement's tape at point i given per-plane hoisted
 /// load pointers and their i strides.

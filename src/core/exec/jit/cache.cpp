@@ -1,0 +1,170 @@
+#include "core/exec/jit/cache.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/exec/jit/compiler.hpp"
+
+namespace cyclone::exec::jit {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+uint64_t fnv1a(const std::string& s, uint64_t h = 1469598103934665603ull) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex16(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string sanitize_tag(const std::string& tag) {
+  std::string out;
+  for (char c : tag) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '-' || c == '_';
+    out += ok ? c : '_';
+    if (out.size() >= 48) break;
+  }
+  return out.empty() ? "program" : out;
+}
+
+}  // namespace
+
+LoadedModule::~LoadedModule() {
+  if (handle_) dlclose(handle_);
+}
+
+void* LoadedModule::symbol(const std::string& name) const {
+  return handle_ ? dlsym(handle_, name.c_str()) : nullptr;
+}
+
+KernelCache::KernelCache(std::string dir, size_t max_memory_entries)
+    : dir_(dir.empty() ? default_dir() : std::move(dir)),
+      max_memory_entries_(max_memory_entries == 0 ? 1 : max_memory_entries) {}
+
+KernelCache& KernelCache::global() {
+  static KernelCache cache;
+  return cache;
+}
+
+std::string KernelCache::default_dir() {
+  if (const char* env = std::getenv("CYCLONE_JIT_CACHE_DIR")) return env;
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME")) {
+    return std::string(xdg) + "/cyclone/jit";
+  }
+  if (const char* home = std::getenv("HOME")) {
+    return std::string(home) + "/.cache/cyclone/jit";
+  }
+  return "/tmp/cyclone-jit";
+}
+
+std::string KernelCache::make_key(const std::string& tag, const std::string& source) {
+  const uint64_t h = fnv1a(toolchain_fingerprint(), fnv1a(source));
+  return sanitize_tag(tag) + "-" + hex16(h);
+}
+
+std::shared_ptr<LoadedModule> KernelCache::load_so(const std::string& path) const {
+  void* handle = dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!handle) return nullptr;
+  return std::make_shared<LoadedModule>(handle);
+}
+
+std::shared_ptr<LoadedModule> KernelCache::get(const std::string& key, const std::string& source,
+                                               std::string& error) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Level 1: loaded modules.
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++stats_.mem_hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  const std::string so_path = dir_ + "/" + key + ".so";
+  const std::string src_path = dir_ + "/" + key + ".cpp";
+
+  // Level 2: on-disk object from an earlier process.
+  std::shared_ptr<LoadedModule> mod;
+  if (fs::exists(so_path, ec)) {
+    mod = load_so(so_path);
+    if (mod) {
+      ++stats_.disk_hits;
+    } else {
+      // Poisoned entry (truncated write, wrong architecture, stale ABI that
+      // slipped past the key, deliberate corruption): discard and rebuild.
+      ++stats_.poisoned;
+      fs::remove(so_path, ec);
+      fs::remove(src_path, ec);
+    }
+  }
+
+  if (!mod) {
+    // Compile. Write source and object under temporary names and rename
+    // into place so a concurrent process never loads a partial file.
+    // Temp names keep the real extension last — the compiler infers the
+    // language from it.
+    const std::string tmp_tag = ".tmp" + std::to_string(static_cast<long>(::getpid()));
+    const std::string src_tmp = dir_ + "/" + key + tmp_tag + ".cpp";
+    const std::string so_tmp = dir_ + "/" + key + tmp_tag + ".so";
+    {
+      std::ofstream os(src_tmp);
+      os << source;
+      if (!os) {
+        error = "cannot write " + src_tmp;
+        return nullptr;
+      }
+    }
+    if (!compile_shared_object(src_tmp, so_tmp, error)) {
+      std::remove(src_tmp.c_str());
+      return nullptr;
+    }
+    ++stats_.compiles;
+    fs::rename(src_tmp, src_path, ec);
+    fs::rename(so_tmp, so_path, ec);
+    mod = load_so(so_path);
+    if (!mod) {
+      error = std::string("dlopen failed after compile: ") + (dlerror() ? dlerror() : "?");
+      return nullptr;
+    }
+  }
+
+  lru_.emplace_front(key, mod);
+  index_[key] = lru_.begin();
+  while (lru_.size() > max_memory_entries_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return mod;
+}
+
+CacheStats KernelCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void KernelCache::clear_memory() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace cyclone::exec::jit

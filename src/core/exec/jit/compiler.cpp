@@ -1,0 +1,107 @@
+#include "core/exec/jit/compiler.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "core/exec/jit/abi.hpp"
+
+namespace cyclone::exec::jit {
+
+namespace {
+
+/// Shell-quote one word (single quotes, ' -> '\''). Compiler paths and
+/// cache paths may contain spaces.
+std::string sh_quote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+bool compiler_works(const std::string& cxx) {
+  if (cxx.empty()) return false;
+  const std::string cmd = sh_quote(cxx) + " --version > /dev/null 2>&1";
+  return std::system(cmd.c_str()) == 0;
+}
+
+std::string discover_compiler() {
+  if (const char* env = std::getenv("CYCLONE_JIT_CXX")) {
+    // An explicit request is honored or fails — no silent fallback to a
+    // different compiler than the one the user asked for.
+    return compiler_works(env) ? std::string(env) : std::string();
+  }
+#ifdef CYCLONE_JIT_HOST_CXX
+  if (compiler_works(CYCLONE_JIT_HOST_CXX)) return CYCLONE_JIT_HOST_CXX;
+#endif
+  for (const char* cand : {"c++", "g++", "clang++"}) {
+    if (compiler_works(cand)) return cand;
+  }
+  return {};
+}
+
+}  // namespace
+
+const std::string& host_compiler() {
+  static const std::string cxx = discover_compiler();
+  return cxx;
+}
+
+std::string compile_flags() {
+  std::string flags =
+      "-std=c++17 -O3 -fPIC -shared "
+      // FP determinism: no FMA contraction, errno-free libm, and no builtin
+      // treatment of the inexact transcendentals so the compiler neither
+      // constant-folds them (its folder rounds differently than libm) nor
+      // rewrites them algebraically.
+      "-ffp-contract=off -fno-math-errno "
+      "-fno-builtin-pow -fno-builtin-exp -fno-builtin-log "
+      "-fno-builtin-sin -fno-builtin-cos";
+#ifdef _OPENMP
+  flags += " -fopenmp";
+#endif
+  if (const char* extra = std::getenv("CYCLONE_JIT_CXXFLAGS")) {
+    flags += " ";
+    flags += extra;
+  }
+  return flags;
+}
+
+std::string toolchain_fingerprint() {
+  std::ostringstream os;
+  os << "abi" << kAbiVersion << "|" << host_compiler() << "|" << compile_flags();
+  return os.str();
+}
+
+bool compile_shared_object(const std::string& src_path, const std::string& out_path,
+                           std::string& error) {
+  const std::string& cxx = host_compiler();
+  if (cxx.empty()) {
+    error = "no working host C++ compiler (set CYCLONE_JIT_CXX)";
+    return false;
+  }
+  const std::string log_path = out_path + ".log";
+  const std::string cmd = sh_quote(cxx) + " " + compile_flags() + " -o " + sh_quote(out_path) +
+                          " " + sh_quote(src_path) + " -lm > " + sh_quote(log_path) + " 2>&1";
+  const int rc = std::system(cmd.c_str());
+  if (rc != 0) {
+    std::ifstream log(log_path);
+    std::ostringstream os;
+    os << "compile failed (exit " << rc << "): " << cmd << "\n" << log.rdbuf();
+    error = os.str();
+    std::remove(log_path.c_str());
+    return false;
+  }
+  std::remove(log_path.c_str());
+  return true;
+}
+
+}  // namespace cyclone::exec::jit

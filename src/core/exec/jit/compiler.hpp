@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+
+namespace cyclone::exec::jit {
+
+/// Host C++ compiler used to build generated kernels, resolved once per
+/// process: $CYCLONE_JIT_CXX overrides, then the compiler this library was
+/// built with (keeping the OpenMP runtime consistent between library and
+/// kernel), then `c++`/`g++`/`clang++` from PATH. Empty when none works —
+/// the JIT then falls back to the tape engine.
+const std::string& host_compiler();
+
+/// Flags generated kernels are compiled with. Floating-point behavior is
+/// pinned for the 0-ULP contract with the interpreter: contraction off (no
+/// FMA fusing), no fast-math, and the inexact libm entry points
+/// (pow/exp/log/sin/cos) kept as real calls so the kernel computes with the
+/// same library code the tape executor calls — never compile-time folded.
+/// $CYCLONE_JIT_CXXFLAGS appends extra flags.
+std::string compile_flags();
+
+/// Fingerprint of the toolchain configuration (compiler path + flags + ABI
+/// version), mixed into cache keys so a compiler or flag change recompiles
+/// instead of loading stale objects.
+std::string toolchain_fingerprint();
+
+/// Compile `src_path` into the shared object `out_path`. On failure returns
+/// false and stores the compiler diagnostics (best effort) in `error`.
+bool compile_shared_object(const std::string& src_path, const std::string& out_path,
+                           std::string& error);
+
+}  // namespace cyclone::exec::jit

@@ -7,6 +7,31 @@
 
 namespace cyclone::exec {
 
+const char* backend_name(ExecBackend backend) {
+  switch (backend) {
+    case ExecBackend::Interpreter: return "interp";
+    case ExecBackend::Tape: return "tape";
+    case ExecBackend::OpenMP: return "openmp";
+    case ExecBackend::Jit: return "jit";
+  }
+  return "?";
+}
+
+bool parse_backend(const std::string& name, ExecBackend& out) {
+  if (name == "interp" || name == "interpreter") {
+    out = ExecBackend::Interpreter;
+  } else if (name == "tape") {
+    out = ExecBackend::Tape;
+  } else if (name == "openmp" || name == "omp") {
+    out = ExecBackend::OpenMP;
+  } else if (name == "jit") {
+    out = ExecBackend::Jit;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 double StencilArgs::param(const std::string& name) const {
   auto it = params.find(name);
   CY_REQUIRE_MSG(it != params.end(), "missing scalar parameter '" << name << "'");

@@ -56,6 +56,21 @@ struct LaunchDomain {
   [[nodiscard]] long volume() const { return static_cast<long>(ni) * nj * nk; }
 };
 
+/// Which executor a program's stencil nodes run on. The ladder mirrors the
+/// paper's backend stack: the reference interpreter defines the semantics,
+/// the tape executor is the serial bytecode fast path, OpenMP is the
+/// schedule-aware threaded engine, and Jit lowers each stencil to generated
+/// C++ compiled by the host toolchain (DaCe/Devito-style codegen). Every
+/// rung is bitwise identical (0 ULP) to the interpreter by contract.
+enum class ExecBackend { Interpreter, Tape, OpenMP, Jit };
+
+/// Short stable name used by CLI flags and JSON records.
+const char* backend_name(ExecBackend backend);
+
+/// Parse "interp"/"interpreter", "tape", "openmp"/"omp", "jit". Returns
+/// false and leaves `out` untouched on unknown names.
+bool parse_backend(const std::string& name, ExecBackend& out);
+
 /// How compiled stencils execute (the on-node analog of DaCe's OpenMP
 /// sections): `num_threads` caps the team size (0 defers to the OpenMP
 /// runtime, i.e. OMP_NUM_THREADS); `parallel = false` forces the serial
@@ -69,6 +84,11 @@ struct RunOptions {
   /// parallelism). Rank threads and OpenMP teams compose: total hardware
   /// threads used is num_ranks * threads_per_rank.
   int threads_per_rank = 0;
+  /// Executor selection. Tape forces the serial tape path regardless of
+  /// `parallel`; Interpreter routes through the reference executor; Jit
+  /// runs generated native kernels and falls back to the tape engine (with
+  /// a logged warning) when no host compiler is available.
+  ExecBackend backend = ExecBackend::OpenMP;
 
   friend bool operator==(const RunOptions&, const RunOptions&) = default;
 };

@@ -163,8 +163,9 @@ double eval_tape(const CStmt& stmt, const double* const* plane_ptrs,
   return run_tape(stmt, plane_ptrs, plane_strides, params, i);
 }
 
-void CompiledStencil::run(FieldCatalog& catalog, const StencilArgs& args, const LaunchDomain& dom,
-                          const sched::Schedule& schedule, const RunOptions& run_options) const {
+std::vector<SlotBind> CompiledStencil::resolve_slots(FieldCatalog& catalog,
+                                                     const StencilArgs& args,
+                                                     const LaunchDomain& dom) const {
   CY_REQUIRE_MSG(dom.ni > 0 && dom.nj > 0 && dom.nk > 0, "launch domain must be positive");
 
   // Resolve slots. Temporaries come from a pool reused across launches with
@@ -220,11 +221,19 @@ void CompiledStencil::run(FieldCatalog& catalog, const StencilArgs& args, const 
       sb.nk = dom.nk;
     }
   }
+  return slots;
+}
 
-  // Resolve parameter values.
+std::vector<double> CompiledStencil::resolve_params(const StencilArgs& args) const {
   std::vector<double> pvals(param_names_.size());
   for (size_t p = 0; p < param_names_.size(); ++p) pvals[p] = args.param(param_names_[p]);
+  return pvals;
+}
 
+void CompiledStencil::run(FieldCatalog& catalog, const StencilArgs& args, const LaunchDomain& dom,
+                          const sched::Schedule& schedule, const RunOptions& run_options) const {
+  const std::vector<SlotBind> slots = resolve_slots(catalog, args, dom);
+  const std::vector<double> pvals = resolve_params(args);
   run_blocks(blocks_, dom, slots, pvals, schedule, run_options);
 }
 

@@ -90,6 +90,17 @@ struct CBlock {
   std::vector<CInterval> intervals;
 };
 
+/// Resolved storage for one slot during a run: pointer at logical (0, 0, 0)
+/// plus strides, the k offset of allocation level 0, and the allocated level
+/// count used to clip statement k ranges. Shared by the tape engine and the
+/// JIT backend (whose generated-kernel ABI mirrors this layout).
+struct SlotBind {
+  double* origin = nullptr;
+  ptrdiff_t si = 0, sj = 0, sk = 0;
+  int koff = 0;
+  int nk = 0;
+};
+
 /// A stencil lowered to bytecode: the analog of DaCe's generated kernel code.
 /// Construction performs the full frontend pipeline (validation, extent
 /// analysis, temporary sizing, tape flattening); run() is allocation-light
@@ -120,6 +131,17 @@ class CompiledStencil {
   /// (orchestration's "allocate memory outside the critical path"); pass
   /// false to allocate fresh zeroed temporaries every launch.
   void set_temp_pooling(bool enabled) { temp_pooling_ = enabled; }
+
+  /// Resolve every slot to concrete storage for one launch: catalog fields
+  /// through `args.bind` renaming, temporaries from the (pooled) allocator.
+  /// This is the binding step shared by run() and the JIT backend, which
+  /// hands the same SlotBind table to its generated kernels.
+  [[nodiscard]] std::vector<SlotBind> resolve_slots(FieldCatalog& catalog,
+                                                    const StencilArgs& args,
+                                                    const LaunchDomain& dom) const;
+
+  /// Resolve scalar parameter values in param_names() order.
+  [[nodiscard]] std::vector<double> resolve_params(const StencilArgs& args) const;
 
  private:
   friend class TapeTransforms;

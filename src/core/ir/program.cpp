@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "core/dsl/analysis.hpp"
+#include "core/exec/jit/jit.hpp"
 
 namespace cyclone::ir {
 
@@ -84,7 +85,8 @@ void Program::exec_state(const State& state, FieldCatalog& catalog,
         node_dom.ext.ihi = node.ext.ihi + dom.ext.ihi;
         node_dom.ext.jlo = node.ext.jlo + dom.ext.jlo;
         node_dom.ext.jhi = node.ext.jhi + dom.ext.jhi;
-        if (backend_ == Backend::Reference) {
+        if (backend_ == Backend::Reference ||
+            run_options_.backend == exec::ExecBackend::Interpreter) {
           auto it = reference_.find(node.stencil.get());
           if (it == reference_.end()) {
             it = reference_
@@ -102,7 +104,14 @@ void Program::exec_state(const State& state, FieldCatalog& catalog,
                             std::make_shared<exec::CompiledStencil>(*node.stencil))
                    .first;
         }
-        it->second->run(catalog, node.args, node_dom, node.schedule, run_options_);
+        exec::RunOptions run = run_options_;
+        if (run.backend == exec::ExecBackend::Tape) run.parallel = false;
+        if (run.backend == exec::ExecBackend::Jit) {
+          ensure_jit();
+          jit_->run(*it->second, catalog, node.args, node_dom, node.schedule, run);
+        } else {
+          it->second->run(catalog, node.args, node_dom, node.schedule, run);
+        }
         break;
       }
       case SNode::Kind::Callback:
@@ -131,6 +140,35 @@ void Program::precompile() const {
       }
     }
   }
+  // Build the native module up front when the Jit backend is selected, so
+  // codegen and host compilation never land on the measured critical path.
+  if (backend_ != Backend::Reference && run_options_.backend == exec::ExecBackend::Jit) {
+    ensure_jit();
+  }
+}
+
+void Program::ensure_jit() const {
+  if (jit_) return;
+  // One translation unit for the whole program: collect every stencil in
+  // deterministic (state, node) order, deduplicated by identity, so the
+  // generated source — and hence the cache key — is stable across runs.
+  exec::jit::JitProgram::StencilList list;
+  for (const auto& state : states_) {
+    for (const auto& node : state.nodes) {
+      if (node.kind != SNode::Kind::Stencil) continue;
+      auto it = compiled_.find(node.stencil.get());
+      if (it == compiled_.end()) {
+        it = compiled_
+                 .emplace(node.stencil.get(),
+                          std::make_shared<exec::CompiledStencil>(*node.stencil))
+                 .first;
+      }
+      bool seen = false;
+      for (const auto& [name, cs] : list) seen |= cs == it->second;
+      if (!seen) list.emplace_back(node.stencil->name(), it->second);
+    }
+  }
+  jit_ = exec::jit::JitProgram::build(name_, list);
 }
 
 void Program::execute_state(int index, FieldCatalog& catalog, const exec::LaunchDomain& dom,

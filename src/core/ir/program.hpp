@@ -13,6 +13,10 @@
 #include "core/field/catalog.hpp"
 #include "core/sched/schedule.hpp"
 
+namespace cyclone::exec::jit {
+class JitProgram;
+}
+
 namespace cyclone::ir {
 
 /// Vertical staggering of a field, needed to size data movement.
@@ -206,6 +210,7 @@ class Program {
   void invalidate_compiled() const {
     compiled_.clear();
     reference_.clear();
+    jit_.reset();
   }
 
   /// Warm the executor cache for every stencil node up front, so concurrent
@@ -214,6 +219,7 @@ class Program {
   void precompile() const;
 
  private:
+  void ensure_jit() const;
   void exec_cf(const CFNode& node, FieldCatalog& catalog, const exec::LaunchDomain& dom,
                const HaloHandler& halo) const;
   void exec_state(const State& state, FieldCatalog& catalog, const exec::LaunchDomain& dom,
@@ -229,6 +235,9 @@ class Program {
   /// Executor caches keyed by StencilFunc identity.
   mutable std::map<const dsl::StencilFunc*, std::shared_ptr<exec::CompiledStencil>> compiled_;
   mutable std::map<const dsl::StencilFunc*, std::shared_ptr<exec::RefExecutor>> reference_;
+  /// Native-kernel module for the Jit backend (one per Program copy: its
+  /// scratch buffer, like the tape temp pool, must not cross rank threads).
+  mutable std::shared_ptr<exec::jit::JitProgram> jit_;
 };
 
 }  // namespace cyclone::ir

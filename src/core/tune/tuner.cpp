@@ -222,15 +222,18 @@ bool cutout_equivalent(const ir::Program& parent, const ir::State& before,
       .equivalent;
 }
 
-/// Wall-clock a single-state cutout on the parallel engine: one warm-up run
-/// builds the executor caches and temporary pools, then the minimum of
-/// `measure_reps` timed executions is taken (minimum, not mean — scheduling
-/// noise only ever adds time).
+/// Wall-clock a single-state cutout on the engine selected by options.run
+/// (tape, OpenMP, or native JIT): precompile plus one warm-up run build the
+/// executor caches and temporary pools — and, on the JIT backend, run
+/// codegen and the host compiler — so none of that lands on the timed path.
+/// The minimum of `measure_reps` timed executions is taken (minimum, not
+/// mean — scheduling noise only ever adds time).
 double measure_state(const ir::Program& program, const ir::State& state,
                      const TuningOptions& options) {
   ir::Program cut = cutout_program(program, state);
   cut.set_backend(ir::Program::Backend::Compiled);  // time what production runs
   cut.set_run_options(options.run);
+  cut.precompile();
   FieldCatalog cat =
       verify::make_test_catalog(cut, cut, options.dom, options.verify.data_seed);
   cut.execute(cat, options.dom);

@@ -26,6 +26,7 @@
 //
 // Exit code: 0 equivalent, 1 divergent, 2 usage/build error.
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -59,6 +60,9 @@ void usage() {
                "  --max-ulps X       per-field ulp tolerance (default 64)\n"
                "  --mutate N         inject a seeded defect after the passes\n"
                "  --threads N        engine team size for --compare-serial (default: OpenMP)\n"
+               "  --backend NAME     executor for --compare-serial: interp, tape, openmp\n"
+               "                     (default), or jit. Also times one program execution\n"
+               "                     on every backend and reports the wall times\n"
                "  --compare-serial   also run the transformed program on the parallel\n"
                "                     engine and compare bitwise vs the serial interpreter\n"
                "  --concurrent       also run through the thread-per-rank concurrent\n"
@@ -127,6 +131,30 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// Best-of-3 wall time of one full program execution on `backend` (after a
+/// warm-up execution, so JIT codegen/compilation and temp-pool allocation
+/// never land in the measurement).
+double time_backend_ms(const ir::Program& prog, exec::ExecBackend backend,
+                       const exec::LaunchDomain& dom, uint64_t seed, int threads) {
+  ir::Program p = prog;
+  p.invalidate_compiled();
+  exec::RunOptions r;
+  r.num_threads = threads;
+  r.backend = backend;
+  p.set_run_options(r);
+  FieldCatalog catalog = verify::make_test_catalog(prog, prog, dom, seed);
+  p.execute(catalog, dom);
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    p.execute(catalog, dom);
+    const std::chrono::duration<double, std::milli> dt =
+        std::chrono::steady_clock::now() - t0;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
 std::vector<std::string> split_csv(const std::string& s) {
   std::vector<std::string> out;
   std::stringstream ss(s);
@@ -146,6 +174,7 @@ int main(int argc, char** argv) {
   bool mutate = false;
   uint64_t mutate_seed = 0;
   bool compare_serial = false;
+  bool time_backends = false;
   bool concurrent = false;
   int ranks = 6;
   int concurrent_reps = 5;
@@ -184,6 +213,13 @@ int main(int argc, char** argv) {
       mutate_seed = std::strtoull(value(), nullptr, 0);
     } else if (arg == "--threads") {
       run.num_threads = std::atoi(value());
+    } else if (arg == "--backend") {
+      const std::string name = value();
+      if (!exec::parse_backend(name, run.backend)) {
+        std::fprintf(stderr, "unknown backend '%s'\n", name.c_str());
+        return 2;
+      }
+      time_backends = true;
     } else if (arg == "--compare-serial") {
       compare_serial = true;
     } else if (arg == "--concurrent") {
@@ -344,15 +380,33 @@ int main(int argc, char** argv) {
   out << "],\n";
   if (mutate) out << "  \"injected_defect\": \"" << json_escape(defect) << "\",\n";
 
-  // Optional serial-vs-parallel engine check of the transformed program.
+  // Optional serial-vs-parallel engine check of the transformed program,
+  // executed on whichever backend --backend selected (default OpenMP).
   bool parallel_ok = true;
   if (compare_serial) {
     verify::VerifyOptions po = options;
     const verify::EquivalenceReport preport =
         verify::check_parallel_agrees(verify::without_callbacks(transformed), run, -1, -1, po);
     parallel_ok = preport.equivalent;
-    out << "  \"threads\": " << exec::resolved_num_threads(run) << ",\n"
+    out << "  \"backend\": \"" << exec::backend_name(run.backend) << "\",\n"
+        << "  \"threads\": " << exec::resolved_num_threads(run) << ",\n"
         << "  \"parallel_report\": " << verify::report_to_json(preport) << ",\n";
+  }
+
+  // Per-backend wall time of one full execution on the pass placement.
+  if (time_backends) {
+    const ir::Program subject = verify::without_callbacks(transformed);
+    out << "  \"backend_times_ms\": {";
+    bool first = true;
+    for (const exec::ExecBackend be :
+         {exec::ExecBackend::Interpreter, exec::ExecBackend::Tape, exec::ExecBackend::OpenMP,
+          exec::ExecBackend::Jit}) {
+      const double ms =
+          time_backend_ms(subject, be, pass_dom, options.data_seed, run.num_threads);
+      out << (first ? "" : ", ") << "\"" << exec::backend_name(be) << "\": " << ms;
+      first = false;
+    }
+    out << "},\n";
   }
 
   // Optional concurrent-runtime-vs-lockstep check on a rank decomposition.
