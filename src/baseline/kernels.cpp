@@ -148,8 +148,12 @@ void d_sw(FieldCatalog& cat, const exec::LaunchDomain& dom, const fv3::FvConfig&
           ke(i, j, k) = (u(i, j, k) * u(i, j, k) + v(i, j, k) * v(i, j, k)) * 0.5;
           divg(i, j, k) = (u(i + 1, j, k) - u(i - 1, j, k)) * 0.5 * rdx(i, j, 0) +
                           (v(i, j + 1, k) - v(i, j - 1, k)) * 0.5 * rdy(i, j, 0);
-          crx(i, j, k) = dt * ((u(i - 1, j, k) + u(i, j, k)) * 0.5) * rdx(i, j, 0);
-          cry(i, j, k) = dt * ((v(i, j - 1, k) + v(i, j, k)) * 0.5) * rdy(i, j, 0);
+          // Face wind paired with the face-averaged metric (matches
+          // d_sw_courant; a single-cell metric is not reflection-equivariant).
+          crx(i, j, k) = dt * ((u(i - 1, j, k) + u(i, j, k)) * 0.5) *
+                         ((rdx(i - 1, j, 0) + rdx(i, j, 0)) * 0.5);
+          cry(i, j, k) = dt * ((v(i, j - 1, k) + v(i, j, k)) * 0.5) *
+                         ((rdy(i, j - 1, 0) + rdy(i, j, 0)) * 0.5);
         }
       }
     }

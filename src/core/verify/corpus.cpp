@@ -1,0 +1,385 @@
+#include "core/verify/corpus.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace cyclone::verify {
+
+namespace {
+
+// --- Endian-stable primitives ----------------------------------------------
+// All multi-byte values are serialized byte-wise little-endian, independent
+// of host byte order (the fv3::Savepoint framing memcpy's native-endian
+// words — fine for checkpoints that never leave the machine, not for
+// goldens committed to the repository).
+
+void put_u32(std::string& out, uint32_t v) {
+  for (int b = 0; b < 4; ++b) out.push_back(static_cast<char>((v >> (8 * b)) & 0xFF));
+}
+
+void put_u64(std::string& out, uint64_t v) {
+  for (int b = 0; b < 8; ++b) out.push_back(static_cast<char>((v >> (8 * b)) & 0xFF));
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked little-endian reader over a loaded file image. Every
+/// malformed read throws CorpusError naming the file — the structured-error
+/// contract the regression tests pin down.
+class Reader {
+ public:
+  Reader(const std::string& buf, const std::string& path) : buf_(buf), path_(path) {}
+
+  uint32_t u32(const char* what) {
+    need(4, what);
+    uint32_t v = 0;
+    for (int b = 0; b < 4; ++b) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(buf_[pos_ + b])) << (8 * b);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t u64(const char* what) {
+    need(8, what);
+    uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(buf_[pos_ + b])) << (8 * b);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::string str(const char* what) {
+    const uint32_t len = u32(what);
+    if (len > buf_.size() - pos_) {
+      throw CorpusError(path_, std::string("truncated or garbage ") + what +
+                                   " (length " + std::to_string(len) + " exceeds file)");
+    }
+    std::string s = buf_.substr(pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+  [[nodiscard]] size_t pos() const { return pos_; }
+
+ private:
+  void need(size_t n, const char* what) {
+    if (buf_.size() - pos_ < n) {
+      throw CorpusError(path_, std::string("truncated file: unexpected end while reading ") +
+                                   what);
+    }
+  }
+
+  const std::string& buf_;
+  std::string path_;
+  size_t pos_ = 0;
+};
+
+constexpr char kMagic[8] = {'C', 'Y', 'G', 'O', 'L', 'D', 'E', 'N'};
+
+uint64_t fnv1a(const std::string& bytes, uint64_t h = 0xcbf29ce484222325ull) {
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t fnv1a_u64(uint64_t v, uint64_t h) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xFF;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string hex64(uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+void GoldenSnapshot::save(const std::string& path) const {
+  std::string out;
+  out.append(kMagic, sizeof kMagic);
+  put_u32(out, kGoldenVersion);
+  put_str(out, scenario);
+  put_u32(out, static_cast<uint32_t>(fields.size()));
+  for (const GoldenField& f : fields) {
+    put_str(out, f.name);
+    put_u32(out, static_cast<uint32_t>(f.tiles));
+    put_u32(out, static_cast<uint32_t>(f.ni));
+    put_u32(out, static_cast<uint32_t>(f.nj));
+    put_u32(out, static_cast<uint32_t>(f.nk));
+    put_u64(out, f.checksum);
+    put_u32(out, static_cast<uint32_t>(f.samples.size()));
+    for (uint64_t s : f.samples) put_u64(out, s);
+  }
+  // Whole-file checksum trailer: any bit flip anywhere is detected at load.
+  put_u64(out, fnv1a(out));
+
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw CorpusError(path, "cannot open for writing");
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
+  if (!os) throw CorpusError(path, "write failed");
+}
+
+GoldenSnapshot GoldenSnapshot::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw CorpusError(path, "cannot open (missing golden?)");
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  const std::string buf = ss.str();
+
+  if (buf.size() < sizeof kMagic + 4 + 8) {
+    throw CorpusError(path, "truncated file: shorter than header + trailer");
+  }
+  if (buf.compare(0, sizeof kMagic, kMagic, sizeof kMagic) != 0) {
+    throw CorpusError(path, "bad magic (not a cyclone golden file)");
+  }
+  // Verify the trailer before trusting any length field.
+  const std::string body = buf.substr(0, buf.size() - 8);
+  uint64_t stored_trailer = 0;
+  for (int b = 0; b < 8; ++b) {
+    stored_trailer |= static_cast<uint64_t>(
+                          static_cast<unsigned char>(buf[buf.size() - 8 + b]))
+                      << (8 * b);
+  }
+  if (fnv1a(body) != stored_trailer) {
+    throw CorpusError(path, "checksum trailer mismatch (corrupt or tampered file)");
+  }
+
+  GoldenSnapshot snap;
+  const std::string body_after_magic = body.substr(sizeof kMagic);
+  Reader r2(body_after_magic, path);
+  const uint32_t version = r2.u32("version");
+  if (version != kGoldenVersion) {
+    throw CorpusError(path, "version mismatch: file has v" + std::to_string(version) +
+                                ", reader expects v" + std::to_string(kGoldenVersion));
+  }
+  snap.scenario = r2.str("scenario name");
+  const uint32_t nfields = r2.u32("field count");
+  if (nfields > 4096) {
+    throw CorpusError(path, "garbage field count " + std::to_string(nfields));
+  }
+  snap.fields.reserve(nfields);
+  for (uint32_t i = 0; i < nfields; ++i) {
+    GoldenField f;
+    f.name = r2.str("field name");
+    f.tiles = static_cast<int>(r2.u32("tiles"));
+    f.ni = static_cast<int>(r2.u32("ni"));
+    f.nj = static_cast<int>(r2.u32("nj"));
+    f.nk = static_cast<int>(r2.u32("nk"));
+    f.checksum = r2.u64("checksum");
+    const uint32_t nsamples = r2.u32("sample count");
+    if (nsamples > 1024) {
+      throw CorpusError(path, "garbage sample count " + std::to_string(nsamples));
+    }
+    f.samples.reserve(nsamples);
+    for (uint32_t s = 0; s < nsamples; ++s) f.samples.push_back(r2.u64("sample"));
+    snap.fields.push_back(std::move(f));
+  }
+  return snap;
+}
+
+GoldenField assemble_field(const std::string& name, int tiles, int gn,
+                           const std::vector<RankView>& ranks) {
+  CY_REQUIRE_MSG(!ranks.empty(), "assemble_field needs at least one rank");
+  const FieldD& probe = ranks[0].catalog->at(name);
+  const int nk = probe.shape().nk();
+
+  GoldenField out;
+  out.name = name;
+  out.tiles = tiles;
+  out.ni = gn;
+  out.nj = gn;
+  out.nk = nk;
+
+  // Gather into one global per-tile array so the traversal (and hence the
+  // checksum) is independent of the rank decomposition.
+  const size_t tile_elems = static_cast<size_t>(gn) * gn * nk;
+  std::vector<double> global(static_cast<size_t>(tiles) * tile_elems, 0.0);
+  auto at = [&](int tile, int i, int j, int k) -> double& {
+    return global[static_cast<size_t>(tile) * tile_elems +
+                  (static_cast<size_t>(k) * gn + j) * gn + i];
+  };
+  for (const RankView& rv : ranks) {
+    const FieldD& f = rv.catalog->at(name);
+    CY_REQUIRE_MSG(f.shape().nk() == nk, "rank nk mismatch in assemble_field");
+    for (int k = 0; k < nk; ++k) {
+      for (int j = 0; j < rv.nj; ++j) {
+        for (int i = 0; i < rv.ni; ++i) {
+          at(rv.tile, rv.i0 + i, rv.j0 + j, k) = f(i, j, k);
+        }
+      }
+    }
+  }
+
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (double v : global) h = fnv1a_u64(std::bit_cast<uint64_t>(v), h);
+  out.checksum = h;
+
+  // Fixed probe points (exact bit patterns) for diagnosable mismatches.
+  const int pi[4] = {0, gn / 2, gn - 1, gn / 3};
+  const int pj[4] = {0, gn / 2, gn - 1, (2 * gn) / 3};
+  const int pt[4] = {0, 2 % tiles, (tiles - 1) % tiles, 4 % tiles};
+  const int pk[4] = {0, nk / 2, nk - 1, 0};
+  for (int p = 0; p < 4; ++p) {
+    out.samples.push_back(std::bit_cast<uint64_t>(at(pt[p], pi[p], pj[p], pk[p])));
+  }
+  return out;
+}
+
+std::vector<std::string> default_corpus_backends() {
+  return {"interp", "tape", "openmp", "jit", "concurrent6", "concurrent24", "chaos"};
+}
+
+namespace {
+
+std::string golden_path(const CorpusOptions& options, const std::string& scenario) {
+  return options.dir + "/" + scenario + ".gold";
+}
+
+bool selected(const CorpusOptions& options, const std::string& name) {
+  if (options.filter.empty()) return true;
+  return std::find(options.filter.begin(), options.filter.end(), name) !=
+         options.filter.end();
+}
+
+/// Compare one backend run against the golden; append per-field failures.
+void compare_result(const std::string& scenario, const std::string& backend,
+                    const GoldenSnapshot& golden, const ScenarioResult& run,
+                    CorpusReport& report) {
+  for (const GoldenField& gf : golden.fields) {
+    const auto it = std::find_if(run.fields.begin(), run.fields.end(),
+                                 [&](const GoldenField& rf) { return rf.name == gf.name; });
+    ++report.comparisons;
+    if (it == run.fields.end()) {
+      report.failures.push_back(
+          {scenario, backend, gf.name, "field missing from the " + backend + " run"});
+      continue;
+    }
+    const GoldenField& rf = *it;
+    if (rf.tiles != gf.tiles || rf.ni != gf.ni || rf.nj != gf.nj || rf.nk != gf.nk) {
+      std::ostringstream os;
+      os << "shape mismatch: golden " << gf.tiles << "x" << gf.ni << "x" << gf.nj << "x"
+         << gf.nk << ", run " << rf.tiles << "x" << rf.ni << "x" << rf.nj << "x" << rf.nk;
+      report.failures.push_back({scenario, backend, gf.name, os.str()});
+      continue;
+    }
+    if (rf.checksum == gf.checksum && rf.samples == gf.samples) continue;
+    std::ostringstream os;
+    os << "checksum golden=" << hex64(gf.checksum) << " run=" << hex64(rf.checksum);
+    for (size_t s = 0; s < gf.samples.size() && s < rf.samples.size(); ++s) {
+      if (gf.samples[s] != rf.samples[s]) {
+        os << "; first differing sample[" << s
+           << "]: golden=" << std::bit_cast<double>(gf.samples[s])
+           << " run=" << std::bit_cast<double>(rf.samples[s]);
+        break;
+      }
+    }
+    report.failures.push_back({scenario, backend, gf.name, os.str()});
+  }
+  // Fields the run produced that the golden lacks are also a drift signal.
+  for (const GoldenField& rf : run.fields) {
+    const bool known = std::any_of(golden.fields.begin(), golden.fields.end(),
+                                   [&](const GoldenField& gf) { return gf.name == rf.name; });
+    if (!known) {
+      report.failures.push_back(
+          {scenario, backend, rf.name, "field not present in the committed golden"});
+    }
+  }
+}
+
+}  // namespace
+
+std::string CorpusReport::summary() const {
+  std::ostringstream os;
+  os << (ok ? "OK" : "FAIL") << ": " << scenarios_checked << " scenarios, " << comparisons
+     << " comparisons";
+  if (!failures.empty()) os << ", " << failures.size() << " failures";
+  if (!unreferenced_files.empty()) {
+    os << ", " << unreferenced_files.size() << " unreferenced golden file(s)";
+  }
+  return os.str();
+}
+
+CorpusReport check_corpus(const std::vector<Scenario>& registry,
+                          const CorpusOptions& options) {
+  CorpusReport report;
+
+  for (const Scenario& sc : registry) {
+    if (!selected(options, sc.name)) continue;
+    ++report.scenarios_checked;
+
+    GoldenSnapshot golden;
+    try {
+      golden = GoldenSnapshot::load(golden_path(options, sc.name));
+    } catch (const CorpusError& e) {
+      report.failures.push_back({sc.name, "", "", e.what()});
+      continue;
+    }
+    if (golden.scenario != sc.name) {
+      report.failures.push_back({sc.name, "", "",
+                                 "golden records scenario '" + golden.scenario +
+                                     "' but the registry expected '" + sc.name + "'"});
+      continue;
+    }
+
+    for (const std::string& backend : options.backends) {
+      ScenarioResult run;
+      try {
+        run = sc.run(backend);
+      } catch (const std::exception& e) {
+        report.failures.push_back(
+            {sc.name, backend, "", std::string("scenario run threw: ") + e.what()});
+        continue;
+      }
+      compare_result(sc.name, backend, golden, run, report);
+    }
+  }
+
+  if (options.check_unreferenced && !options.dir.empty() &&
+      std::filesystem::is_directory(options.dir)) {
+    std::set<std::string> known;
+    for (const Scenario& sc : registry) known.insert(sc.name + ".gold");
+    for (const auto& entry : std::filesystem::directory_iterator(options.dir)) {
+      if (!entry.is_regular_file() || entry.path().extension() != ".gold") continue;
+      if (!known.count(entry.path().filename().string())) {
+        report.unreferenced_files.push_back(entry.path().filename().string());
+      }
+    }
+    std::sort(report.unreferenced_files.begin(), report.unreferenced_files.end());
+  }
+
+  report.ok = report.failures.empty() && report.unreferenced_files.empty();
+  return report;
+}
+
+int record_corpus(const std::vector<Scenario>& registry, const CorpusOptions& options,
+                  const std::string& record_backend) {
+  int written = 0;
+  for (const Scenario& sc : registry) {
+    if (!selected(options, sc.name)) continue;
+    const ScenarioResult result = sc.run(record_backend);
+    GoldenSnapshot snap;
+    snap.scenario = sc.name;
+    snap.fields = result.fields;
+    snap.save(golden_path(options, sc.name));
+    ++written;
+  }
+  return written;
+}
+
+}  // namespace cyclone::verify

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/field/catalog.hpp"
+#include "core/util/error.hpp"
+
+namespace cyclone::verify {
+
+/// Structured failure of golden-file I/O: a truncated, garbage, tampered or
+/// version-skewed golden must surface as a named, catchable error — never an
+/// assert — so the corpus driver can report which scenario's golden is bad
+/// and keep checking the rest.
+class CorpusError : public Error {
+ public:
+  CorpusError(std::string file, std::string reason)
+      : Error("golden file '" + file + "': " + reason),
+        file_(std::move(file)),
+        reason_(std::move(reason)) {}
+
+  [[nodiscard]] const std::string& file() const { return file_; }
+  [[nodiscard]] const std::string& reason() const { return reason_; }
+
+ private:
+  std::string file_;
+  std::string reason_;
+};
+
+/// Golden-file format version. Bump on any layout change; readers reject
+/// mismatched versions with a structured error instead of misparsing.
+constexpr uint32_t kGoldenVersion = 1;
+
+/// Compact, decomposition-invariant record of one global field: an FNV-1a
+/// checksum over the bit patterns of every compute-domain value in canonical
+/// global order (tile-major, then k, j, i fastest), plus a few exact sample
+/// bit patterns at fixed probe points so a mismatch is diagnosable (which
+/// field, and an actual-vs-golden value) without storing the full field.
+struct GoldenField {
+  std::string name;
+  int tiles = 0;
+  int ni = 0;  ///< global tile side (i extent per tile)
+  int nj = 0;
+  int nk = 0;
+  uint64_t checksum = 0;
+  std::vector<uint64_t> samples;  ///< double bit patterns at probe points
+
+  friend bool operator==(const GoldenField&, const GoldenField&) = default;
+};
+
+/// One scenario's golden snapshot. Serialization is byte-wise little-endian
+/// regardless of host endianness, version-tagged, and protected by a
+/// trailing whole-file checksum — the framing mirrors fv3::Savepoint
+/// (magic, then per-field name/dims/payload records) with those three
+/// hardening fixes applied.
+struct GoldenSnapshot {
+  std::string scenario;
+  std::vector<GoldenField> fields;
+
+  void save(const std::string& path) const;
+  /// Throws CorpusError on any malformed input (wrong magic, version skew,
+  /// truncation, checksum mismatch, garbage lengths).
+  static GoldenSnapshot load(const std::string& path);
+};
+
+/// One rank's contribution to global-field assembly: its catalog and its
+/// placement on the cubed sphere.
+struct RankView {
+  const FieldCatalog* catalog = nullptr;
+  int tile = 0;
+  int i0 = 0;  ///< global tile index of local (0, 0)
+  int j0 = 0;
+  int ni = 0;  ///< owned extent
+  int nj = 0;
+};
+
+/// Gather `name` from all ranks into a GoldenField. The traversal order is
+/// global (tile, k, j, i), so the checksum is invariant under the domain
+/// decomposition — a 24-rank run must produce the identical record as the
+/// 6-rank run that recorded the golden.
+GoldenField assemble_field(const std::string& name, int tiles, int gn,
+                           const std::vector<RankView>& ranks);
+
+/// What a scenario run produces: the assembled prognostic fields.
+struct ScenarioResult {
+  std::vector<GoldenField> fields;
+};
+
+/// One registry entry: a named (core, IC, grid, tracer-count) point of the
+/// scenario matrix plus a runner that executes it on a requested backend.
+/// The runner is a closure so the registry itself stays core-agnostic — the
+/// concrete model construction lives with the cores (src/corpus).
+struct Scenario {
+  std::string name;  ///< golden file stem, e.g. "swe_c12_hill_t1"
+  std::string core;  ///< "swe" | "dycore"
+  std::string ic;
+  std::string grid;
+  int steps = 1;
+  int tracers = 0;
+  std::function<ScenarioResult(const std::string& backend)> run;
+};
+
+/// The backend matrix every scenario is verified on: all four executors
+/// under the lockstep scheduler, the thread-per-rank concurrent runtime at
+/// 6 and 24 ranks, and a fault-injected resilient run.
+std::vector<std::string> default_corpus_backends();
+
+struct CorpusOptions {
+  std::string dir;  ///< directory holding <scenario>.gold files
+  std::vector<std::string> backends = default_corpus_backends();
+  std::vector<std::string> filter;  ///< scenario-name subset; empty = all
+  /// Fail when the corpus directory holds .gold files no registry scenario
+  /// references (a deleted scenario must take its golden with it).
+  bool check_unreferenced = true;
+};
+
+struct CorpusFailure {
+  std::string scenario;
+  std::string backend;  ///< empty for golden-file / registry level failures
+  std::string field;    ///< empty when not field-specific
+  std::string detail;
+};
+
+struct CorpusReport {
+  bool ok = true;
+  int scenarios_checked = 0;
+  long comparisons = 0;  ///< (backend, field) pairs compared against golden
+  std::vector<CorpusFailure> failures;
+  std::vector<std::string> unreferenced_files;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Verify every (filtered) scenario on every backend against its committed
+/// golden: run, assemble, compare checksums and samples at 0 ULP. Also
+/// flags missing goldens and unreferenced .gold files. Never throws on bad
+/// goldens — they become named failures.
+CorpusReport check_corpus(const std::vector<Scenario>& registry, const CorpusOptions& options);
+
+/// Record (overwrite) goldens for every (filtered) scenario using
+/// `record_backend` as the reference executor. Returns the number written.
+int record_corpus(const std::vector<Scenario>& registry, const CorpusOptions& options,
+                  const std::string& record_backend = "interp");
+
+}  // namespace cyclone::verify

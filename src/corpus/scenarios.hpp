@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/verify/corpus.hpp"
+
+namespace cyclone::corpus {
+
+/// The committed scenario matrix: initial conditions x grid sizes x cores x
+/// tracer counts, each runnable on every backend of
+/// verify::default_corpus_backends(). Golden files live in tests/corpus/
+/// under `<scenario>.gold`; `tools/corpus_runner --record` regenerates
+/// them, `--verify` checks the full matrix at 0 ULP.
+///
+/// Adding a scenario (DESIGN.md §11): append an entry here (new name, any
+/// registered core/IC/grid/tracer combination), run
+/// `corpus_runner --record --scenario <name>`, and commit the new .gold —
+/// the staleness check fails CI until registry and directory agree.
+std::vector<verify::Scenario> standard_scenarios();
+
+/// Source-tree default corpus directory (tests/corpus), overridable with
+/// the CYCLONE_CORPUS_DIR environment variable. Falls back to
+/// "tests/corpus" relative to the working directory when neither is
+/// available.
+std::string default_corpus_dir();
+
+}  // namespace cyclone::corpus

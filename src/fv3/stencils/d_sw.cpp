@@ -39,9 +39,12 @@ dsl::StencilFunc build_d_sw_courant() {
   auto dt = b.param("dt");
 
   auto c = b.parallel().full();
-  // Face Courant numbers from cell-centered winds.
-  c.assign(crx, E(dt) * fn::avg_x(u) * E(rdx));
-  c.assign(cry, E(dt) * fn::avg_y(v) * E(rdy));
+  // Face Courant numbers from cell-centered winds. The metric is averaged
+  // onto the same face as the wind: pairing a face wind with the metric of
+  // one fixed adjacent cell is not reflection-equivariant (a mirror-
+  // symmetric flow developed O(dx) asymmetric Courant numbers).
+  c.assign(crx, E(dt) * fn::avg_x(u) * fn::avg_x(rdx));
+  c.assign(cry, E(dt) * fn::avg_y(v) * fn::avg_y(rdy));
   return b.build();
 }
 

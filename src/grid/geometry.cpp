@@ -27,14 +27,20 @@ struct CellMetric {
 CellMetric metric_at(int tile, double icell, double jcell, int n) {
   constexpr double kH = 1e-3;  // finite-difference step in cell units
   const Vec3 p = sphere_point(tile, icell, jcell, n);
-  const Vec3 pi = sphere_point(tile, icell + kH, jcell, n);
-  const Vec3 pj = sphere_point(tile, icell, jcell + kH, n);
+  // Centered differences: a one-sided stencil biases the tangents by
+  // O(kH * d2p/dj2) toward +i/+j, which breaks the grid's mirror symmetry
+  // (dy at (i, j) and (i, n-1-j) on an equatorial tile differed by ~3e-5
+  // relative — visible as spurious asymmetry in mirror-symmetric flows).
+  const Vec3 pim = sphere_point(tile, icell - kH, jcell, n);
+  const Vec3 pip = sphere_point(tile, icell + kH, jcell, n);
+  const Vec3 pjm = sphere_point(tile, icell, jcell - kH, n);
+  const Vec3 pjp = sphere_point(tile, icell, jcell + kH, n);
 
-  Vec3 ti = sub(pi, p);
-  Vec3 tj = sub(pj, p);
+  Vec3 ti = sub(pip, pim);
+  Vec3 tj = sub(pjp, pjm);
   // Tangents per unit cell index, scaled to meters.
-  for (auto& c : ti) c *= kEarthRadius / kH;
-  for (auto& c : tj) c *= kEarthRadius / kH;
+  for (auto& c : ti) c *= kEarthRadius / (2.0 * kH);
+  for (auto& c : tj) c *= kEarthRadius / (2.0 * kH);
 
   CellMetric m;
   m.lat = std::asin(p[2]);

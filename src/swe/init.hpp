@@ -1,0 +1,47 @@
+#pragma once
+
+#include "grid/partitioner.hpp"
+#include "swe/driver.hpp"
+#include "swe/state.hpp"
+
+namespace cyclone::swe {
+
+/// Gaussian depth anomaly at rest: a hill of amplitude `amp` [m] and
+/// great-circle radius `radius` [rad] centered at (lat0, lon0); winds zero.
+/// The subsequent gravity-wave adjustment exercises the full dynamics.
+struct GaussianHillCase {
+  double amp = 120.0;
+  double lat0 = 0.0;
+  double lon0 = 1.0;
+  double radius = 0.5;
+};
+void init_gaussian_hill(SweState& state, const grid::Partitioner& part,
+                        const GaussianHillCase& params = {});
+void init_gaussian_hill(SweModel& model, const GaussianHillCase& params = {});
+
+/// Williamson et al. test case 2: steady zonal geostrophic flow
+///   u_east = u0 cos(lat),  g h = g h0 - (R_e Omega u0 + u0^2/2) sin^2(lat).
+/// An exact steady state of the continuous equations — the discrete
+/// trajectory should stay close to the IC (a standard SWE sanity case).
+struct ZonalFlowCase {
+  double u0 = 20.0;
+};
+void init_zonal_flow(SweState& state, const grid::Partitioner& part,
+                     const ZonalFlowCase& params = {});
+void init_zonal_flow(SweModel& model, const ZonalFlowCase& params = {});
+
+/// Translating vortex: a depth depression with a balanced tangential wind
+/// profile v_t(r) = vmax (r/r0) exp((1 - (r/r0)^2)/2), superposed on a weak
+/// zonal drift that advects it.
+struct VortexCase {
+  double amp = 80.0;    ///< depth depression [m]
+  double vmax = 15.0;   ///< peak tangential wind [m/s]
+  double lat0 = 0.5;
+  double lon0 = 2.0;
+  double radius = 0.4;  ///< radius of peak wind [rad]
+  double drift = 5.0;   ///< background zonal flow [m/s]
+};
+void init_vortex(SweState& state, const grid::Partitioner& part, const VortexCase& params = {});
+void init_vortex(SweModel& model, const VortexCase& params = {});
+
+}  // namespace cyclone::swe

@@ -1,0 +1,91 @@
+#include "swe/state.hpp"
+
+namespace cyclone::swe {
+
+namespace {
+
+constexpr int kHalo = 3;
+
+/// Transient intermediates of the SWE substep (nothing outside the program
+/// observes them between steps). Names deliberately overlap the dycore's —
+/// each core owns its catalog, and shared names let the transport stencils
+/// (fv_tp_2d, flux updates, tracer mass bookkeeping) be reused verbatim.
+const char* const kTransients[] = {
+    "vort", "divg", "ke", "crx", "cry", "fx", "fy", "fx2", "fy2",
+    "qm",   "dp2",  "ut", "vt",  "damp",
+};
+
+}  // namespace
+
+SweState::SweState(const SweConfig& config, const grid::Partitioner& part, int rank)
+    : config_(config), geom_(grid::GridGeometry::build(part, rank, kHalo)) {
+  config_.validate();
+  const grid::RankInfo& info = geom_.rank_info;
+  domain_.ni = info.ni;
+  domain_.nj = info.nj;
+  domain_.nk = 1;
+  domain_.gi0 = info.i0;
+  domain_.gj0 = info.j0;
+  domain_.gni = part.n();
+  domain_.gnj = part.n();
+
+  const HaloSpec hs{kHalo, kHalo};
+  const FieldShape p2d(info.ni, info.nj, 1, hs);
+
+  // Prognostics.
+  for (const char* name : {"h", "u", "v"}) catalog_.create(name, p2d);
+  for (int t = 0; t < config_.ntracers; ++t) catalog_.create("q" + std::to_string(t), p2d);
+
+  // Substep intermediates.
+  for (const char* name : kTransients) catalog_.create(name, p2d);
+
+  // Metric terms (copied so stencils can address them by name).
+  for (const char* name : {"dx", "dy", "rdx", "rdy", "area", "rarea", "cosa", "sina", "fcor"}) {
+    catalog_.create(name, p2d);
+  }
+  for (int j = -kHalo; j < info.nj + kHalo; ++j) {
+    for (int i = -kHalo; i < info.ni + kHalo; ++i) {
+      catalog_.at("dx")(i, j) = geom_.dx(i, j);
+      catalog_.at("dy")(i, j) = geom_.dy(i, j);
+      catalog_.at("rdx")(i, j) = 1.0 / geom_.dx(i, j);
+      catalog_.at("rdy")(i, j) = 1.0 / geom_.dy(i, j);
+      catalog_.at("area")(i, j) = geom_.area(i, j);
+      catalog_.at("rarea")(i, j) = geom_.rarea(i, j);
+      catalog_.at("cosa")(i, j) = geom_.cosa(i, j);
+      catalog_.at("sina")(i, j) = geom_.sina(i, j);
+      catalog_.at("fcor")(i, j) = geom_.fcor(i, j);
+    }
+  }
+}
+
+std::vector<std::string> SweState::tracer_names() const {
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(config_.ntracers));
+  for (int t = 0; t < config_.ntracers; ++t) names.push_back("q" + std::to_string(t));
+  return names;
+}
+
+std::vector<std::string> SweState::prognostic_names(int ntracers) {
+  std::vector<std::string> names = {"h", "u", "v"};
+  for (int t = 0; t < ntracers; ++t) names.push_back("q" + std::to_string(t));
+  return names;
+}
+
+void SweState::register_meta(ir::Program& program) const {
+  using ir::FieldKind;
+  using ir::FieldMeta;
+  // Every SWE field is a single horizontal plane.
+  for (const auto& name : catalog_.names()) {
+    FieldMeta meta;
+    meta.kind = FieldKind::Plane2D;
+    program.set_field_meta(name, meta);
+  }
+  for (const char* name : kTransients) {
+    FieldMeta meta;
+    meta.kind = FieldKind::Plane2D;
+    meta.transient = true;
+    program.set_field_meta(name, meta);
+  }
+}
+
+}  // namespace cyclone::swe

@@ -1,0 +1,176 @@
+#include "swe/stencils.hpp"
+
+#include "core/dsl/builder.hpp"
+#include "fv3/stencils/d_sw.hpp"
+#include "fv3/stencils/functions.hpp"
+#include "fv3/stencils/fv_tp2d.hpp"
+#include "fv3/stencils/tracer.hpp"
+#include "grid/geometry.hpp"
+
+namespace cyclone::swe {
+
+using namespace dsl;  // NOLINT: stencil definitions read like the math
+namespace fn = fv3::fn;
+
+dsl::StencilFunc build_swe_diag(const std::string& name) {
+  StencilBuilder b(name);
+  auto u = b.field("u");
+  auto v = b.field("v");
+  auto vort = b.field("vort");
+  auto divg = b.field("divg");
+  auto ke = b.field("ke");
+  auto cosa = b.field("cosa");
+  auto rdx = b.field("rdx");
+  auto rdy = b.field("rdy");
+
+  auto c = b.parallel().full();
+  c.assign(vort, fn::vorticity(u, v, rdx, rdy));
+  c.assign(divg, fn::divergence(u, v, rdx, rdy));
+  // Bernoulli KE with the non-orthogonality cross term; the rows next to
+  // tile edges drop it (the grid-axis angle is discontinuous across the
+  // edge, the same reason c_sw's edge regions exist).
+  c.assign(ke, (E(u) * E(u) + E(v) * E(v) + 2.0 * E(u) * E(v) * E(cosa)) * 0.5);
+  for (const Region& edge : {region_i_start(1), region_i_end(1), region_j_start(1),
+                             region_j_end(1)}) {
+    c.assign_in(edge, ke, fn::kinetic_energy(u, v));
+  }
+  return b.build();
+}
+
+dsl::StencilFunc build_swe_momentum(const std::string& name) {
+  StencilBuilder b(name);
+  auto u = b.field("u");
+  auto v = b.field("v");
+  auto h = b.field("h");
+  auto ut = b.field("ut");
+  auto vt = b.field("vt");
+  auto vort = b.field("vort");
+  auto ke = b.field("ke");
+  auto fcor = b.field("fcor");
+  auto rdx = b.field("rdx");
+  auto rdy = b.field("rdy");
+  auto dt = b.param("dt");
+  auto g = b.param("g");
+
+  auto c = b.parallel().full();
+  c.assign(ut, E(u) + E(dt) * ((E(fcor) + E(vort)) * E(v) -
+                               (E(g) * (h(1, 0) - h(-1, 0)) + (ke(1, 0) - ke(-1, 0))) * 0.5 *
+                                   E(rdx)));
+  c.assign(vt, E(v) - E(dt) * ((E(fcor) + E(vort)) * E(u) +
+                               (E(g) * (h(0, 1) - h(0, -1)) + (ke(0, 1) - ke(0, -1))) * 0.5 *
+                                   E(rdy)));
+  return b.build();
+}
+
+dsl::StencilFunc build_swe_apply(const std::string& name) {
+  StencilBuilder b(name);
+  auto ut = b.field("ut");
+  auto vt = b.field("vt");
+  auto u = b.field("u");
+  auto v = b.field("v");
+  auto divg = b.field("divg");
+  auto damp = b.field("damp");
+  auto diff = b.param("diff");
+  auto dd = b.param("dd");
+
+  auto c = b.parallel().full();
+  c.assign(damp, E(dd) * E(divg));
+  c.assign(u, E(ut) +
+                  E(diff) * (ut(1, 0) + ut(-1, 0) + ut(0, 1) + ut(0, -1) - 4.0 * E(ut)) +
+                  (damp(1, 0) - damp(-1, 0)) * 0.5);
+  c.assign(v, E(vt) +
+                  E(diff) * (vt(1, 0) + vt(-1, 0) + vt(0, 1) + vt(0, -1) - 4.0 * E(vt)) +
+                  (damp(0, 1) - damp(0, -1)) * 0.5);
+  return b.build();
+}
+
+dsl::StencilFunc build_swe_h_commit(const std::string& name) {
+  StencilBuilder b(name);
+  auto h = b.field("h");
+  auto dp2 = b.field("dp2");
+  b.parallel().full().assign(h, E(dp2));
+  return b.build();
+}
+
+std::vector<ir::SNode> swe_diag_nodes(const SweConfig& config, const sched::Schedule& schedule) {
+  std::vector<ir::SNode> nodes;
+  // Extended compute domains (GT4Py per-call `domain=`): vort/divg/ke feed
+  // the +-1 gradients of the (itself +-1-extended) momentum update; Courant
+  // numbers feed the transport operator's reach of [-2, +2].
+  nodes.push_back(ir::SNode::make_stencil("swe.diag", build_swe_diag(), {}, schedule));
+  nodes.back().ext = exec::DomainExt{2, 2, 2, 2};
+
+  exec::StencilArgs dt_args;
+  dt_args.params["dt"] = config.dt_substep();
+  // The dycore's Courant stencil is the exact shape needed here: face
+  // Courant numbers from cell-centered winds.
+  nodes.push_back(ir::SNode::make_stencil("swe.courant", fv3::build_d_sw_courant(), dt_args,
+                                          schedule));
+  nodes.back().ext = exec::DomainExt{2, 2, 2, 2};
+  return nodes;
+}
+
+std::vector<ir::SNode> swe_transport_nodes(const SweConfig& config,
+                                           const sched::Schedule& schedule) {
+  std::vector<ir::SNode> nodes;
+
+  // Air-mass (depth) advection: the same monotone fv_tp_2d operator as the
+  // dycore, with the consistency denominator dp2 = h + div(F_h).
+  nodes.push_back(fv3::fv_tp2d_node("swe.fvtp_h", "h", "fx2", "fy2", schedule));
+  {
+    exec::StencilArgs args;
+    args.bind["delp"] = "h";
+    args.bind["fx"] = "fx2";
+    args.bind["fy"] = "fy2";
+    nodes.push_back(ir::SNode::make_stencil("swe.dp_adv", fv3::build_dp_adv(), args, schedule));
+  }
+
+  // Mass-weighted tracer transport batched through the same operator — the
+  // tracer count is the paper's Table 3 sub-cycled workload knob, unrolled
+  // at build time exactly like the dycore's tracer_2d.
+  for (int t = 0; t < config.ntracers; ++t) {
+    const std::string q = "q" + std::to_string(t);
+    {
+      exec::StencilArgs args;
+      args.bind["q"] = q;
+      args.bind["delp"] = "h";
+      ir::SNode node = ir::SNode::make_stencil("swe.tracer_mass_" + q,
+                                               fv3::build_tracer_mass(), args, schedule);
+      // The transport operator reads qm out to its full reach.
+      node.ext = exec::DomainExt{3, 3, 3, 3};
+      nodes.push_back(node);
+    }
+    nodes.push_back(fv3::fv_tp2d_node("swe.fvtp_" + q, "qm", "fx", "fy", schedule));
+    nodes.push_back(fv3::flux_update_node("swe.update_" + q, "qm", "fx", "fy", schedule));
+    {
+      exec::StencilArgs args;
+      args.bind["q"] = q;
+      nodes.push_back(ir::SNode::make_stencil("swe.ratio_" + q, fv3::build_tracer_from_mass(),
+                                              args, schedule));
+    }
+  }
+  return nodes;
+}
+
+std::vector<ir::SNode> swe_update_nodes(const SweConfig& config,
+                                        const sched::Schedule& schedule) {
+  std::vector<ir::SNode> nodes;
+
+  exec::StencilArgs mom_args;
+  mom_args.params["dt"] = config.dt_substep();
+  mom_args.params["g"] = grid::kGravity;
+  nodes.push_back(ir::SNode::make_stencil("swe.momentum", build_swe_momentum(), mom_args,
+                                          schedule));
+  nodes.back().ext = exec::DomainExt{1, 1, 1, 1};
+
+  exec::StencilArgs apply_args;
+  apply_args.params["diff"] = config.diffusion;
+  apply_args.params["dd"] = config.divergence_damp;
+  nodes.push_back(ir::SNode::make_stencil("swe.apply", build_swe_apply(), apply_args,
+                                          schedule));
+
+  nodes.push_back(ir::SNode::make_stencil("swe.h_commit", build_swe_h_commit(), {}, schedule));
+  return nodes;
+}
+
+}  // namespace cyclone::swe

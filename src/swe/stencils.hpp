@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "core/dsl/stencil.hpp"
+#include "core/ir/program.hpp"
+#include "swe/config.hpp"
+
+namespace cyclone::swe {
+
+/// Diagnostic stencil of the SWE substep: relative vorticity, horizontal
+/// divergence (the cross-derivative shapes the dycore's D-grid step also
+/// has, but here on 2-D planes), and the Bernoulli kinetic energy including
+/// the grid non-orthogonality cross term — dropped in the rows adjacent to
+/// tile edges via horizontal regions, where FV3 switches to its edge
+/// stencils.
+dsl::StencilFunc build_swe_diag(const std::string& name = "swe_diag");
+
+/// Vector-invariant momentum update:
+///   ut = u + dt ((f + vort) v - d/dx (g h + ke))
+///   vt = v - dt ((f + vort) u + d/dy (g h + ke))
+/// using the pre-advection depth (forward-in-time split, like d_sw).
+dsl::StencilFunc build_swe_momentum(const std::string& name = "swe_momentum");
+
+/// Wind commit with constant-coefficient Laplacian diffusion and
+/// divergence damping (the dycore's damping_apply with the Smagorinsky
+/// coefficient frozen).
+dsl::StencilFunc build_swe_apply(const std::string& name = "swe_apply");
+
+/// Depth commit: h = dp2 (the consistently advected air mass of the tracer
+/// scheme becomes the new prognostic depth).
+dsl::StencilFunc build_swe_h_commit(const std::string& name = "swe_h_commit");
+
+/// Node sequences of one SWE substep, grouped by program state. Transport
+/// reuses the dycore's fv_tp_2d operator and mass-weighted tracer
+/// bookkeeping verbatim (formal name `delp` bound to `h`).
+std::vector<ir::SNode> swe_diag_nodes(const SweConfig& config, const sched::Schedule& schedule);
+std::vector<ir::SNode> swe_transport_nodes(const SweConfig& config,
+                                           const sched::Schedule& schedule);
+std::vector<ir::SNode> swe_update_nodes(const SweConfig& config, const sched::Schedule& schedule);
+
+}  // namespace cyclone::swe

@@ -1,0 +1,38 @@
+#include "swe/swe_core.hpp"
+
+#include "swe/stencils.hpp"
+
+namespace cyclone::swe {
+
+ir::Program build_swe_program(const SweState& state, const SweSchedules& schedules) {
+  const SweConfig& config = state.config();
+  ir::Program program("swe_core");
+  state.register_meta(program);
+
+  std::vector<ir::CFNode> substep;
+
+  // Communication point at the substep head: winds as a rotated vector
+  // pair, depth and tracers as scalars.
+  {
+    ir::State st{"swe_halo", {}};
+    st.nodes.push_back(ir::SNode::make_halo_exchange("swe_halo.uv", {"u", "v"}, 3, true));
+    std::vector<std::string> scalars = {"h"};
+    for (const auto& q : state.tracer_names()) scalars.push_back(q);
+    st.nodes.push_back(
+        ir::SNode::make_halo_exchange("swe_halo.scalars", std::move(scalars), 3));
+    substep.push_back(ir::CFNode::state_ref(program.add_state(std::move(st))));
+  }
+
+  substep.push_back(ir::CFNode::state_ref(program.add_state(
+      ir::State{"swe_diag", swe_diag_nodes(config, schedules.horizontal)})));
+  substep.push_back(ir::CFNode::state_ref(program.add_state(
+      ir::State{"swe_transport", swe_transport_nodes(config, schedules.horizontal)})));
+  substep.push_back(ir::CFNode::state_ref(program.add_state(
+      ir::State{"swe_update", swe_update_nodes(config, schedules.horizontal)})));
+
+  program.control_flow().children.push_back(
+      ir::CFNode::loop("swe_substep", config.nsubsteps, std::move(substep)));
+  return program;
+}
+
+}  // namespace cyclone::swe

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "core/ir/program.hpp"
+#include "swe/config.hpp"
+#include "swe/state.hpp"
+
+namespace cyclone::swe {
+
+/// Schedules used when building the SWE program (purely horizontal — the
+/// core has no vertical recurrences, so there is no vertical schedule).
+struct SweSchedules {
+  sched::Schedule horizontal = sched::default_schedule();
+
+  static SweSchedules defaults() { return {}; }
+  static SweSchedules tuned() { return {sched::tuned_horizontal()}; }
+};
+
+/// Build the complete shallow-water program for one physics timestep:
+///   loop nsubsteps { halo(u,v | h,q*) ; diag ; transport ; update }
+/// Field staggering metadata (all Plane2D) is taken from `state`.
+ir::Program build_swe_program(const SweState& state,
+                              const SweSchedules& schedules = SweSchedules::tuned());
+
+}  // namespace cyclone::swe

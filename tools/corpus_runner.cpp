@@ -1,0 +1,117 @@
+// corpus_runner: record or verify the golden-file scenario corpus.
+//
+//   corpus_runner --list
+//   corpus_runner --record [--scenario NAME]... [--corpus-dir DIR]
+//   corpus_runner --verify [--scenario NAME]... [--backends CSV]
+//                 [--corpus-dir DIR] [--no-unreferenced-check]
+//
+// Exit codes: 0 success, 1 verification mismatch, 2 usage error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/verify/corpus.hpp"
+#include "corpus/scenarios.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: corpus_runner (--list | --record | --verify)\n"
+               "  --scenario NAME   restrict to one scenario (repeatable)\n"
+               "  --backends CSV    verify only these backends "
+               "(interp,tape,openmp,jit,concurrent6,concurrent24,chaos)\n"
+               "  --corpus-dir DIR  golden-file directory "
+               "(default: $CYCLONE_CORPUS_DIR or <source>/tests/corpus)\n"
+               "  --no-unreferenced-check  allow .gold files absent from the registry\n");
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(start, comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cyclone;
+
+  enum class Mode { None, List, Record, Verify };
+  Mode mode = Mode::None;
+  verify::CorpusOptions options;
+  options.dir = corpus::default_corpus_dir();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "corpus_runner: %s needs a value\n", flag);
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      mode = Mode::List;
+    } else if (arg == "--record") {
+      mode = Mode::Record;
+    } else if (arg == "--verify") {
+      mode = Mode::Verify;
+    } else if (arg == "--scenario") {
+      options.filter.push_back(next("--scenario"));
+    } else if (arg == "--backends") {
+      options.backends = split_csv(next("--backends"));
+    } else if (arg == "--corpus-dir") {
+      options.dir = next("--corpus-dir");
+    } else if (arg == "--no-unreferenced-check") {
+      options.check_unreferenced = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "corpus_runner: unknown argument '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (mode == Mode::None) {
+    usage();
+    return 2;
+  }
+
+  const std::vector<verify::Scenario> registry = corpus::standard_scenarios();
+
+  if (mode == Mode::List) {
+    for (const auto& sc : registry) {
+      std::printf("%-24s core=%-6s ic=%-7s grid=%-7s steps=%d tracers=%d\n", sc.name.c_str(),
+                  sc.core.c_str(), sc.ic.c_str(), sc.grid.c_str(), sc.steps, sc.tracers);
+    }
+    return 0;
+  }
+
+  try {
+    if (mode == Mode::Record) {
+      const int written = verify::record_corpus(registry, options);
+      std::printf("recorded %d golden file(s) into %s\n", written, options.dir.c_str());
+      return 0;
+    }
+
+    const verify::CorpusReport report = verify::check_corpus(registry, options);
+    std::printf("%s\n", report.summary().c_str());
+    return report.ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "corpus_runner: %s\n", e.what());
+    return 2;
+  }
+}
