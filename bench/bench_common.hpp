@@ -12,6 +12,7 @@
 
 #include "core/exec/engine.hpp"
 #include "core/ir/expand.hpp"
+#include "core/perf/benchjson.hpp"
 #include "core/perf/model.hpp"
 #include "core/perf/report.hpp"
 #include "core/tune/tuner.hpp"
@@ -87,11 +88,11 @@ inline double recv_timeout_seconds(double fallback = 120.0) {
 /// reliability and recovery counters.
 inline void emit_json_record(const char* bench, const std::string& config, int threads,
                              double seconds, double speedup, const std::string& extra = {}) {
-  std::printf(
-      "{\"bench\":\"%s\",\"config\":\"%s\",\"threads\":%d,\"seconds\":%.6e,"
-      "\"speedup\":%.3f%s%s}\n",
-      bench, config.c_str(), threads, seconds, speedup, extra.empty() ? "" : ",",
-      extra.c_str());
+  // Shared formatter (perf/benchjson.hpp): non-finite values render as null
+  // instead of printf's "inf"/"nan", which is not JSON — the schema tests in
+  // tests/test_perf.cpp then name the rotten field instead of a parse error.
+  std::printf("%s\n",
+              perf::format_bench_record(bench, config, threads, seconds, speedup, extra).c_str());
 }
 
 inline void print_rule(int width = 96) {

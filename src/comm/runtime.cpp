@@ -11,14 +11,14 @@
 
 namespace cyclone::comm {
 
-namespace {
-
 bool is_halo_only(const ir::State& st) {
   return !st.nodes.empty() &&
          std::all_of(st.nodes.begin(), st.nodes.end(), [](const ir::SNode& n) {
            return n.kind == ir::SNode::Kind::HaloExchange;
          });
 }
+
+namespace {
 
 /// Post rank `rank`'s sends for one halo-exchange node (pack included, so
 /// the source cells may be overwritten as soon as this returns).

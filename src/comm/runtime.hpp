@@ -109,6 +109,12 @@ void run_lockstep_step(const ir::Program& program, const HaloUpdater& halo,
 void run_halo_node(const HaloUpdater& halo, const ir::SNode& node,
                    std::vector<RankDomain>& ranks, Comm& comm);
 
+/// Whether every node of a state is a halo exchange (such states run as
+/// collective exchanges; anything else executes per rank). Exposed so other
+/// schedulers — the ensemble runtime's batched member sweep — can mirror the
+/// lockstep loop structure exactly.
+bool is_halo_only(const ir::State& st);
+
 /// Whether (and how deep) a state's launch may be split into an interior
 /// region — computable while halo messages are in flight — and a rim of
 /// four boundary strips computed after the exchange completes.

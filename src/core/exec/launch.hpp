@@ -89,6 +89,13 @@ struct RunOptions {
   /// runs generated native kernels and falls back to the tape engine (with
   /// a logged warning) when no host compiler is available.
   ExecBackend backend = ExecBackend::OpenMP;
+  /// Ensemble member-batch size: how many members a batched stencil sweep
+  /// advances before moving to the next program state (0 = all members in
+  /// one sweep). Smaller batches keep the batch's working set cache-resident
+  /// across states; the knob is a pure iteration-space blocking, so results
+  /// are bitwise identical for every value. Ignored outside the ensemble
+  /// runtime.
+  int member_batch = 0;
 
   friend bool operator==(const RunOptions&, const RunOptions&) = default;
 };

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -9,13 +10,26 @@
 
 namespace cyclone {
 
+/// Storage-placement hook for catalog field creation: given the field's name
+/// and shape, return externally-owned storage of at least shape.alloc_elems()
+/// zero-initialized doubles to back the field as a view, or nullptr to let
+/// the catalog allocate normally. The ensemble runtime uses this to place
+/// every member's copy of a field into one member-major arena.
+using FieldPlacer = std::function<double*(const std::string& name, const FieldShape& shape)>;
+
 /// Owns a set of named double fields and resolves them by name. Stencil
 /// executors look up their operands here; FV3 model state is a catalog.
 class FieldCatalog {
  public:
+  /// Route subsequent create() calls through `placer` (see FieldPlacer).
+  /// Must be set before the fields it should place are created.
+  void set_placer(FieldPlacer placer) { placer_ = std::move(placer); }
+
   /// Create (or replace) a field with the given shape; returns a reference.
   FieldD& create(const std::string& name, const FieldShape& shape) {
-    auto field = std::make_unique<FieldD>(name, shape);
+    double* storage = placer_ ? placer_(name, shape) : nullptr;
+    auto field = storage != nullptr ? std::make_unique<FieldD>(name, shape, storage)
+                                    : std::make_unique<FieldD>(name, shape);
     FieldD& ref = *field;
     fields_[name] = std::move(field);
     return ref;
@@ -69,6 +83,7 @@ class FieldCatalog {
  private:
   std::map<std::string, std::unique_ptr<FieldD>> fields_;
   std::map<std::string, FieldD*> aliases_;
+  FieldPlacer placer_;
 };
 
 }  // namespace cyclone

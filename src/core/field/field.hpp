@@ -117,6 +117,14 @@ class FieldShape {
 
 /// A named, halo-carrying 3-D field of T. 2-D fields are represented with
 /// nk == 1 (FV3 keeps many purely horizontal fields).
+///
+/// A field either owns its storage (the default) or is a *view* over
+/// externally-owned memory — the ensemble runtime places every member's copy
+/// of a field into one member-major arena and hands each member state a view.
+/// Views carry the full FieldShape, so executors, halo packing and the JIT
+/// ABI are oblivious to the storage mode. Copying a field (any mode) yields
+/// an *owning* deep copy: checkpoint stores snapshot fields by value, and a
+/// snapshot aliasing live arena memory would roll back nothing.
 template <class T>
 class Field3D {
  public:
@@ -125,31 +133,60 @@ class Field3D {
   Field3D(std::string name, const FieldShape& shape)
       : name_(std::move(name)), shape_(shape), data_(shape.alloc_elems(), T{}) {}
 
+  /// Non-owning view over `storage` (at least shape.alloc_elems() elements,
+  /// zero-initialized by the caller). The storage must outlive the view.
+  Field3D(std::string name, const FieldShape& shape, T* storage)
+      : name_(std::move(name)), shape_(shape), extern_(storage) {
+    CY_REQUIRE_MSG(storage != nullptr, "field view needs storage");
+  }
+
   Field3D(std::string name, int ni, int nj, int nk, HaloSpec halo = {},
           Layout layout = Layout::KJI, int align_elems = 8)
       : Field3D(std::move(name), FieldShape(ni, nj, nk, halo, layout, align_elems)) {}
 
+  Field3D(const Field3D& other) : name_(other.name_), shape_(other.shape_) {
+    if (!other.empty()) data_.assign(other.data(), other.data() + shape_.alloc_elems());
+  }
+  Field3D& operator=(const Field3D& other) {
+    if (this == &other) return *this;
+    name_ = other.name_;
+    shape_ = other.shape_;
+    extern_ = nullptr;
+    if (other.empty()) {
+      data_.clear();
+    } else {
+      data_.assign(other.data(), other.data() + other.shape_.alloc_elems());
+    }
+    return *this;
+  }
+  Field3D(Field3D&&) noexcept = default;
+  Field3D& operator=(Field3D&&) noexcept = default;
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const FieldShape& shape() const { return shape_; }
-  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] bool empty() const { return extern_ == nullptr && data_.empty(); }
+  [[nodiscard]] bool is_view() const { return extern_ != nullptr; }
 
-  [[nodiscard]] T* data() { return data_.data(); }
-  [[nodiscard]] const T* data() const { return data_.data(); }
+  [[nodiscard]] T* data() { return extern_ != nullptr ? extern_ : data_.data(); }
+  [[nodiscard]] const T* data() const { return extern_ != nullptr ? extern_ : data_.data(); }
 
   /// Element access; (0,0,0) is the first compute-domain point, halo points
   /// are reached with negative / beyond-domain indices.
   [[nodiscard]] T& operator()(int i, int j, int k) {
-    return data_[checked_index(i, j, k)];
+    return data()[checked_index(i, j, k)];
   }
   [[nodiscard]] const T& operator()(int i, int j, int k) const {
-    return data_[checked_index(i, j, k)];
+    return data()[checked_index(i, j, k)];
   }
 
   /// 2-D convenience accessor (k = 0).
   [[nodiscard]] T& operator()(int i, int j) { return (*this)(i, j, 0); }
   [[nodiscard]] const T& operator()(int i, int j) const { return (*this)(i, j, 0); }
 
-  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+  void fill(T value) {
+    if (empty()) return;
+    std::fill(data(), data() + shape_.alloc_elems(), value);
+  }
 
   /// Fill compute domain + halos with f(i, j, k).
   template <class F>
@@ -161,9 +198,12 @@ class Field3D {
   }
 
   /// Copy all addressable elements from another field with identical shape.
+  /// Element-wise into this field's storage, so the target keeps its storage
+  /// mode (checkpoint restore writes *through* arena views).
   void copy_from(const Field3D& other) {
     CY_REQUIRE_MSG(shape_ == other.shape_, "copy_from requires identical shapes");
-    data_ = other.data_;
+    if (other.empty()) return;
+    std::copy(other.data(), other.data() + shape_.alloc_elems(), data());
   }
 
   /// Max |a-b| over the compute domain (ignoring halos).
@@ -194,7 +234,8 @@ class Field3D {
 
   std::string name_;
   FieldShape shape_;
-  std::vector<T> data_;
+  std::vector<T> data_;     ///< owning mode; empty when extern_ is set
+  T* extern_ = nullptr;     ///< view mode: externally-owned storage
 };
 
 using FieldD = Field3D<double>;

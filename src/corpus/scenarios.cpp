@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "ensemble/ensemble.hpp"
+#include "ensemble/service.hpp"
 #include "fv3/driver.hpp"
 #include "fv3/init/baroclinic.hpp"
 #include "swe/driver.hpp"
@@ -142,6 +144,83 @@ verify::ScenarioResult run_dycore_scenario(const std::string& scenario,
   return assemble(model, fv3::ModelState::prognostic_names(cfg.ntracers));
 }
 
+/// Fixed perturbation seed of the committed ensemble scenarios: the goldens
+/// pin the whole (seed, member) -> IC-perturbation -> integration chain.
+constexpr uint64_t kEnsembleCorpusSeed = 0x5EEDC0DEull;
+
+/// Run one committed ensemble scenario on a corpus backend: a batched
+/// EnsembleRunner under the lockstep schedulers, the per-member concurrent
+/// runtime at 6 or 24 ranks (the 24-rank run must reproduce the 6-rank
+/// golden — the decomposition-invariance pin), or the fault-injected
+/// resilient runtime. Member k's fields are recorded as "m<k>.<name>" so one
+/// golden snapshot pins every member.
+template <typename Model>
+verify::ScenarioResult run_ensemble_scenario(
+    const std::string& scenario, const typename ensemble::ModelTraits<Model>::Config& cfg,
+    const std::string& ic, int members, int steps, const std::string& backend) {
+  const BackendSpec spec = parse_backend_spec(backend);
+  ensemble::EnsembleOptions opts;
+  opts.members = ensemble::default_members(kEnsembleCorpusSeed, members);
+  opts.num_ranks = spec.ranks;
+  opts.run = spec.run;
+  if (spec.concurrent) opts.scheduler = ensemble::EnsembleOptions::Scheduler::Concurrent;
+  if (spec.chaos) opts.runtime = chaos_runtime_options(scenario);
+  ensemble::EnsembleRunner<Model> runner(cfg, std::move(opts));
+  runner.init(ic);
+  if (spec.chaos) {
+    const comm::RunReport report = runner.run_resilient(steps);
+    CY_REQUIRE_MSG(report.ok,
+                   "chaos ensemble run of '" << scenario << "' failed: " << report.failure);
+  } else {
+    runner.run(steps);
+  }
+  verify::ScenarioResult result;
+  const std::vector<std::string> prognostics = ensemble::ModelTraits<Model>::prognostics(cfg);
+  for (int m = 0; m < runner.members(); ++m) {
+    Model& model = runner.member(m);
+    verify::ScenarioResult one = assemble(model, prognostics);
+    for (verify::GoldenField& field : one.fields) {
+      field.name = "m" + std::to_string(m) + "." + field.name;
+      result.fields.push_back(std::move(field));
+    }
+  }
+  return result;
+}
+
+verify::Scenario ensemble_swe_scenario(const std::string& ic, int npx, int ntracers,
+                                       int members, int steps) {
+  const swe::SweConfig cfg = ensemble::standard_swe_config(npx, ntracers);
+  verify::Scenario sc;
+  sc.name = "ens_swe_c" + std::to_string(npx) + "_" + ic + "_m" + std::to_string(members);
+  sc.core = "swe";
+  sc.ic = ic;
+  sc.grid = "c" + std::to_string(npx);
+  sc.steps = steps;
+  sc.tracers = ntracers;
+  sc.run = [sc_name = sc.name, cfg, ic, members, steps](const std::string& backend) {
+    return run_ensemble_scenario<swe::SweModel>(sc_name, cfg, ic, members, steps, backend);
+  };
+  return sc;
+}
+
+verify::Scenario ensemble_dycore_scenario(const std::string& ic, int npx, int npz, int ntracers,
+                                          int members, int steps) {
+  const fv3::FvConfig cfg = ensemble::standard_dycore_config(npx, npz, ntracers);
+  verify::Scenario sc;
+  sc.name = "ens_dycore_c" + std::to_string(npx) + "z" + std::to_string(npz) + "_" + ic + "_m" +
+            std::to_string(members);
+  sc.core = "dycore";
+  sc.ic = ic;
+  sc.grid = "c" + std::to_string(npx) + "z" + std::to_string(npz);
+  sc.steps = steps;
+  sc.tracers = ntracers;
+  sc.run = [sc_name = sc.name, cfg, ic, members, steps](const std::string& backend) {
+    return run_ensemble_scenario<fv3::DistributedModel>(sc_name, cfg, ic, members, steps,
+                                                        backend);
+  };
+  return sc;
+}
+
 verify::Scenario swe_scenario(const std::string& ic, int npx, int ntracers, int steps) {
   swe::SweConfig cfg;
   cfg.npx = npx;
@@ -203,6 +282,13 @@ std::vector<verify::Scenario> standard_scenarios() {
   registry.push_back(dycore_scenario("baro", 12, 4, 2, 2));
   registry.push_back(dycore_scenario("baro", 24, 8, 2, 1));
   registry.push_back(dycore_scenario("solid", 24, 8, 1, 1));
+
+  // Batched ensembles of both cores (the forecast service's standard
+  // configurations): member-prefixed goldens pin the perturbation streams
+  // and the batched runtime, and the concurrent24 backend doubles as the
+  // ensemble decomposition-invariance pin.
+  registry.push_back(ensemble_swe_scenario("hill", 12, 2, 4, 2));
+  registry.push_back(ensemble_dycore_scenario("baro", 12, 4, 1, 4, 2));
 
   return registry;
 }

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/field/catalog.hpp"
+
+namespace cyclone::ensemble {
+
+/// Member-major batched field storage: one contiguous block per
+/// (rank, field) holding all N members' copies of that field back to back,
+/// member m at offset m * alloc_elems. A batched stencil sweep that iterates
+/// members in its inner loop therefore walks adjacent arena blocks — the
+/// sweep's whole working set for one field is one block, hot across the
+/// member loop — instead of hopping between N independently malloc'd model
+/// states. Fields are placed via the FieldCatalog placer hook, so the model
+/// cores, executors, halo packing and JIT ABI are all oblivious to the
+/// layout.
+class MemberArena {
+ public:
+  explicit MemberArena(int members) : members_(members) {
+    CY_REQUIRE_MSG(members >= 1, "arena needs at least one member");
+  }
+
+  // Blocks hand out interior pointers; the arena must stay put.
+  MemberArena(const MemberArena&) = delete;
+  MemberArena& operator=(const MemberArena&) = delete;
+
+  /// FieldPlacer routing member `member` of rank `rank`: the first placement
+  /// of a (rank, field) allocates the whole N-member block zero-initialized;
+  /// every later member lands in its slot of the same block. Members must be
+  /// constructed with identical configs (asserted via alloc_elems).
+  [[nodiscard]] FieldPlacer placer(int member, int rank) {
+    return [this, member, rank](const std::string& name, const FieldShape& shape) {
+      return slot(rank, name, shape, member);
+    };
+  }
+
+  [[nodiscard]] double* slot(int rank, const std::string& name, const FieldShape& shape,
+                             int member) {
+    CY_REQUIRE_MSG(member >= 0 && member < members_, "member out of range");
+    auto [it, inserted] = blocks_.try_emplace(Key{rank, name});
+    Block& block = it->second;
+    if (inserted) {
+      block.alloc_elems = shape.alloc_elems();
+      block.data.assign(static_cast<size_t>(members_) * block.alloc_elems, 0.0);
+    }
+    CY_REQUIRE_MSG(block.alloc_elems == shape.alloc_elems(),
+                   "member field '" << name << "' shape mismatch across members");
+    return block.data.data() + static_cast<size_t>(member) * block.alloc_elems;
+  }
+
+  [[nodiscard]] int members() const { return members_; }
+  [[nodiscard]] size_t num_blocks() const { return blocks_.size(); }
+
+  [[nodiscard]] size_t bytes() const {
+    size_t total = 0;
+    for (const auto& [_, block] : blocks_) total += block.data.size() * sizeof(double);
+    return total;
+  }
+
+ private:
+  using Key = std::pair<int, std::string>;
+  struct Block {
+    size_t alloc_elems = 0;
+    std::vector<double> data;
+  };
+
+  int members_;
+  std::map<Key, Block> blocks_;  // node-based: block addresses are stable
+};
+
+}  // namespace cyclone::ensemble

@@ -1,0 +1,44 @@
+#include "ensemble/tune.hpp"
+
+#include <algorithm>
+
+#include "core/util/timer.hpp"
+
+namespace cyclone::ensemble {
+
+template <class Model>
+MemberBatchTuning tune_member_batch(EnsembleRunner<Model>& runner, std::vector<int> candidates,
+                                    int reps) {
+  if (candidates.empty()) candidates = {0, 1, 2, 4, 8};
+  reps = std::max(reps, 1);
+  MemberBatchTuning result;
+  double best_seconds = 0;
+  for (const int candidate : candidates) {
+    // chunk >= members is the same schedule as 0 (one full sweep); don't
+    // burn steps measuring an alias.
+    if (candidate >= runner.members() && candidate != 0) continue;
+    runner.set_member_batch(candidate);
+    runner.step();  // warm executor caches under this chunking
+    double best_rep = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      WallTimer timer;
+      runner.step();
+      const double seconds = timer.seconds();
+      if (rep == 0 || seconds < best_rep) best_rep = seconds;
+    }
+    result.timings.emplace_back(candidate, best_rep);
+    if (result.timings.size() == 1 || best_rep < best_seconds) {
+      best_seconds = best_rep;
+      result.best = candidate;
+    }
+  }
+  runner.set_member_batch(result.best);
+  return result;
+}
+
+template MemberBatchTuning tune_member_batch<fv3::DistributedModel>(
+    EnsembleRunner<fv3::DistributedModel>&, std::vector<int>, int);
+template MemberBatchTuning tune_member_batch<swe::SweModel>(EnsembleRunner<swe::SweModel>&,
+                                                            std::vector<int>, int);
+
+}  // namespace cyclone::ensemble

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "ensemble/ensemble.hpp"
+
+namespace cyclone::ensemble {
+
+/// Outcome of tuning the member-batch knob on one live ensemble.
+struct MemberBatchTuning {
+  int best = 0;  ///< fastest chunk size (0 = all members per sweep)
+  std::vector<std::pair<int, double>> timings;  ///< (chunk, best step seconds)
+};
+
+/// Measure step() wall time for each candidate chunk size of the batched
+/// member loop and leave the runner configured with the fastest. Because
+/// member_batch is pure iteration-space blocking (bitwise invariant for
+/// every value — tests/test_ensemble.cpp pins it), tuning runs on the live
+/// ensemble: the (1 warm-up + reps) timed steps per candidate are real,
+/// valid timesteps, so a service can tune its first requests and serve them.
+/// Candidates larger than the member count collapse to 0 and are skipped.
+/// An empty candidate list means {0, 1, 2, 4, 8}.
+template <class Model>
+MemberBatchTuning tune_member_batch(EnsembleRunner<Model>& runner,
+                                    std::vector<int> candidates = {}, int reps = 2);
+
+}  // namespace cyclone::ensemble

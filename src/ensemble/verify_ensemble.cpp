@@ -1,0 +1,99 @@
+#include "ensemble/verify_ensemble.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace cyclone::ensemble {
+
+bool bitwise_equal(const FieldD& a, const FieldD& b) {
+  if (!(a.shape() == b.shape())) return false;
+  const FieldShape& s = a.shape();
+  for (int k = 0; k < s.nk(); ++k) {
+    for (int j = -s.halo().j; j < s.nj() + s.halo().j; ++j) {
+      for (int i = -s.halo().i; i < s.ni() + s.halo().i; ++i) {
+        const double va = a(i, j, k);
+        const double vb = b(i, j, k);
+        if (std::memcmp(&va, &vb, sizeof(double)) != 0) return false;
+      }
+    }
+  }
+  return true;
+}
+
+template <class Model>
+std::unique_ptr<Model> solo_member(const typename ModelTraits<Model>::Config& config,
+                                   int num_ranks, const exec::RunOptions& run,
+                                   const std::string& ic, const MemberSpec& spec,
+                                   double amplitude) {
+  auto model = std::make_unique<Model>(config, num_ranks);
+  model->set_run_options(run);
+  apply_initial_condition(*model, ic);
+  perturb_model(*model, spec, amplitude);
+  return model;
+}
+
+template std::unique_ptr<fv3::DistributedModel> solo_member<fv3::DistributedModel>(
+    const fv3::FvConfig&, int, const exec::RunOptions&, const std::string&, const MemberSpec&,
+    double);
+template std::unique_ptr<swe::SweModel> solo_member<swe::SweModel>(const swe::SweConfig&, int,
+                                                                   const exec::RunOptions&,
+                                                                   const std::string&,
+                                                                   const MemberSpec&, double);
+
+template <class Model>
+EnsembleVerifyReport verify_batched_vs_solo(const typename ModelTraits<Model>::Config& config,
+                                            const EnsembleVerifyOptions& options) {
+  EnsembleVerifyReport report;
+  const std::vector<std::string> prognostics = ModelTraits<Model>::prognostics(config);
+  for (exec::ExecBackend backend : options.backends) {
+    exec::RunOptions run;
+    run.backend = backend;
+    run.num_threads = options.num_threads;
+    for (int count : options.member_counts) {
+      for (uint64_t seed : options.seeds) {
+        EnsembleOptions opts;
+        opts.members = default_members(seed, count);
+        opts.amplitude = options.amplitude;
+        opts.num_ranks = options.num_ranks;
+        opts.run = run;
+        opts.run.member_batch = options.member_batch;
+        opts.scheduler = options.scheduler;
+        EnsembleRunner<Model> runner(config, std::move(opts));
+        runner.init(options.ic);
+        runner.run(options.steps);
+
+        for (int m = 0; m < runner.members(); ++m) {
+          // The solo replica runs through the plain lockstep scheduler with
+          // owning (non-arena) storage — everything the batched path
+          // reorganizes is different here; only the numbers must not be.
+          auto solo = solo_member<Model>(config, options.num_ranks, run, options.ic,
+                                         runner.options().members[static_cast<size_t>(m)],
+                                         options.amplitude);
+          for (int s = 0; s < options.steps; ++s) solo->step();
+          Model& batched = runner.member(m);
+          for (int r = 0; r < solo->num_ranks(); ++r) {
+            for (const std::string& name : prognostics) {
+              ++report.comparisons;
+              if (!bitwise_equal(batched.state(r).f(name), solo->state(r).f(name))) {
+                ++report.mismatches;
+                std::ostringstream msg;
+                msg << ModelTraits<Model>::core << " backend=" << exec::backend_name(backend)
+                    << " members=" << count << " seed=" << seed << " member=" << m
+                    << " rank=" << r << " field=" << name << ": batched != solo";
+                report.failures.push_back(msg.str());
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+template EnsembleVerifyReport verify_batched_vs_solo<fv3::DistributedModel>(
+    const fv3::FvConfig&, const EnsembleVerifyOptions&);
+template EnsembleVerifyReport verify_batched_vs_solo<swe::SweModel>(const swe::SweConfig&,
+                                                                    const EnsembleVerifyOptions&);
+
+}  // namespace cyclone::ensemble

@@ -41,8 +41,12 @@ class DistributedModel {
  public:
   enum class ExecMode { Lockstep, Concurrent };
 
+  /// `placers` optionally supplies a per-rank FieldPlacer routing every
+  /// state-field allocation into external storage (the ensemble runtime's
+  /// member-major arenas); empty = each state owns its fields.
   DistributedModel(const FvConfig& config, int num_ranks,
-                   const DycoreSchedules& schedules = DycoreSchedules::tuned());
+                   const DycoreSchedules& schedules = DycoreSchedules::tuned(),
+                   const std::function<FieldPlacer(int rank)>& placers = {});
 
   [[nodiscard]] const grid::Partitioner& partitioner() const { return part_; }
   [[nodiscard]] int num_ranks() const { return part_.num_ranks(); }

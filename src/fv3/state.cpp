@@ -19,9 +19,11 @@ const char* const kTransients[] = {
 
 }  // namespace
 
-ModelState::ModelState(const FvConfig& config, const grid::Partitioner& part, int rank)
+ModelState::ModelState(const FvConfig& config, const grid::Partitioner& part, int rank,
+                       FieldPlacer placer)
     : config_(config), geom_(grid::GridGeometry::build(part, rank, kHalo)) {
   config_.validate();
+  catalog_.set_placer(std::move(placer));
   const grid::RankInfo& info = geom_.rank_info;
   domain_.ni = info.ni;
   domain_.nj = info.nj;

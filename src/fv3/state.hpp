@@ -17,7 +17,10 @@ namespace cyclone::fv3 {
 /// object-oriented design (Sec. IV-A): modules find their operands by name.
 class ModelState {
  public:
-  ModelState(const FvConfig& config, const grid::Partitioner& part, int rank);
+  /// `placer` optionally routes every catalog allocation into external
+  /// storage (the ensemble runtime's member-major arenas); empty = owning.
+  ModelState(const FvConfig& config, const grid::Partitioner& part, int rank,
+             FieldPlacer placer = {});
 
   [[nodiscard]] const FvConfig& config() const { return config_; }
   [[nodiscard]] const grid::GridGeometry& geometry() const { return geom_; }

@@ -15,13 +15,15 @@ bool SweDiagnostics::finite() const {
   return true;
 }
 
-SweModel::SweModel(const SweConfig& config, int num_ranks, const SweSchedules& schedules)
+SweModel::SweModel(const SweConfig& config, int num_ranks, const SweSchedules& schedules,
+                   const std::function<FieldPlacer(int rank)>& placers)
     : config_(config),
       part_(grid::Partitioner::for_ranks(config.npx, num_ranks)),
       comm_(part_.num_ranks()),
       halo_(part_, 3) {
   for (int r = 0; r < part_.num_ranks(); ++r) {
-    states_.push_back(std::make_unique<SweState>(config_, part_, r));
+    states_.push_back(
+        std::make_unique<SweState>(config_, part_, r, placers ? placers(r) : FieldPlacer{}));
   }
   program_ = build_swe_program(*states_[0], schedules);
 }

@@ -31,8 +31,12 @@ class SweModel {
  public:
   enum class ExecMode { Lockstep, Concurrent };
 
+  /// `placers` optionally supplies a per-rank FieldPlacer routing every
+  /// state-field allocation into external storage (the ensemble runtime's
+  /// member-major arenas); empty = each state owns its fields.
   SweModel(const SweConfig& config, int num_ranks,
-           const SweSchedules& schedules = SweSchedules::tuned());
+           const SweSchedules& schedules = SweSchedules::tuned(),
+           const std::function<FieldPlacer(int rank)>& placers = {});
 
   [[nodiscard]] const grid::Partitioner& partitioner() const { return part_; }
   [[nodiscard]] int num_ranks() const { return part_.num_ranks(); }

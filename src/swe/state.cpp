@@ -17,9 +17,11 @@ const char* const kTransients[] = {
 
 }  // namespace
 
-SweState::SweState(const SweConfig& config, const grid::Partitioner& part, int rank)
+SweState::SweState(const SweConfig& config, const grid::Partitioner& part, int rank,
+                   FieldPlacer placer)
     : config_(config), geom_(grid::GridGeometry::build(part, rank, kHalo)) {
   config_.validate();
+  catalog_.set_placer(std::move(placer));
   const grid::RankInfo& info = geom_.rank_info;
   domain_.ni = info.ni;
   domain_.nj = info.nj;

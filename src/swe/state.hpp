@@ -18,7 +18,10 @@ namespace cyclone::swe {
 /// kind end to end: DSL, IR expansion, all executors, and JIT codegen.
 class SweState {
  public:
-  SweState(const SweConfig& config, const grid::Partitioner& part, int rank);
+  /// `placer` optionally routes every catalog allocation into external
+  /// storage (the ensemble runtime's member-major arenas); empty = owning.
+  SweState(const SweConfig& config, const grid::Partitioner& part, int rank,
+           FieldPlacer placer = {});
 
   [[nodiscard]] const SweConfig& config() const { return config_; }
   [[nodiscard]] const grid::GridGeometry& geometry() const { return geom_; }

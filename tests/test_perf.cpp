@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/dsl/builder.hpp"
 #include "core/ir/expand.hpp"
+#include "core/perf/benchjson.hpp"
 #include "core/perf/model.hpp"
 #include "core/perf/report.hpp"
+#include "core/util/error.hpp"
 
 namespace cyclone::perf {
 namespace {
@@ -259,6 +263,93 @@ TEST(Report, CsvExport) {
   EXPECT_NE(csv.find("kernel,launches,total_seconds"), std::string::npos);
   EXPECT_NE(csv.find("a#0,3,0.0015,0.0006,0.750000"), std::string::npos);
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+// --- Bench JSON schema ------------------------------------------------------
+
+TEST(BenchJson, ParsesRecordsAndFindsKeys) {
+  const JsonValue v = parse_json(
+      R"({"bench":"x","n":-1.5e3,"flag":true,"none":null,"list":[1,2],"nested":{"k":"v"}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("bench")->text, "x");
+  EXPECT_EQ(v.find("n")->number, -1500.0);
+  EXPECT_TRUE(v.find("flag")->boolean);
+  EXPECT_EQ(v.find("none")->kind, JsonValue::Kind::Null);
+  ASSERT_EQ(v.find("list")->items.size(), 2u);
+  EXPECT_EQ(v.find("nested")->find("k")->text, "v");
+  EXPECT_EQ(v.find("absent"), nullptr);
+}
+
+TEST(BenchJson, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json("{"), Error);                          // truncation
+  EXPECT_THROW(parse_json("{\"a\":1} trailing"), Error);         // trailing garbage
+  EXPECT_THROW(parse_json("{\"a\":inf}"), Error);                // printf rot
+  EXPECT_THROW(parse_json("{\"a\":nan}"), Error);
+  EXPECT_THROW(parse_json("{\"a\":1e999}"), Error);              // overflows to inf
+  EXPECT_THROW(parse_json("{\"a\":1,\"a\":2}"), Error);          // duplicate key
+  EXPECT_THROW(parse_json("{\"a\":\"unterminated}"), Error);
+}
+
+TEST(BenchJson, FormatterOutputValidates) {
+  const std::string line = format_bench_record("ensemble", "swe_c12m4", 2, 1.25e-2, 3.7,
+                                               "\"members\":4,\"mode\":\"batched\"");
+  const JsonValue record = parse_json(line);
+  EXPECT_TRUE(validate_bench_record(record).empty());
+  EXPECT_EQ(record.find("members")->number, 4.0);
+}
+
+TEST(BenchJson, FormatterRendersNonFiniteAsNullAndValidatorNamesIt) {
+  const std::string line =
+      format_bench_record("b", "c", 1, 0.5, std::numeric_limits<double>::infinity());
+  const JsonValue record = parse_json(line);  // must stay parseable
+  const std::vector<std::string> problems = validate_bench_record(record);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("speedup"), std::string::npos);
+}
+
+TEST(BenchJson, RecordValidatorCatchesDrift) {
+  auto problems_of = [](const std::string& text) {
+    return validate_bench_record(parse_json(text));
+  };
+  EXPECT_TRUE(problems_of(
+                  R"({"bench":"b","config":"c","threads":2,"seconds":1e-3,"speedup":2.0})")
+                  .empty());
+  EXPECT_FALSE(problems_of(R"({"config":"c","threads":2,"seconds":1e-3,"speedup":2.0})")
+                   .empty());  // bench missing
+  EXPECT_FALSE(problems_of(
+                   R"({"bench":"b","config":"c","threads":2.5,"seconds":1e-3,"speedup":2.0})")
+                   .empty());  // fractional threads
+  EXPECT_FALSE(problems_of(
+                   R"({"bench":"b","config":"c","threads":2,"seconds":-1.0,"speedup":2.0})")
+                   .empty());  // negative time
+  EXPECT_FALSE(problems_of(
+                   R"({"bench":"b","config":"c","threads":2,"seconds":1e-3,"speedup":null})")
+                   .empty());  // rendered non-finite
+}
+
+TEST(BenchJson, SnapshotValidatorRequiresProvenanceAndRecords) {
+  const std::string good = R"({
+    "bench":"x","description":"d","generated":"2026-08-08","git_sha":"abc","command":"x --y",
+    "machine":{"os":"Linux","cpus":1,"toolchain":"c++"},
+    "records":[{"bench":"x","config":"c","threads":1,"seconds":1e-3,"speedup":1.0}]})";
+  EXPECT_TRUE(validate_bench_snapshot(parse_json(good)).empty());
+  // Empty records array: a snapshot that measured nothing is rot, not data.
+  const std::string empty_records = R"({
+    "bench":"x","description":"d","generated":"g","git_sha":"abc","command":"x",
+    "machine":{"os":"Linux","cpus":1,"toolchain":"c++"},"records":[]})";
+  EXPECT_FALSE(validate_bench_snapshot(parse_json(empty_records)).empty());
+}
+
+// The committed BENCH_* trajectory snapshots themselves: parse + full schema
+// check, so a hand-edited or printf-rotted snapshot fails here by name.
+TEST(BenchSnapshots, CommittedTrajectoryFilesMatchSchema) {
+  for (const char* name : {"BENCH_fig10.json", "BENCH_table3.json", "BENCH_ensemble.json"}) {
+    const std::string path = std::string(CYCLONE_SOURCE_DIR) + "/" + name;
+    JsonValue snapshot;
+    ASSERT_NO_THROW(snapshot = parse_json_file(path)) << path;
+    const std::vector<std::string> problems = validate_bench_snapshot(snapshot);
+    EXPECT_TRUE(problems.empty()) << path << ": " << (problems.empty() ? "" : problems[0]);
+  }
 }
 
 }  // namespace

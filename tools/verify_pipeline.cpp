@@ -41,6 +41,8 @@
 #include "core/verify/pipeline.hpp"
 #include "core/verify/random_program.hpp"
 #include "core/verify/verify.hpp"
+#include "ensemble/service.hpp"
+#include "ensemble/verify_ensemble.hpp"
 #include "fv3/dyn_core.hpp"
 #include "fv3/state.hpp"
 #include "fv3/verify_distributed.hpp"
@@ -84,6 +86,13 @@ void usage() {
                "  --crash-rank N     pin the crashing/hanging rank (default: seed-derived)\n"
                "  --crash-step N     pin the failing step (default: seed-derived)\n"
                "  --chaos-steps N    program passes per chaos run (default 2)\n"
+               "  --ensemble         batched-vs-solo ensemble sweep: for both model cores,\n"
+               "                     every batched member across backends x member counts x\n"
+               "                     seeds must be bitwise identical to its solo run.\n"
+               "                     --ranks, --threads, --seeds, --members, --steps apply\n"
+               "  --seeds N          perturbation seeds for --ensemble (default 3)\n"
+               "  --members CSV      member counts for --ensemble (default 1,4)\n"
+               "  --steps N          timesteps per --ensemble run (default 2)\n"
                "  --list-passes      print the known pass names and exit\n");
 }
 
@@ -180,6 +189,10 @@ int main(int argc, char** argv) {
   int concurrent_reps = 5;
   exec::RunOptions run;
   bool chaos = false;
+  bool ensemble_sweep = false;
+  int ensemble_seeds = 3;
+  std::string ensemble_members_csv = "1,4";
+  int ensemble_steps = 2;
   std::string fault_modes_csv = "drop,corrupt,crash";
   int chaos_seeds = 5;
   uint64_t fault_seed = 0xC4405ull;
@@ -230,6 +243,14 @@ int main(int argc, char** argv) {
       concurrent_reps = std::atoi(value());
     } else if (arg == "--recv-timeout") {
       recv_timeout = std::atof(value());
+    } else if (arg == "--ensemble") {
+      ensemble_sweep = true;
+    } else if (arg == "--seeds") {
+      ensemble_seeds = std::atoi(value());
+    } else if (arg == "--members") {
+      ensemble_members_csv = value();
+    } else if (arg == "--steps") {
+      ensemble_steps = std::atoi(value());
     } else if (arg == "--chaos") {
       chaos = true;
     } else if (arg == "--fault-modes") {
@@ -251,6 +272,57 @@ int main(int argc, char** argv) {
       return 0;
     } else {
       usage();
+      return 2;
+    }
+  }
+
+  // Ensemble mode is self-contained: run the batched-vs-solo bitwise sweep
+  // for both model cores and report per-core comparison counts. Exit 0 iff
+  // every (backend, member count, seed, member, rank, field) comparison is
+  // identical at 0 ULP.
+  if (ensemble_sweep) {
+    try {
+      ensemble::EnsembleVerifyOptions evo;
+      evo.steps = ensemble_steps;
+      evo.num_ranks = ranks;
+      if (run.num_threads > 0) evo.num_threads = run.num_threads;
+      evo.member_counts.clear();
+      for (const auto& count : split_csv(ensemble_members_csv)) {
+        evo.member_counts.push_back(std::atoi(count.c_str()));
+      }
+      evo.seeds.clear();
+      for (int s = 0; s < ensemble_seeds; ++s) evo.seeds.push_back(0x5EEDull + s);
+
+      evo.ic = "hill";
+      const ensemble::EnsembleVerifyReport swe_report =
+          ensemble::verify_batched_vs_solo<swe::SweModel>(
+              ensemble::standard_swe_config(12, 2), evo);
+      evo.ic = "baro";
+      const ensemble::EnsembleVerifyReport dycore_report =
+          ensemble::verify_batched_vs_solo<fv3::DistributedModel>(
+              ensemble::standard_dycore_config(12, 4, 1), evo);
+
+      auto report_json = [](const ensemble::EnsembleVerifyReport& r) {
+        std::ostringstream os;
+        os << "{\"comparisons\": " << r.comparisons << ", \"mismatches\": " << r.mismatches
+           << ", \"failures\": [";
+        for (size_t i = 0; i < r.failures.size() && i < 5; ++i) {
+          os << (i ? ", " : "") << "\"" << json_escape(r.failures[i]) << "\"";
+        }
+        os << "]}";
+        return os.str();
+      };
+      std::ostringstream out;
+      out << "{\n  \"mode\": \"ensemble\",\n  \"ranks\": " << ranks
+          << ",\n  \"seeds\": " << ensemble_seeds << ",\n  \"members\": \""
+          << ensemble_members_csv << "\",\n  \"steps\": " << ensemble_steps
+          << ",\n  \"swe\": " << report_json(swe_report)
+          << ",\n  \"dycore\": " << report_json(dycore_report) << ",\n  \"equivalent\": "
+          << ((swe_report.ok() && dycore_report.ok()) ? "true" : "false") << "\n}\n";
+      std::fputs(out.str().c_str(), stdout);
+      return swe_report.ok() && dycore_report.ok() ? 0 : 1;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ensemble sweep failed to run: %s\n", e.what());
       return 2;
     }
   }
