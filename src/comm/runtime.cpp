@@ -358,7 +358,43 @@ void ConcurrentRuntime::run_rank(int rank) {
   }
 }
 
+void ConcurrentRuntime::online_retune() {
+  if (options_.run.tune_mode != exec::TuneMode::Online) return;
+  if (!online_) {
+    tune::OnlineOptions oo;
+    // Model the subdomain ranks actually run (rank 0's placement — tuning
+    // decisions are shape-level and applied identically to every rank, so
+    // all rank copies stay structurally identical for the halo collectives).
+    oo.tuning.dom = ranks_[0].dom;
+    oo.tuning.run = options_.run;
+    oo.db_path = options_.run.tune_db;
+    online_ = std::make_unique<tune::OnlineTuner>(programs_[0], oo);
+  }
+  if (online_->done()) return;
+  if (online_->tune_slice() == 0) return;
+  for (size_t r = 0; r < ranks_.size(); ++r) {
+    const std::vector<int> swapped = online_->hot_swap(programs_[r]);
+    if (r == 0) {
+      // The overlap plans were derived from the pre-swap states; a fused
+      // state can change its splittability or read radius, so re-analyze
+      // exactly the swapped states before any rank uses them.
+      for (const int s : swapped) {
+        halo_only_[static_cast<size_t>(s)] = is_halo_only(programs_[0].states()[static_cast<size_t>(s)]) ? 1 : 0;
+        if (!halo_only_[static_cast<size_t>(s)]) {
+          plans_[static_cast<size_t>(s)] = analyze_overlap(programs_[0], s);
+        }
+      }
+    }
+    // Rebuild executor caches (and, on the JIT backend, run codegen and the
+    // host compiler) here on the coordinator thread — spare cycles between
+    // steps — so swapped kernels never compile on a rank thread's hot path.
+    programs_[r].precompile();
+  }
+  online_->commit();
+}
+
 void ConcurrentRuntime::step() {
+  online_retune();
   std::vector<std::thread> threads;
   threads.reserve(ranks_.size());
   std::mutex error_mutex;

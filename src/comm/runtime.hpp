@@ -11,6 +11,7 @@
 #include "comm/halo.hpp"
 #include "core/field/catalog.hpp"
 #include "core/ir/program.hpp"
+#include "core/tune/online.hpp"
 
 namespace cyclone::comm {
 
@@ -216,8 +217,14 @@ class ConcurrentRuntime {
   [[nodiscard]] const RuntimeOptions& options() const { return options_; }
   [[nodiscard]] const HaloUpdater& halo() const { return halo_; }
 
+  /// The online re-tuner, live once the first step ran with
+  /// run.tune_mode == TuneMode::Online; null otherwise. Read its stats only
+  /// between steps.
+  [[nodiscard]] const tune::OnlineTuner* online_tuner() const { return online_.get(); }
+
  private:
   void run_rank(int rank);
+  void online_retune();
   void execute_with_ext(int rank, int state_index, const exec::DomainExt& ext);
   [[nodiscard]] bool can_overlap(int rank, int state_index) const;
 
@@ -242,6 +249,11 @@ class ConcurrentRuntime {
   /// Per-rank liveness beats (relaxed increments from rank threads, polled
   /// by the health monitor). unique_ptr array: atomics are not movable.
   std::unique_ptr<std::atomic<long>[]> heartbeats_;
+  /// Between-steps re-tuner (run.tune_mode == Online). Created lazily on
+  /// the first step; hot-swaps improved states into every rank's program
+  /// copy at step boundaries only — rank threads are joined, so no executor
+  /// observes a swap mid-flight.
+  std::unique_ptr<tune::OnlineTuner> online_;
 };
 
 }  // namespace cyclone::comm

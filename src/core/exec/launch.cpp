@@ -32,6 +32,31 @@ bool parse_backend(const std::string& name, ExecBackend& out) {
   return true;
 }
 
+const char* tune_mode_name(TuneMode mode) {
+  switch (mode) {
+    case TuneMode::Off: return "off";
+    case TuneMode::Guided: return "guided";
+    case TuneMode::Exhaustive: return "exhaustive";
+    case TuneMode::Online: return "online";
+  }
+  return "?";
+}
+
+bool parse_tune_mode(const std::string& name, TuneMode& out) {
+  if (name == "off") {
+    out = TuneMode::Off;
+  } else if (name == "guided") {
+    out = TuneMode::Guided;
+  } else if (name == "exhaustive") {
+    out = TuneMode::Exhaustive;
+  } else if (name == "online") {
+    out = TuneMode::Online;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 double StencilArgs::param(const std::string& name) const {
   auto it = params.find(name);
   CY_REQUIRE_MSG(it != params.end(), "missing scalar parameter '" << name << "'");

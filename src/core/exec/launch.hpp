@@ -71,6 +71,21 @@ const char* backend_name(ExecBackend backend);
 /// false and leaves `out` untouched on unknown names.
 bool parse_backend(const std::string& name, ExecBackend& out);
 
+/// Autotuning policy for a run (paper Sec. VI-B, transfer-tuning v2).
+/// `Off` executes schedules as written; `Guided` runs the model-pruned
+/// search once up front; `Exhaustive` is the enumeration oracle the guided
+/// mode is tested against; `Online` re-tunes cold kernels between timesteps
+/// and hot-swaps improved schedules at step boundaries (every mode is
+/// semantics-preserving — schedules never change results).
+enum class TuneMode { Off, Guided, Exhaustive, Online };
+
+/// Short stable name used by CLI flags and JSON records.
+const char* tune_mode_name(TuneMode mode);
+
+/// Parse "off", "guided", "exhaustive", "online". Returns false and leaves
+/// `out` untouched on unknown names.
+bool parse_tune_mode(const std::string& name, TuneMode& out);
+
 /// How compiled stencils execute (the on-node analog of DaCe's OpenMP
 /// sections): `num_threads` caps the team size (0 defers to the OpenMP
 /// runtime, i.e. OMP_NUM_THREADS); `parallel = false` forces the serial
@@ -96,6 +111,14 @@ struct RunOptions {
   /// are bitwise identical for every value. Ignored outside the ensemble
   /// runtime.
   int member_batch = 0;
+  /// Autotuning policy (see TuneMode). Off by default: tuning costs time
+  /// up front, so callers opt in per run or amortize it through a warm
+  /// tuning database.
+  TuneMode tune_mode = TuneMode::Off;
+  /// Path of the persistent tuning database ("" = tune without persistence;
+  /// pass tune::TuneDb::default_path() to opt into the $CYCLONE_TUNE_DB /
+  /// XDG cache chain).
+  std::string tune_db;
 
   friend bool operator==(const RunOptions&, const RunOptions&) = default;
 };

@@ -1,6 +1,28 @@
 #include "core/perf/machine.hpp"
 
+#include <cstdio>
+#include <sstream>
+
 namespace cyclone::perf {
+
+std::string MachineSpec::fingerprint() const {
+  // Render every modeled field, then FNV-1a the bytes. Doubles go through
+  // their exact bit patterns (hexfloat), so two specs differing anywhere in
+  // the model produce different fingerprints.
+  std::ostringstream os;
+  os << std::hexfloat << name << '|' << is_gpu << '|' << dram_bw << '|' << flop_peak << '|'
+     << launch_overhead << '|' << threads_half << '|' << neighbor_miss << '|' << cache_bytes
+     << '|' << predication_penalty << '|' << column_stride_waste << '|' << uncoalesced_penalty
+     << '|' << vertical_eff_cap << '|' << cores << '|' << core_bw << '|' << num_threads;
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : os.str()) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return name + "-" + buf;
+}
 
 MachineSpec p100() {
   MachineSpec m;

@@ -70,6 +70,14 @@ struct MachineSpec {
     m.num_threads = n;
     return m;
   }
+
+  /// Stable fingerprint of every modeled parameter (name + peaks + cache
+  /// behavior + thread scaling), rendered as "<name>-<16 hex digits>". Tuning
+  /// results are only transferable between identical machine models, so the
+  /// tuning database keys its records by this string: editing any spec field
+  /// invalidates the affected entries instead of silently serving schedules
+  /// tuned for different hardware.
+  [[nodiscard]] std::string fingerprint() const;
 };
 
 /// NVIDIA Tesla P100 (Piz Daint XC50): 501.1 GB/s peak, 489.83 GiB/s

@@ -1,0 +1,355 @@
+#include "core/tune/search.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/ir/expand.hpp"
+#include "core/perf/model.hpp"
+#include "core/tune/tunedb.hpp"
+#include "core/xform/passes.hpp"
+
+namespace cyclone::tune {
+
+namespace {
+
+constexpr double kElem = sizeof(double);
+
+/// Modeled time and bandwidth utilization of one node's kernel set.
+struct NodeModel {
+  std::vector<ir::KernelDesc> kernels;
+  double time = 0;      ///< sum of simulated kernel times
+  double min_util = 1;  ///< worst bound/simulated across kernels
+  bool all_vertical = true;
+  long max_threads = 0;
+};
+
+NodeModel model_node(const ir::SNode& node, const ir::Program& program,
+                     const TuningOptions& options) {
+  NodeModel out;
+  out.kernels = ir::expand_node(node, program, options.dom, 1);
+  for (const auto& k : out.kernels) {
+    const perf::KernelTime t = perf::model_kernel(k, options.machine);
+    out.time += t.simulated;
+    out.min_util = std::min(out.min_util, t.utilization());
+    out.all_vertical = out.all_vertical && k.order != dsl::IterOrder::Parallel;
+    out.max_threads = std::max(out.max_threads, k.threads);
+  }
+  return out;
+}
+
+/// Sound upper bound on the gain of fusing the pair (a, b) with `dying`
+/// fields demoted to locals. Any fused kernel set must still stream every
+/// surviving operand of the pair at least once and launch at least once, so
+///
+///   t_fused >= merged_unique_bytes / (effective_bw * eff_ub) + overhead
+///
+/// where eff_ub bounds the bandwidth efficiency any fused kernel can reach
+/// (thread-count efficiency at the pair's best thread exposure; capped at
+/// vertical_eff_cap when the whole pair is vertical, since fusing two
+/// sequential-k solvers yields sequential-k kernels). The returned value
+/// bounds t_a + t_b - t_fused from above; a candidate whose bound is below
+/// threshold is provably not worth modeling.
+double gain_upper_bound(const NodeModel& a, const NodeModel& b,
+                        const std::set<std::string>& dying, const TuningOptions& options) {
+  struct Use {
+    long elems = 0;
+    bool read = false;
+    bool written = false;
+  };
+  std::map<std::string, Use> merged;
+  for (const NodeModel* nm : {&a, &b}) {
+    for (const auto& k : nm->kernels) {
+      for (const auto& f : k.fields) {
+        if (dying.count(f.name)) continue;
+        Use& u = merged[f.name];
+        u.elems = std::max(u.elems, f.elems);
+        u.read = u.read || f.read_sites > 0;
+        u.written = u.written || f.written;
+      }
+    }
+  }
+  double merged_bytes = 0;
+  for (const auto& [_, u] : merged) {
+    merged_bytes += static_cast<double>(u.elems) * kElem * ((u.read ? 1 : 0) + (u.written ? 1 : 0));
+  }
+
+  const perf::MachineSpec& m = options.machine;
+  double eff_ub = m.bw_efficiency(static_cast<double>(std::max(a.max_threads, b.max_threads)));
+  if (a.all_vertical && b.all_vertical && m.vertical_eff_cap < 1.0) {
+    eff_ub = std::min(eff_ub, m.vertical_eff_cap);
+  }
+  const double bw = m.effective_bw() * (eff_ub > 0 ? eff_ub : 1.0);
+  const double t_fused_lb = merged_bytes / bw + m.launch_overhead;
+  return a.time + b.time - t_fused_lb;
+}
+
+}  // namespace
+
+void SearchStats::accumulate(const SearchStats& other) {
+  candidates += other.candidates;
+  evaluated += other.evaluated;
+  timed += other.timed;
+  pruned_saturated += other.pruned_saturated;
+  pruned_low_gain += other.pruned_low_gain;
+  early_exits += other.early_exits;
+  transferred += other.transferred;
+  db_hits += other.db_hits;
+}
+
+std::vector<CutoutResult> guided_tune_cutouts(const ir::Program& source,
+                                              const TuningOptions& options, TransformKind kind,
+                                              SearchStats& stats) {
+  std::vector<CutoutResult> results;
+  // Cross-state label-pair memo (guided mode only). Configurations "are
+  // sufficiently described by a set of labels of the candidates" (paper
+  // Sec. VI-B): once a (producer, consumer) function pair has been evaluated
+  // in one state, every later occurrence of the same motif transfers the
+  // known outcome instead of re-constructing and re-modeling the fused
+  // state. On motif-heavy programs (the dycore repeats its advection/
+  // damping pairs across every substep state) this is where most of the
+  // evaluation savings come from. Value: cutout speedup, or <= 1 for
+  // known-illegal / known-unprofitable pairs.
+  std::map<std::string, double> memo;
+  for (int s = 0; s < static_cast<int>(source.states().size()); ++s) {
+    const ir::State& state = source.states()[static_cast<size_t>(s)];
+    CutoutResult res;
+    res.state_name = state.name;
+    const double base_time = model_state(source, state, options);
+    if (options.measure_execution) ++stats.timed;  // the baseline itself
+
+    struct Scored {
+      Pattern pattern;
+      double speedup;
+    };
+    std::vector<Scored> scored;
+
+    auto evaluate = [&](int p, int c) -> double {
+      // One candidate evaluation: construct the fused state and score it the
+      // same way the exhaustive oracle does (full model or wall clock).
+      const auto& a = state.nodes[static_cast<size_t>(p)];
+      const auto& b = state.nodes[static_cast<size_t>(c)];
+      auto fused = detail::try_fuse(source, s, p, c, kind, "tuned." + a.label + "+" + b.label);
+      if (!fused) return 0;
+      ++res.configs_tested;
+      ++stats.evaluated;
+      if (options.measure_execution) ++stats.timed;
+      const ir::State candidate = detail::with_fused(state, p, c, *fused);
+      const double t = model_state(source, candidate, options);
+      if (t <= 0 || base_time <= 0) return 0;
+      const double speedup = base_time / t;
+      if (speedup > 1.0) {
+        Pattern pat;
+        pat.kind = kind;
+        pat.producer = detail::func_name(a);
+        pat.consumer = detail::func_name(b);
+        pat.cutout_speedup = speedup;
+        scored.push_back({pat, speedup});
+      }
+      return speedup;
+    };
+
+    if (options.exhaustive) {
+      // Oracle mode: the pre-v2 enumeration — every dependent pair, no
+      // pruning, no ordering, no early exit.
+      for (int p = 0; p < static_cast<int>(state.nodes.size()); ++p) {
+        for (int c = p + 1; c < static_cast<int>(state.nodes.size()); ++c) {
+          if (!detail::has_dependency(state.nodes[static_cast<size_t>(p)],
+                                      state.nodes[static_cast<size_t>(c)])) {
+            continue;
+          }
+          ++stats.candidates;
+          evaluate(p, c);
+        }
+      }
+    } else {
+      // Guided mode. Model each node once, bound each dependent pair's
+      // achievable gain, discard provably-unprofitable pairs, and evaluate
+      // the rest best-predicted-first.
+      std::vector<NodeModel> nodes(state.nodes.size());
+      std::vector<bool> modeled(state.nodes.size(), false);
+      auto node_model = [&](int idx) -> const NodeModel& {
+        if (!modeled[static_cast<size_t>(idx)]) {
+          nodes[static_cast<size_t>(idx)] =
+              model_node(state.nodes[static_cast<size_t>(idx)], source, options);
+          modeled[static_cast<size_t>(idx)] = true;
+        }
+        return nodes[static_cast<size_t>(idx)];
+      };
+
+      struct Ranked {
+        int p = 0, c = 0;
+        double predicted = 0;  ///< relative gain upper bound
+      };
+      std::vector<Ranked> ranked;
+      for (int p = 0; p < static_cast<int>(state.nodes.size()); ++p) {
+        for (int c = p + 1; c < static_cast<int>(state.nodes.size()); ++c) {
+          if (!detail::has_dependency(state.nodes[static_cast<size_t>(p)],
+                                      state.nodes[static_cast<size_t>(c)])) {
+            continue;
+          }
+          ++stats.candidates;
+          const NodeModel& na = node_model(p);
+          const NodeModel& nb = node_model(c);
+          const auto dying = detail::may_die_set(source, s, p, c);
+          const double pair_time = na.time + nb.time;
+          const double gain_ub = gain_upper_bound(na, nb, dying, options);
+          const double rel = pair_time > 0 ? gain_ub / pair_time : 0;
+          if (rel < options.min_gain) {
+            // Classify the discard: saturated pairs are at their bandwidth
+            // bound with nothing dying — fusing them can only shave launch
+            // overhead; the rest simply bound out below the threshold.
+            if (dying.empty() && std::min(na.min_util, nb.min_util) >= options.prune_saturation) {
+              ++stats.pruned_saturated;
+            } else {
+              ++stats.pruned_low_gain;
+            }
+            continue;
+          }
+          ranked.push_back({p, c, rel});
+        }
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [](const Ranked& x, const Ranked& y) { return x.predicted > y.predicted; });
+
+      int flat = 0;
+      for (const Ranked& r : ranked) {
+        const std::string pf = detail::func_name(state.nodes[static_cast<size_t>(r.p)]);
+        const std::string cf = detail::func_name(state.nodes[static_cast<size_t>(r.c)]);
+        const std::string key = pf.empty() || cf.empty() ? std::string() : pf + '\x1f' + cf;
+        if (!key.empty()) {
+          const auto it = memo.find(key);
+          if (it != memo.end()) {
+            // Known motif: transfer the outcome, spend nothing. Illegality
+            // is re-checked when a transferred pattern is applied, so a
+            // memoized verdict is a hint, never a correctness decision.
+            ++stats.transferred;
+            if (it->second > 1.0) {
+              scored.push_back({Pattern{kind, pf, cf, it->second}, it->second});
+            }
+            continue;
+          }
+        }
+        const double speedup = evaluate(r.p, r.c);
+        if (!key.empty()) memo[key] = speedup;
+        if (speedup == 0) continue;  // illegal fusion: bound was moot, not spent
+        if (speedup >= 1.0 + options.min_gain) {
+          flat = 0;
+        } else if (options.search_patience > 0 && ++flat >= options.search_patience) {
+          // Candidates arrive best-predicted-first: a flat streak at the
+          // head means the ordered tail is even less likely to pay off.
+          ++stats.early_exits;
+          break;
+        }
+      }
+    }
+
+    std::sort(scored.begin(), scored.end(),
+              [](const Scored& x, const Scored& y) { return x.speedup > y.speedup; });
+    for (int m = 0; m < options.top_m && m < static_cast<int>(scored.size()); ++m) {
+      res.best.push_back(scored[static_cast<size_t>(m)].pattern);
+      res.best_speedup = std::max(res.best_speedup, scored[static_cast<size_t>(m)].speedup);
+    }
+    results.push_back(std::move(res));
+  }
+  return results;
+}
+
+namespace {
+
+/// Apply the DB's best-known schedule to every stencil node it covers.
+/// Orthogonal knobs are preserved exactly as autotune_schedules preserves
+/// them (they belong to their own transformation passes).
+int apply_db_schedules(ir::Program& program, const TuneDb& db, const TuneContext& ctx,
+                       SearchStats& stats) {
+  int changed = 0;
+  for (auto& state : program.states()) {
+    for (auto& node : state.nodes) {
+      if (node.kind != ir::SNode::Kind::Stencil) continue;
+      const bool vertical = xform::is_vertical_solver(*node.stencil);
+      const dsl::IterOrder order = vertical ? dsl::IterOrder::Forward : dsl::IterOrder::Parallel;
+      const auto stored = db.schedule(ctx, node.stencil->name(), order);
+      if (!stored) continue;
+      ++stats.db_hits;
+      sched::Schedule candidate = *stored;
+      candidate.region_strategy = node.schedule.region_strategy;
+      candidate.vertical_cache =
+          candidate.k_as_map ? sched::CacheKind::None : node.schedule.vertical_cache;
+      if (!sched::is_valid(candidate, order)) continue;
+      if (!(candidate == node.schedule)) {
+        node.schedule = candidate;
+        ++changed;
+      }
+    }
+  }
+  program.invalidate_compiled();
+  return changed;
+}
+
+/// Record the program's (post-autotune) per-function schedules into the DB.
+void record_schedules(const ir::Program& program, const TuningOptions& options, TuneDb& db,
+                      const TuneContext& ctx) {
+  for (const auto& state : program.states()) {
+    for (const auto& node : state.nodes) {
+      if (node.kind != ir::SNode::Kind::Stencil) continue;
+      const bool vertical = xform::is_vertical_solver(*node.stencil);
+      const dsl::IterOrder order = vertical ? dsl::IterOrder::Forward : dsl::IterOrder::Parallel;
+      const auto kernels = ir::expand_node(node, program, options.dom, 1);
+      const double t = perf::model_program(kernels, options.machine);
+      db.put_schedule(ctx, node.stencil->name(), order, node.schedule, t);
+    }
+  }
+}
+
+}  // namespace
+
+TuneReport tune_program(ir::Program& program, const TuningOptions& options, TuneDb* db) {
+  TuneReport rep;
+  rep.modeled_before = model_whole_program(program, options);
+
+  const TuneContext ctx = db ? TuneDb::context_of(options) : TuneContext{};
+  const std::string signature = db ? TuneDb::program_signature(program) : std::string();
+
+  if (db && db->has_program(ctx, signature)) {
+    // Warm path: the DB already finished tuning this program shape on this
+    // machine/backend/thread budget. Serve schedules and patterns straight
+    // from it — no candidate evaluations, and nothing is wall-clocked (the
+    // transfer guard runs on the analytic model even when the cold run
+    // measured, so a warm run costs no timed measurements at all).
+    rep.warm = true;
+    TuningOptions warm = options;
+    warm.measure_execution = false;
+    rep.schedules_changed = apply_db_schedules(program, *db, ctx, rep.search);
+    const std::vector<Pattern> patterns = db->patterns(ctx);
+    rep.patterns = static_cast<int>(patterns.size());
+    rep.search.db_hits += static_cast<long>(patterns.size());
+    rep.transfer = transfer_until_converged(program, patterns, warm);
+    rep.modeled_after = model_whole_program(program, options);
+    return rep;
+  }
+
+  // Cold path: schedule tuning, then guided (or exhaustive-oracle) pattern
+  // search over both fusion kinds, then transfer to convergence.
+  rep.schedules_changed = autotune_schedules(program, options);
+  // Record schedules *before* transfer: fusion deletes consumer nodes, and a
+  // warm replay needs every pre-fusion function's tuned schedule so the
+  // fused nodes it re-creates inherit the same consumer schedule.
+  if (db) record_schedules(program, options, *db, ctx);
+  std::vector<CutoutResult> cutouts = guided_tune_cutouts(program, options,
+                                                          TransformKind::OtfFusion, rep.search);
+  std::vector<CutoutResult> sgf =
+      guided_tune_cutouts(program, options, TransformKind::SubgraphFusion, rep.search);
+  cutouts.insert(cutouts.end(), sgf.begin(), sgf.end());
+  const std::vector<Pattern> patterns = collect_patterns(cutouts);
+  rep.patterns = static_cast<int>(patterns.size());
+  rep.transfer = transfer_until_converged(program, patterns, options);
+  rep.modeled_after = model_whole_program(program, options);
+
+  if (db) {
+    for (const auto& pattern : patterns) db->put_pattern(ctx, pattern);
+    db->mark_program(ctx, signature);
+    db->flush();
+  }
+  return rep;
+}
+
+}  // namespace cyclone::tune

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <vector>
+
+#include "core/tune/tuner.hpp"
+
+namespace cyclone::tune {
+
+class TuneDb;
+
+/// Accounting of one guided-search run — the evidence the acceptance
+/// criteria are asserted on: guided must evaluate a fraction of what the
+/// exhaustive oracle evaluates, and a warm-DB run must evaluate (and time)
+/// nothing at all.
+struct SearchStats {
+  long candidates = 0;        ///< dependent pairs discovered
+  long evaluated = 0;         ///< candidates scored by the model or a measurement
+  long timed = 0;             ///< wall-clock candidate measurements performed
+  long pruned_saturated = 0;  ///< dropped: kernels at the bandwidth bound, no traffic to save
+  long pruned_low_gain = 0;   ///< dropped: modeled gain upper bound below min_gain
+  long early_exits = 0;       ///< states abandoned after a flat evaluation streak
+  long transferred = 0;       ///< candidates served from the label-pair memo, no evaluation
+  long db_hits = 0;           ///< patterns/schedules served from the tuning DB
+
+  void accumulate(const SearchStats& other);
+};
+
+/// Model-pruned guided replacement for the exhaustive cutout enumeration
+/// (transfer-tuning v2). For every dependent pair the Fig. 10 bandwidth
+/// model provides a cheap *upper bound* on the achievable gain: a fused
+/// kernel must still stream every surviving operand once, so
+///
+///   t_fused >= unique_bytes(union of uses minus dying fields) / eff_bw
+///              + one launch overhead
+///
+/// Pairs whose bound proves them not worth evaluating (both kernels already
+/// at >= prune_saturation of their bandwidth bound with no dying fields, or
+/// bounded gain below min_gain) are discarded without constructing or
+/// modeling the fused state. Survivors are evaluated best-predicted-first,
+/// and a state is abandoned after `search_patience` consecutive evaluations
+/// below (1 + min_gain) speedup — with the candidates sorted by predicted
+/// gain, a flat head means a flatter tail. With options.exhaustive the same
+/// routine degrades to the pre-v2 enumeration (every fusible pair
+/// evaluated, no ordering, no early exit) and is the oracle the guided mode
+/// is tested against.
+std::vector<CutoutResult> guided_tune_cutouts(const ir::Program& source,
+                                              const TuningOptions& options, TransformKind kind,
+                                              SearchStats& stats);
+
+/// One whole-program tuning run: schedules, then OTF + SGF pattern search,
+/// then transfer to convergence — optionally backed by a persistent TuneDb.
+struct TuneReport {
+  bool warm = false;  ///< served entirely from the DB: zero evaluations
+  SearchStats search;
+  TransferReport transfer;
+  int schedules_changed = 0;
+  int patterns = 0;  ///< patterns fed to the transfer phase
+  double modeled_before = 0;
+  double modeled_after = 0;
+
+  [[nodiscard]] double speedup() const {
+    return modeled_after > 0 ? modeled_before / modeled_after : 1.0;
+  }
+};
+
+/// Tune `program` in place. With a DB whose marker covers this program
+/// (same label signature, machine fingerprint, backend, thread budget) the
+/// run is *warm*: patterns and per-function schedules are applied straight
+/// from the DB with zero candidate evaluations and zero timed measurements.
+/// Otherwise the guided (or exhaustive) search runs and its results — and
+/// the completion marker — are recorded back into the DB and flushed.
+/// Tuning never changes results, only schedules and fusion; callers needing
+/// certainty can keep TuningOptions::verify_transfers on.
+TuneReport tune_program(ir::Program& program, const TuningOptions& options,
+                        TuneDb* db = nullptr);
+
+}  // namespace cyclone::tune

@@ -1,0 +1,370 @@
+#include "core/tune/tunedb.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace cyclone::tune {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[] = "cyclone-tunedb";
+constexpr char kSep = '\x1f';  ///< composite-key separator (never in tokens)
+
+uint64_t fnv1a(const std::string& s, uint64_t h = 1469598103934665603ull) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex16(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Records are whitespace-tokenized, so every stored name must be one token.
+std::string sanitize_token(const std::string& s) {
+  std::string out;
+  for (char c : s) out += (c > ' ' && c != kSep) ? c : '_';
+  return out.empty() ? "_" : out;
+}
+
+std::string bits_of(double v) {
+  uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return hex16(u);
+}
+
+bool parse_bits(const std::string& s, double& out) {
+  if (s.size() != 16) return false;
+  char* end = nullptr;
+  const uint64_t u = std::strtoull(s.c_str(), &end, 16);
+  if (end == nullptr || *end != '\0') return false;
+  std::memcpy(&out, &u, sizeof(out));
+  return true;
+}
+
+bool parse_int(const std::string& s, int lo, int hi, int& out) {
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (s.empty() || end == nullptr || *end != '\0' || v < lo || v > hi) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+std::string schedule_key(const std::string& ctx, const std::string& func, dsl::IterOrder order) {
+  return ctx + kSep + func + kSep + std::to_string(static_cast<int>(order));
+}
+
+}  // namespace
+
+std::string TuneContext::key() const {
+  return sanitize_token(machine) + kSep + sanitize_token(backend) + kSep +
+         std::to_string(threads);
+}
+
+long TuneDb::Contents::size() const {
+  long n = static_cast<long>(schedules.size() + markers.size());
+  for (const auto& [_, pats] : patterns) n += static_cast<long>(pats.size());
+  return n;
+}
+
+std::string TuneDb::default_path() {
+  if (const char* env = std::getenv("CYCLONE_TUNE_DB")) return env;
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME")) {
+    return std::string(xdg) + "/cyclone/tune.db";
+  }
+  if (const char* home = std::getenv("HOME")) {
+    return std::string(home) + "/.cache/cyclone/tune.db";
+  }
+  return "/tmp/cyclone-tune.db";
+}
+
+TuneDb::Contents TuneDb::load_file(const std::string& path, long* poisoned) {
+  std::ifstream is(path);
+  if (!is) throw TuneDbError(path, "cannot open");
+
+  std::string header;
+  if (!std::getline(is, header)) throw TuneDbError(path, "empty file (missing header)");
+  std::istringstream hs(header);
+  std::string magic;
+  int version = -1;
+  hs >> magic >> version;
+  if (magic != kMagic) throw TuneDbError(path, "bad magic '" + magic + "'");
+  if (version != kTuneDbVersion) {
+    throw TuneDbError(path, "version skew: file v" + std::to_string(version) + ", reader v" +
+                                std::to_string(kTuneDbVersion));
+  }
+
+  Contents out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    // "<16-hex checksum> <payload>"; a record whose checksum fails — torn
+    // tail of an interrupted write, a flipped bit, hand-editing — is dropped
+    // individually. Wrong schedules must never survive a corrupt byte.
+    const auto space = line.find(' ');
+    bool ok = space == 16;
+    std::string payload;
+    if (ok) {
+      payload = line.substr(space + 1);
+      ok = line.substr(0, 16) == hex16(fnv1a(payload));
+    }
+    if (ok) {
+      std::istringstream rs(payload);
+      std::string tag;
+      rs >> tag;
+      if (tag == "P") {
+        std::string ctx_m, ctx_b, ctx_t, kind, producer, consumer, bits;
+        rs >> ctx_m >> ctx_b >> ctx_t >> kind >> producer >> consumer >> bits;
+        Pattern pat;
+        pat.producer = producer;
+        pat.consumer = consumer;
+        ok = !rs.fail() && (kind == "OTF" || kind == "SGF") &&
+             parse_bits(bits, pat.cutout_speedup) && std::isfinite(pat.cutout_speedup);
+        if (ok) {
+          pat.kind = kind == "OTF" ? TransformKind::OtfFusion : TransformKind::SubgraphFusion;
+          const std::string key = ctx_m + kSep + ctx_b + kSep + ctx_t;
+          auto& pats = out.patterns[key];
+          if (std::find(pats.begin(), pats.end(), pat) == pats.end()) pats.push_back(pat);
+        }
+      } else if (tag == "S") {
+        std::string ctx_m, ctx_b, ctx_t, func, bits;
+        int order = 0, layout = 0, ti = 0, tj = 0, kmap = 0, ftl = 0, fiv = 0, vc = 0, rs_ = 0;
+        std::string s_order, s_layout, s_ti, s_tj, s_kmap, s_ftl, s_fiv, s_vc, s_rs;
+        rs >> ctx_m >> ctx_b >> ctx_t >> func >> s_order >> s_layout >> s_ti >> s_tj >>
+            s_kmap >> s_ftl >> s_fiv >> s_vc >> s_rs >> bits;
+        ScheduleEntry entry;
+        ok = !rs.fail() && parse_int(s_order, 0, 2, order) && parse_int(s_layout, 0, 5, layout) &&
+             parse_int(s_ti, 0, sched::kMaxTile, ti) && parse_int(s_tj, 0, sched::kMaxTile, tj) &&
+             parse_int(s_kmap, 0, 1, kmap) && parse_int(s_ftl, 0, 1, ftl) &&
+             parse_int(s_fiv, 0, 1, fiv) && parse_int(s_vc, 0, 2, vc) &&
+             parse_int(s_rs, 0, 1, rs_) && parse_bits(bits, entry.modeled_time) &&
+             std::isfinite(entry.modeled_time);
+        if (ok) {
+          entry.order = static_cast<dsl::IterOrder>(order);
+          entry.schedule.iteration_order = static_cast<Layout>(layout);
+          entry.schedule.tile_i = ti;
+          entry.schedule.tile_j = tj;
+          entry.schedule.k_as_map = kmap != 0;
+          entry.schedule.fuse_thread_level = ftl != 0;
+          entry.schedule.fuse_intervals = fiv != 0;
+          entry.schedule.vertical_cache = static_cast<sched::CacheKind>(vc);
+          entry.schedule.region_strategy = static_cast<sched::RegionStrategy>(rs_);
+          // A record that passes its checksum but encodes an infeasible
+          // schedule is still refused — the executor must never be handed
+          // a schedule the validator rejects.
+          ok = sched::is_valid(entry.schedule, entry.order);
+          if (ok) {
+            out.schedules[schedule_key(ctx_m + kSep + ctx_b + kSep + ctx_t, func, entry.order)] =
+                entry;
+          }
+        }
+      } else if (tag == "M") {
+        std::string ctx_m, ctx_b, ctx_t, sig;
+        rs >> ctx_m >> ctx_b >> ctx_t >> sig;
+        ok = !rs.fail() && !sig.empty();
+        if (ok) out.markers.insert(ctx_m + kSep + ctx_b + kSep + ctx_t + kSep + sig);
+      } else {
+        ok = false;
+      }
+    }
+    if (!ok && poisoned) ++*poisoned;
+  }
+  return out;
+}
+
+TuneDb::TuneDb(std::string path) : path_(path.empty() ? default_path() : std::move(path)) {
+  std::error_code ec;
+  if (!fs::exists(path_, ec)) return;  // fresh DB
+  try {
+    contents_ = load_file(path_, &stats_.poisoned_records);
+    stats_.loaded_records = contents_.size();
+  } catch (const TuneDbError&) {
+    // Unusable file (bad header / version skew): discard and rebuild empty.
+    // Tuning results are always recomputable — a wrong schedule is not.
+    contents_ = Contents{};
+    ++stats_.rebuilds;
+    fs::remove(path_, ec);
+  }
+}
+
+long TuneDb::validate(const std::string& path) {
+  long poisoned = 0;
+  (void)load_file(path, &poisoned);
+  return poisoned;
+}
+
+std::vector<Pattern> TuneDb::patterns(const TuneContext& ctx) const {
+  auto it = contents_.patterns.find(ctx.key());
+  if (it == contents_.patterns.end()) return {};
+  std::vector<Pattern> out = it->second;
+  std::sort(out.begin(), out.end(), [](const Pattern& a, const Pattern& b) {
+    return a.cutout_speedup > b.cutout_speedup;
+  });
+  return out;
+}
+
+std::optional<sched::Schedule> TuneDb::schedule(const TuneContext& ctx, const std::string& func,
+                                                dsl::IterOrder order) const {
+  auto it = contents_.schedules.find(schedule_key(ctx.key(), sanitize_token(func), order));
+  if (it == contents_.schedules.end()) return std::nullopt;
+  return it->second.schedule;
+}
+
+bool TuneDb::has_program(const TuneContext& ctx, const std::string& signature) const {
+  return contents_.markers.count(ctx.key() + kSep + sanitize_token(signature)) > 0;
+}
+
+void TuneDb::put_pattern(const TuneContext& ctx, const Pattern& pattern) {
+  Pattern clean = pattern;
+  clean.producer = sanitize_token(pattern.producer);
+  clean.consumer = sanitize_token(pattern.consumer);
+  auto& pats = contents_.patterns[ctx.key()];
+  auto it = std::find(pats.begin(), pats.end(), clean);
+  if (it == pats.end()) {
+    pats.push_back(clean);
+  } else {
+    it->cutout_speedup = std::max(it->cutout_speedup, clean.cutout_speedup);
+  }
+}
+
+void TuneDb::put_schedule(const TuneContext& ctx, const std::string& func, dsl::IterOrder order,
+                          const sched::Schedule& schedule, double modeled_time) {
+  ScheduleEntry entry;
+  entry.schedule = schedule;
+  entry.order = order;
+  entry.modeled_time = modeled_time;
+  auto& slot = contents_.schedules[schedule_key(ctx.key(), sanitize_token(func), order)];
+  // Upsert keeps the best-known config (smallest modeled/measured time).
+  if (slot.modeled_time <= 0 || entry.modeled_time < slot.modeled_time ||
+      !sched::is_valid(slot.schedule, order)) {
+    slot = entry;
+  }
+}
+
+void TuneDb::mark_program(const TuneContext& ctx, const std::string& signature) {
+  contents_.markers.insert(ctx.key() + kSep + sanitize_token(signature));
+}
+
+void TuneDb::flush() {
+  // Absorb records a concurrent process persisted since our load: merge
+  // disk into memory (our in-memory upserts win ties), then write the union.
+  std::error_code ec;
+  if (fs::exists(path_, ec)) {
+    try {
+      long dropped = 0;
+      const Contents disk = load_file(path_, &dropped);
+      const long before = contents_.size();
+      for (const auto& [key, pats] : disk.patterns) {
+        auto& mine = contents_.patterns[key];
+        for (const auto& pat : pats) {
+          auto it = std::find(mine.begin(), mine.end(), pat);
+          if (it == mine.end()) {
+            mine.push_back(pat);
+          } else {
+            it->cutout_speedup = std::max(it->cutout_speedup, pat.cutout_speedup);
+          }
+        }
+      }
+      for (const auto& [key, entry] : disk.schedules) {
+        auto it = contents_.schedules.find(key);
+        if (it == contents_.schedules.end() ||
+            (entry.modeled_time > 0 && entry.modeled_time < it->second.modeled_time)) {
+          contents_.schedules[key] = entry;
+        }
+      }
+      contents_.markers.insert(disk.markers.begin(), disk.markers.end());
+      stats_.merged_records += std::max(0L, contents_.size() - before);
+    } catch (const TuneDbError&) {
+      ++stats_.rebuilds;  // disk went bad since load; our copy becomes truth
+    }
+  }
+
+  const fs::path parent = fs::path(path_).parent_path();
+  if (!parent.empty()) fs::create_directories(parent, ec);
+
+  std::ostringstream os;
+  os << kMagic << ' ' << kTuneDbVersion << '\n';
+  auto emit = [&os](const std::string& payload) {
+    os << hex16(fnv1a(payload)) << ' ' << payload << '\n';
+  };
+  auto split_ctx = [](const std::string& key) {
+    std::string out = key;
+    std::replace(out.begin(), out.end(), kSep, ' ');
+    return out;
+  };
+  for (const auto& [key, pats] : contents_.patterns) {
+    for (const auto& pat : pats) {
+      emit("P " + split_ctx(key) + ' ' +
+           (pat.kind == TransformKind::OtfFusion ? "OTF" : "SGF") + ' ' + pat.producer + ' ' +
+           pat.consumer + ' ' + bits_of(pat.cutout_speedup));
+    }
+  }
+  for (const auto& [key, entry] : contents_.schedules) {
+    const auto& s = entry.schedule;
+    std::ostringstream rec;
+    // key is ctx(3 parts) + func + order, all kSep-separated; the order token
+    // is re-derived from the entry rather than the key tail.
+    const auto last = key.rfind(kSep);
+    rec << "S " << split_ctx(key.substr(0, last)) << ' '
+        << static_cast<int>(entry.order) << ' ' << static_cast<int>(s.iteration_order) << ' '
+        << s.tile_i << ' ' << s.tile_j << ' ' << (s.k_as_map ? 1 : 0) << ' '
+        << (s.fuse_thread_level ? 1 : 0) << ' ' << (s.fuse_intervals ? 1 : 0) << ' '
+        << static_cast<int>(s.vertical_cache) << ' ' << static_cast<int>(s.region_strategy)
+        << ' ' << bits_of(entry.modeled_time);
+    emit(rec.str());
+  }
+  for (const auto& marker : contents_.markers) emit("M " + split_ctx(marker));
+
+  const std::string tmp = path_ + ".tmp" + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream f(tmp);
+    f << os.str();
+    if (!f) {
+      std::remove(tmp.c_str());
+      throw TuneDbError(path_, "cannot write " + tmp);
+    }
+  }
+  fs::rename(tmp, path_, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw TuneDbError(path_, "rename failed: " + ec.message());
+  }
+}
+
+TuneContext TuneDb::context_of(const TuningOptions& options) {
+  TuneContext ctx;
+  ctx.machine = options.machine.fingerprint();
+  ctx.backend = exec::backend_name(options.run.backend);
+  ctx.threads = options.run.num_threads;
+  return ctx;
+}
+
+std::string TuneDb::program_signature(const ir::Program& program) {
+  std::vector<std::string> names;
+  for (const auto& state : program.states()) {
+    for (const auto& node : state.nodes) {
+      if (node.kind == ir::SNode::Kind::Stencil) names.push_back(node.stencil->name());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  uint64_t h = 1469598103934665603ull;
+  for (const auto& name : names) h = fnv1a(name + "\n", h);
+  return hex16(h);
+}
+
+}  // namespace cyclone::tune

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/sched/schedule.hpp"
+#include "core/tune/tuner.hpp"
+#include "core/util/error.hpp"
+
+namespace cyclone::tune {
+
+/// Structured failure of tuning-database I/O: a version-skewed or otherwise
+/// unusable DB file must surface as a named, catchable error — never an
+/// assert and never a wrong schedule — so callers can choose between
+/// reporting it and rebuilding from scratch (TuneDb's constructor does the
+/// latter). Individual torn or bit-flipped records are not errors: each line
+/// carries its own checksum and bad lines are dropped and recounted in
+/// Stats::poisoned_records.
+class TuneDbError : public Error {
+ public:
+  TuneDbError(std::string file, std::string reason)
+      : Error("tuning db '" + file + "': " + reason),
+        file_(std::move(file)),
+        reason_(std::move(reason)) {}
+
+  [[nodiscard]] const std::string& file() const { return file_; }
+  [[nodiscard]] const std::string& reason() const { return reason_; }
+
+ private:
+  std::string file_;
+  std::string reason_;
+};
+
+/// Tuning-DB format version. Bump on any record-layout change; readers
+/// reject mismatched versions (rebuild, never misparse).
+constexpr int kTuneDbVersion = 1;
+
+/// What a tuning result is valid for: results only transfer between
+/// identical machine models, executors, and thread budgets, so every record
+/// is keyed by this triple (plus the label-based pattern itself).
+struct TuneContext {
+  std::string machine;  ///< perf::MachineSpec::fingerprint()
+  std::string backend;  ///< exec::backend_name()
+  int threads = 0;      ///< modeled/measured thread budget (0 = default)
+
+  [[nodiscard]] std::string key() const;
+  friend bool operator==(const TuneContext&, const TuneContext&) = default;
+};
+
+/// Persistent store of tuning results — the DaCe-style "tuned transformations
+/// keyed by program patterns" made durable. One human-auditable text file:
+///
+///   cyclone-tunedb 1
+///   <fnv1a-16hex> P <ctx> <OTF|SGF> <producer> <consumer> <speedup-bits>
+///   <fnv1a-16hex> S <ctx> <func> <order> <schedule fields...> <time-bits>
+///   <fnv1a-16hex> M <ctx> <program-signature>
+///
+/// P records are transfer patterns (Sec. VI-B labels), S records the
+/// modeled-best schedule per stencil function, M records mark programs whose
+/// tuning completed — a warm DB (marker present) serves patterns and
+/// schedules with *zero* candidate evaluations and zero timed measurements.
+/// Doubles are stored as their exact 64-bit patterns, so a round trip is
+/// bitwise lossless.
+///
+/// Durability discipline mirrors the JIT kernel cache (exec/jit/cache.*):
+/// writes go to a temporary name and rename into place (a concurrent reader
+/// never sees a partial file), every record carries its own checksum (a torn
+/// tail or bit flip drops that record only), and an unreadable or
+/// version-skewed file is discarded and rebuilt rather than trusted.
+/// flush() re-reads and merges the on-disk file first, so two processes
+/// tuning into the same DB lose at most the race window, never the file.
+class TuneDb {
+ public:
+  /// Open (or create) the DB at `path` ("" = default_path()). A poisoned
+  /// file — bad header, wrong version, unreadable — is dropped and rebuilt
+  /// empty (Stats::rebuilds counts it); per-record corruption is skipped.
+  explicit TuneDb(std::string path = "");
+
+  /// $CYCLONE_TUNE_DB, then $XDG_CACHE_HOME/cyclone/tune.db, then
+  /// $HOME/.cache/cyclone/tune.db, then /tmp/cyclone-tune.db.
+  static std::string default_path();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Patterns recorded for this context, best cutout speedup first.
+  [[nodiscard]] std::vector<Pattern> patterns(const TuneContext& ctx) const;
+
+  /// Best-known schedule for a stencil function under this context, if any.
+  [[nodiscard]] std::optional<sched::Schedule> schedule(const TuneContext& ctx,
+                                                        const std::string& func,
+                                                        dsl::IterOrder order) const;
+
+  /// True if `signature` (see program_signature) finished tuning under this
+  /// context — the warm-DB predicate.
+  [[nodiscard]] bool has_program(const TuneContext& ctx, const std::string& signature) const;
+
+  /// Record / upsert. In-memory until flush().
+  void put_pattern(const TuneContext& ctx, const Pattern& pattern);
+  void put_schedule(const TuneContext& ctx, const std::string& func, dsl::IterOrder order,
+                    const sched::Schedule& schedule, double modeled_time);
+  void mark_program(const TuneContext& ctx, const std::string& signature);
+
+  /// Merge-and-persist: re-read the on-disk file (absorbing records written
+  /// by concurrent processes since load), merge, write to a temporary name,
+  /// rename into place. Throws TuneDbError only if the directory itself is
+  /// unwritable.
+  void flush();
+
+  /// Parse-validate the file at `path`: throws TuneDbError on missing file,
+  /// bad magic, or version skew (the conditions the constructor rebuilds
+  /// on); returns the number of checksum-failed lines it would drop.
+  static long validate(const std::string& path);
+
+  struct Stats {
+    long loaded_records = 0;    ///< records read at construction
+    long poisoned_records = 0;  ///< checksum/parse-failed lines dropped
+    long merged_records = 0;    ///< concurrent-writer records absorbed by flush()
+    int rebuilds = 0;           ///< whole-file discards (bad header/version)
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// The context a tuning run stores/queries under.
+  static TuneContext context_of(const TuningOptions& options);
+
+  /// Label-based signature of a program's tunable shape: FNV-1a over the
+  /// sorted multiset of its stencil function names. Programs with the same
+  /// signature expose the same pattern-match surface, which is exactly what
+  /// transfer tuning keys on.
+  static std::string program_signature(const ir::Program& program);
+
+ private:
+  struct ScheduleEntry {
+    sched::Schedule schedule;
+    dsl::IterOrder order = dsl::IterOrder::Parallel;
+    double modeled_time = 0;
+  };
+
+  struct Contents {
+    /// ctx key -> patterns (deduplicated, best speedup kept).
+    std::map<std::string, std::vector<Pattern>> patterns;
+    /// ctx key + '\x1f' + func + '\x1f' + order -> best schedule.
+    std::map<std::string, ScheduleEntry> schedules;
+    std::set<std::string> markers;  ///< ctx key + '\x1f' + signature
+
+    [[nodiscard]] long size() const;
+  };
+
+  /// Throws TuneDbError on bad header/version; counts dropped lines.
+  static Contents load_file(const std::string& path, long* poisoned);
+
+  std::string path_;
+  Contents contents_;
+  Stats stats_;
+};
+
+}  // namespace cyclone::tune

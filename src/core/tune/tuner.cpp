@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/dsl/analysis.hpp"
+#include "core/tune/search.hpp"
 #include "core/xform/fusion.hpp"
 #include "core/xform/passes.hpp"
 
@@ -80,9 +81,10 @@ bool dead_after_pair(const ir::Program& program, int state_idx, int c,
   return true;
 }
 
-/// Fields fusion may demote to kernel-local temporaries for the pair
-/// (state, {p, c}): transient, produced by the pair, *written before read*
-/// inside the pair (no incoming value), and dead afterwards.
+}  // namespace
+
+namespace detail {
+
 std::set<std::string> may_die_set(const ir::Program& program, int state_idx, int p, int c) {
   const auto& state = program.states()[static_cast<size_t>(state_idx)];
   const auto& a = state.nodes[static_cast<size_t>(p)];
@@ -140,7 +142,6 @@ std::set<std::string> may_die_set(const ir::Program& program, int state_idx, int
   return out;
 }
 
-/// True if nodes p (producer) and c (consumer) have a dataflow dependency.
 bool has_dependency(const ir::SNode& p, const ir::SNode& c) {
   if (p.kind != ir::SNode::Kind::Stencil || c.kind != ir::SNode::Kind::Stencil) return false;
   const dsl::AccessInfo pw = dsl::analyze(*p.stencil);
@@ -154,8 +155,6 @@ bool has_dependency(const ir::SNode& p, const ir::SNode& c) {
   return false;
 }
 
-/// Try to fuse nodes p and c of the state copy; returns the fused node or
-/// nullopt if the transformation is illegal.
 std::optional<ir::SNode> try_fuse(const ir::Program& program, int state_idx, int p, int c,
                                   TransformKind kind, const std::string& label) {
   const auto& state = program.states()[static_cast<size_t>(state_idx)];
@@ -186,7 +185,6 @@ std::optional<ir::SNode> try_fuse(const ir::Program& program, int state_idx, int
   }
 }
 
-/// Replace nodes p and c in `state` by `fused` (keeps execution position c).
 ir::State with_fused(const ir::State& state, int p, int c, ir::SNode fused) {
   ir::State out;
   out.name = state.name;
@@ -212,7 +210,6 @@ ir::Program cutout_program(const ir::Program& parent, const ir::State& state) {
   return verify::without_callbacks(cut);
 }
 
-/// Differential acceptance test of a candidate state rewrite.
 bool cutout_equivalent(const ir::Program& parent, const ir::State& before,
                        const ir::State& after, const TuningOptions& options) {
   verify::VerifyOptions vo = options.verify;
@@ -247,9 +244,13 @@ double measure_state(const ir::Program& program, const ir::State& state,
   return best;
 }
 
+}  // namespace detail
+
+namespace {
+
 double model_state_impl(const ir::Program& program, const ir::State& state,
                         const TuningOptions& options) {
-  if (options.measure_execution) return measure_state(program, state, options);
+  if (options.measure_execution) return detail::measure_state(program, state, options);
   std::vector<ir::KernelDesc> kernels;
   for (const auto& node : state.nodes) {
     auto ks = ir::expand_node(node, program, options.dom, 1);
@@ -258,11 +259,14 @@ double model_state_impl(const ir::Program& program, const ir::State& state,
   return perf::model_program(kernels, options.machine);
 }
 
-std::string func_name(const ir::SNode& node) {
+}  // namespace
+
+std::string detail::func_name(const ir::SNode& node) {
   return node.kind == ir::SNode::Kind::Stencil ? node.stencil->name() : std::string();
 }
 
-}  // namespace
+// The file below predates the detail split; keep its call sites unqualified.
+using namespace detail;
 
 double model_state(const ir::Program& program, const ir::State& state,
                    const TuningOptions& options) {
@@ -275,6 +279,13 @@ double model_whole_program(const ir::Program& program, const TuningOptions& opti
 
 std::vector<CutoutResult> tune_cutouts(const ir::Program& source, const TuningOptions& options,
                                        TransformKind kind) {
+  // Transfer-tuning v2: the model-pruned guided search is the default; the
+  // pre-v2 enumeration below stays available as the oracle it is tested
+  // against (TuningOptions::exhaustive).
+  if (!options.exhaustive) {
+    SearchStats stats;
+    return guided_tune_cutouts(source, options, kind, stats);
+  }
   std::vector<CutoutResult> results;
   for (int s = 0; s < static_cast<int>(source.states().size()); ++s) {
     const ir::State& state = source.states()[static_cast<size_t>(s)];

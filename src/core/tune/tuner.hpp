@@ -1,5 +1,7 @@
 #pragma once
 
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -56,6 +58,24 @@ struct TuningOptions {
   int measure_reps = 3;
   /// Engine options used for measured runs (thread count, parallel on/off).
   exec::RunOptions run;
+
+  /// Evaluate every fusible candidate pair (the pre-v2 enumeration). This is
+  /// the oracle mode the guided search is tested against; the default search
+  /// prunes with the bandwidth model (search.hpp).
+  bool exhaustive = false;
+  /// Guided search: a pair whose kernels all run at >= this fraction of the
+  /// bandwidth bound, with no traffic to save, is provably within one launch
+  /// overhead of optimal — discard without evaluating.
+  double prune_saturation = 0.97;
+  /// Guided search: discard candidates whose modeled *upper bound* on
+  /// relative gain is below this; also the "diminishing returns" threshold
+  /// of the early exit.
+  double min_gain = 0.01;
+  /// Guided search: abandon a state after this many consecutive evaluated
+  /// candidates that fail to beat (1 + min_gain) speedup. Candidates are
+  /// evaluated best-predicted-first, so a flat streak means the ordered tail
+  /// is unlikely to pay for its evaluations.
+  int search_patience = 3;
 };
 
 /// Result of exhaustively tuning one cutout (program state).
@@ -115,5 +135,44 @@ double model_state(const ir::Program& program, const ir::State& state,
 
 /// Modeled time of the whole program (invocation-weighted).
 double model_whole_program(const ir::Program& program, const TuningOptions& options);
+
+/// Internal building blocks shared between the exhaustive tuner, the guided
+/// search (search.hpp), and the online re-tuner (online.hpp). Semantics are
+/// pinned by tests/test_tune.cpp through the public entry points; treat the
+/// contracts below as stable.
+namespace detail {
+
+/// True if nodes p (producer) and c (consumer) have a dataflow dependency.
+bool has_dependency(const ir::SNode& p, const ir::SNode& c);
+
+/// Fields fusion may demote to kernel-local temporaries for the pair
+/// (state, {p, c}): transient, produced by the pair, written before read
+/// inside it, and dead afterwards.
+std::set<std::string> may_die_set(const ir::Program& program, int state_idx, int p, int c);
+
+/// Try to fuse nodes p and c of the given state; nullopt if the
+/// transformation is illegal.
+std::optional<ir::SNode> try_fuse(const ir::Program& program, int state_idx, int p, int c,
+                                  TransformKind kind, const std::string& label);
+
+/// Replace nodes p and c in `state` by `fused` (keeps execution position c).
+ir::State with_fused(const ir::State& state, int p, int c, ir::SNode fused);
+
+/// Stencil function name of a node ("" for non-stencil nodes).
+std::string func_name(const ir::SNode& node);
+
+/// Differential acceptance test of a candidate state rewrite: the rewritten
+/// single-state cutout must pass verify::check_equivalent against the
+/// original on the reference interpreter. The online re-tuner uses this as
+/// its swap guard.
+bool cutout_equivalent(const ir::Program& parent, const ir::State& before,
+                       const ir::State& after, const TuningOptions& options);
+
+/// Wall-clock a single-state cutout on the engine selected by options.run
+/// (minimum of measure_reps timed executions after one warm-up).
+double measure_state(const ir::Program& program, const ir::State& state,
+                     const TuningOptions& options);
+
+}  // namespace detail
 
 }  // namespace cyclone::tune

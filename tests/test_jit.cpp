@@ -34,18 +34,25 @@ namespace fs = std::filesystem;
 using exec::jit::CacheStats;
 using exec::jit::KernelCache;
 
+// Scratch paths live under the build tree (CYCLONE_TEST_TMPDIR), never the
+// cwd: a test run from the source checkout must not litter it.
+std::string test_tmp(const std::string& name) {
+  fs::create_directories(CYCLONE_TEST_TMPDIR);
+  return std::string(CYCLONE_TEST_TMPDIR) + "/" + name;
+}
+
 // Keep the process-global kernel cache (used by Program's Jit backend) in a
-// workspace-local directory instead of the user's ~/.cache. Static init runs
+// build-tree directory instead of the user's ~/.cache. Static init runs
 // before the global cache is first constructed.
 const bool kCacheEnvReady = [] {
   if (!std::getenv("CYCLONE_JIT_CACHE_DIR")) {
-    ::setenv("CYCLONE_JIT_CACHE_DIR", "cyclone-jit-test-cache", 1);
+    ::setenv("CYCLONE_JIT_CACHE_DIR", test_tmp("jit-global-cache").c_str(), 1);
   }
   return true;
 }();
 
 std::string fresh_dir(const std::string& name) {
-  const std::string dir = "jit-test-" + name;
+  const std::string dir = test_tmp("jit-test-" + name);
   fs::remove_all(dir);
   return dir;
 }
@@ -204,12 +211,15 @@ TEST(JitBackend, MissingCompilerDegradesGracefully) {
   // memoized lookup) sees the broken CYCLONE_JIT_CXX.
   const char* tool = "../tools/verify_pipeline";
   if (!fs::exists(tool)) GTEST_SKIP() << "verify_pipeline not built here";
-  const std::string cmd =
-      std::string("CYCLONE_JIT_CXX=/nonexistent/cxx CYCLONE_JIT_CACHE_DIR=jit-test-nocc ") +
-      tool + " --program fuzz:1 --backend jit --compare-serial > jit-test-nocc.out 2>&1";
+  const std::string cache_dir = test_tmp("jit-test-nocc");
+  const std::string log_path = test_tmp("jit-test-nocc.out");
+  const std::string cmd = std::string("CYCLONE_JIT_CXX=/nonexistent/cxx CYCLONE_JIT_CACHE_DIR=") +
+                          cache_dir + " " + tool +
+                          " --program fuzz:1 --backend jit --compare-serial > " + log_path +
+                          " 2>&1";
   const int rc = std::system(cmd.c_str());
   EXPECT_EQ(rc, 0) << "jit backend without a compiler must still verify clean";
-  std::ifstream log("jit-test-nocc.out");
+  std::ifstream log(log_path);
   std::string text((std::istreambuf_iterator<char>(log)), std::istreambuf_iterator<char>());
   EXPECT_NE(text.find("falling back to tape engine"), std::string::npos) << text;
 }

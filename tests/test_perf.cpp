@@ -343,7 +343,8 @@ TEST(BenchJson, SnapshotValidatorRequiresProvenanceAndRecords) {
 // The committed BENCH_* trajectory snapshots themselves: parse + full schema
 // check, so a hand-edited or printf-rotted snapshot fails here by name.
 TEST(BenchSnapshots, CommittedTrajectoryFilesMatchSchema) {
-  for (const char* name : {"BENCH_fig10.json", "BENCH_table3.json", "BENCH_ensemble.json"}) {
+  for (const char* name : {"BENCH_fig10.json", "BENCH_table3.json", "BENCH_ensemble.json",
+                           "BENCH_tuning.json"}) {
     const std::string path = std::string(CYCLONE_SOURCE_DIR) + "/" + name;
     JsonValue snapshot;
     ASSERT_NO_THROW(snapshot = parse_json_file(path)) << path;

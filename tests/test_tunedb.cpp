@@ -1,0 +1,266 @@
+// Robustness of the persistent tuning database (core/tune/tunedb.*): the
+// CorpusError discipline applied to tuning state. Truncation, bit flips,
+// version skew, and concurrent writers must surface as structured errors,
+// dropped records, or clean rebuilds — never as a wrong schedule handed to
+// the executor.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/tune/tunedb.hpp"
+
+namespace cyclone::tune {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_db(const std::string& name) {
+  fs::create_directories(CYCLONE_TEST_TMPDIR);
+  const std::string path = std::string(CYCLONE_TEST_TMPDIR) + "/tunedb-" + name + ".db";
+  fs::remove(path);
+  return path;
+}
+
+TuneContext ctx_a() { return TuneContext{"p100-feedface", "openmp", 4}; }
+
+Pattern sgf_pattern(const std::string& producer, const std::string& consumer,
+                    double speedup = 1.5) {
+  Pattern p;
+  p.kind = TransformKind::SubgraphFusion;
+  p.producer = producer;
+  p.consumer = consumer;
+  p.cutout_speedup = speedup;
+  return p;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream os(path, std::ios::trunc);
+  os << text;
+}
+
+/// The record checksum (same FNV-1a the implementation uses), so tests can
+/// craft lines that *pass* the checksum but fail semantic validation.
+std::string checksummed(const std::string& payload) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : payload) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%016llx ", static_cast<unsigned long long>(h));
+  return buf + payload;
+}
+
+TEST(TuneDb, RoundTripsPatternsSchedulesAndMarkers) {
+  const std::string path = fresh_db("roundtrip");
+  {
+    TuneDb db(path);
+    db.put_pattern(ctx_a(), sgf_pattern("fvtp2d", "delnflux", 1.75));
+    sched::Schedule s = sched::tuned_horizontal();
+    s.tile_i = 8;
+    s.tile_j = 8;
+    db.put_schedule(ctx_a(), "fvtp2d", dsl::IterOrder::Parallel, s, 1.25e-3);
+    db.mark_program(ctx_a(), "cafe0123feedbeef");
+    db.flush();
+  }
+  TuneDb db(path);
+  EXPECT_EQ(db.stats().loaded_records, 3);
+  EXPECT_EQ(db.stats().poisoned_records, 0);
+  const auto pats = db.patterns(ctx_a());
+  ASSERT_EQ(pats.size(), 1u);
+  EXPECT_EQ(pats[0].producer, "fvtp2d");
+  EXPECT_DOUBLE_EQ(pats[0].cutout_speedup, 1.75);  // bit-pattern round trip
+  const auto s = db.schedule(ctx_a(), "fvtp2d", dsl::IterOrder::Parallel);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->tile_i, 8);
+  EXPECT_TRUE(db.has_program(ctx_a(), "cafe0123feedbeef"));
+  // Different context: nothing leaks across the (machine, backend, threads) key.
+  EXPECT_TRUE(db.patterns(TuneContext{"a100-0", "jit", 1}).empty());
+  EXPECT_FALSE(db.has_program(TuneContext{"a100-0", "jit", 1}, "cafe0123feedbeef"));
+}
+
+TEST(TuneDb, TruncatedTailDropsOnlyTheTornRecord) {
+  const std::string path = fresh_db("truncate");
+  {
+    TuneDb db(path);
+    db.put_pattern(ctx_a(), sgf_pattern("a", "b"));
+    db.put_pattern(ctx_a(), sgf_pattern("c", "d"));
+    db.flush();
+  }
+  // Tear the file mid-way through the last line, as an interrupted write
+  // (without the tmp+rename discipline) would.
+  std::string text = read_file(path);
+  ASSERT_GT(text.size(), 20u);
+  write_file(path, text.substr(0, text.size() - 10));
+
+  TuneDb db(path);
+  EXPECT_EQ(db.stats().poisoned_records, 1);
+  EXPECT_EQ(db.stats().rebuilds, 0);
+  EXPECT_EQ(db.patterns(ctx_a()).size(), 1u);  // the intact record survives
+}
+
+TEST(TuneDb, BitFlipDropsExactlyTheCorruptRecord) {
+  const std::string path = fresh_db("bitflip");
+  {
+    TuneDb db(path);
+    db.put_pattern(ctx_a(), sgf_pattern("a", "b"));
+    db.put_pattern(ctx_a(), sgf_pattern("c", "d"));
+    db.flush();
+  }
+  std::string text = read_file(path);
+  // Flip one byte inside the *last* record's payload (past its checksum).
+  text[text.size() - 2] ^= 0x04;
+  write_file(path, text);
+
+  TuneDb db(path);
+  EXPECT_EQ(db.stats().poisoned_records, 1);
+  const auto pats = db.patterns(ctx_a());
+  ASSERT_EQ(pats.size(), 1u);
+  EXPECT_EQ(pats[0].producer, "a");
+  EXPECT_EQ(TuneDb::validate(path), 1);  // validate() counts the same drop
+}
+
+TEST(TuneDb, VersionSkewRebuildsCleanAndValidateNamesIt) {
+  const std::string path = fresh_db("version");
+  {
+    TuneDb db(path);
+    db.put_pattern(ctx_a(), sgf_pattern("a", "b"));
+    db.flush();
+  }
+  std::string text = read_file(path);
+  const auto nl = text.find('\n');
+  write_file(path, "cyclone-tunedb 999" + text.substr(nl));
+
+  // validate() surfaces the structured error with file and reason attached.
+  try {
+    TuneDb::validate(path);
+    FAIL() << "version skew must throw";
+  } catch (const TuneDbError& e) {
+    EXPECT_EQ(e.file(), path);
+    EXPECT_NE(e.reason().find("version skew"), std::string::npos) << e.reason();
+  }
+
+  // The constructor chooses rebuild: empty DB, file discarded, counted.
+  TuneDb db(path);
+  EXPECT_EQ(db.stats().rebuilds, 1);
+  EXPECT_TRUE(db.patterns(ctx_a()).empty());
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(TuneDb, BadMagicAndMissingFileAreStructuredErrors) {
+  const std::string path = fresh_db("magic");
+  EXPECT_THROW(TuneDb::validate(path), TuneDbError);  // missing file
+  write_file(path, "not-a-tunedb 1\n");
+  try {
+    TuneDb::validate(path);
+    FAIL() << "bad magic must throw";
+  } catch (const TuneDbError& e) {
+    EXPECT_NE(e.reason().find("bad magic"), std::string::npos) << e.reason();
+  }
+  TuneDb db(path);  // and the constructor rebuilds instead of trusting it
+  EXPECT_EQ(db.stats().rebuilds, 1);
+}
+
+TEST(TuneDb, ChecksummedButInfeasibleScheduleIsRefused) {
+  // A record can pass its checksum and still encode a schedule the validator
+  // rejects (here: k-as-map on a Forward solver). The executor must never
+  // see it — the loader drops it like corruption.
+  const std::string path = fresh_db("infeasible");
+  const std::string ctx = "m b 2";
+  write_file(path, std::string("cyclone-tunedb 1\n") +
+                       checksummed("S " + ctx + " tridiag 1 0 0 0 1 0 0 0 0 " +
+                                   "3ff0000000000000") +
+                       "\n");
+  EXPECT_EQ(TuneDb::validate(path), 1);
+  TuneDb db(path);
+  EXPECT_EQ(db.stats().poisoned_records, 1);
+  EXPECT_FALSE(db.schedule(TuneContext{"m", "b", 2}, "tridiag", dsl::IterOrder::Forward)
+                   .has_value());
+}
+
+TEST(TuneDb, PutScheduleKeepsBestKnownConfig) {
+  // The upsert keeps the smallest modeled time: a later, worse measurement
+  // must not evict the best-known config.
+  const std::string path = fresh_db("upsert");
+  TuneDb db(path);
+  sched::Schedule good = sched::tuned_horizontal();
+  db.put_schedule(ctx_a(), "f", dsl::IterOrder::Parallel, good, 2.0);
+  // Worse modeled time: the recorded config must not change.
+  sched::Schedule other = sched::default_schedule();
+  db.put_schedule(ctx_a(), "f", dsl::IterOrder::Parallel, other, 3.0);
+  const auto s = db.schedule(ctx_a(), "f", dsl::IterOrder::Parallel);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(*s == good);
+}
+
+TEST(TuneDb, ConcurrentWritersMergeThroughFlush) {
+  // Two live handles on the same path — the in-process stand-in for two
+  // processes tuning into one DB. Each flush re-reads and merges the disk
+  // state, so the second writer absorbs the first instead of clobbering it.
+  const std::string path = fresh_db("concurrent");
+  TuneDb a(path);
+  TuneDb b(path);
+  a.put_pattern(ctx_a(), sgf_pattern("pa", "ca", 1.2));
+  b.put_pattern(ctx_a(), sgf_pattern("pb", "cb", 1.4));
+  a.mark_program(ctx_a(), "siga");
+  b.mark_program(ctx_a(), "sigb");
+  a.flush();
+  b.flush();  // merges a's records in before writing
+  EXPECT_GE(b.stats().merged_records, 2L);
+
+  TuneDb merged(path);
+  EXPECT_EQ(merged.patterns(ctx_a()).size(), 2u);
+  EXPECT_TRUE(merged.has_program(ctx_a(), "siga"));
+  EXPECT_TRUE(merged.has_program(ctx_a(), "sigb"));
+}
+
+TEST(TuneDb, ConcurrentUpsertKeepsBestOfBothWriters) {
+  // Both writers tune the same (context, function): the merge must keep the
+  // better modeled time regardless of flush order.
+  const std::string path = fresh_db("upsert-race");
+  TuneDb a(path);
+  TuneDb b(path);
+  sched::Schedule sa = sched::tuned_horizontal();
+  sa.tile_i = 8;
+  sched::Schedule sb = sched::tuned_horizontal();
+  sb.tile_i = 16;
+  a.put_schedule(ctx_a(), "f", dsl::IterOrder::Parallel, sa, 2.0);
+  b.put_schedule(ctx_a(), "f", dsl::IterOrder::Parallel, sb, 1.0);  // better
+  a.flush();
+  b.flush();
+
+  TuneDb merged(path);
+  const auto s = merged.schedule(ctx_a(), "f", dsl::IterOrder::Parallel);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->tile_i, 16);
+
+  // And in the opposite order the better record still wins: a re-flush of
+  // the worse writer must not clobber the better on-disk entry.
+  TuneDb c(path);
+  sched::Schedule sc = sched::tuned_horizontal();
+  sc.tile_i = 4;
+  c.put_schedule(ctx_a(), "g", dsl::IterOrder::Parallel, sc, 5.0);
+  c.flush();
+  TuneDb after(path);
+  EXPECT_EQ(after.schedule(ctx_a(), "f", dsl::IterOrder::Parallel)->tile_i, 16);
+  EXPECT_EQ(after.schedule(ctx_a(), "g", dsl::IterOrder::Parallel)->tile_i, 4);
+}
+
+TEST(TuneDb, FlushIntoUnwritableDirectoryThrowsStructured) {
+  TuneDb db("/proc/cyclone-tunedb-nonexistent/tune.db");
+  db.put_pattern(ctx_a(), sgf_pattern("a", "b"));
+  EXPECT_THROW(db.flush(), TuneDbError);
+}
+
+}  // namespace
+}  // namespace cyclone::tune

@@ -31,6 +31,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,6 +39,8 @@
 #include "comm/verify_distributed.hpp"
 #include "core/dsl/builder.hpp"
 #include "core/exec/engine.hpp"
+#include "core/tune/search.hpp"
+#include "core/tune/tunedb.hpp"
 #include "core/verify/pipeline.hpp"
 #include "core/verify/random_program.hpp"
 #include "core/verify/verify.hpp"
@@ -93,6 +96,12 @@ void usage() {
                "  --seeds N          perturbation seeds for --ensemble (default 3)\n"
                "  --members CSV      member counts for --ensemble (default 1,4)\n"
                "  --steps N          timesteps per --ensemble run (default 2)\n"
+               "  --tune-mode NAME   off (default), guided, or exhaustive: autotune the\n"
+               "                     transformed program before the equivalence check and\n"
+               "                     report the search accounting; online: re-tune between\n"
+               "                     steps inside the --concurrent runtime check\n"
+               "  --tune-db PATH     persistent tuning database for --tune-mode (default:\n"
+               "                     none; a second run against the same DB starts warm)\n"
                "  --list-passes      print the known pass names and exit\n");
 }
 
@@ -201,6 +210,8 @@ int main(int argc, char** argv) {
   int crash_step = -1;
   int chaos_steps = 2;
   double recv_timeout = 120.0;
+  exec::TuneMode tune_mode = exec::TuneMode::Off;
+  std::string tune_db;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -267,6 +278,14 @@ int main(int argc, char** argv) {
       crash_step = std::atoi(value());
     } else if (arg == "--chaos-steps") {
       chaos_steps = std::atoi(value());
+    } else if (arg == "--tune-mode") {
+      const std::string name = value();
+      if (!exec::parse_tune_mode(name, tune_mode)) {
+        std::fprintf(stderr, "unknown tune mode '%s'\n", name.c_str());
+        return 2;
+      }
+    } else if (arg == "--tune-db") {
+      tune_db = value();
     } else if (arg == "--list-passes") {
       for (const auto& name : verify::known_passes()) std::printf("%s\n", name.c_str());
       return 0;
@@ -435,6 +454,40 @@ int main(int argc, char** argv) {
     applied.push_back(r);
   }
 
+  // Autotune the transformed program before the equivalence check: tuning is
+  // semantics-preserving by contract, so check_equivalent below doubles as
+  // the translation validator of whatever the search rewrote. Online mode is
+  // exercised inside the --concurrent runtime check instead.
+  std::string tuning_json;
+  if (tune_mode == exec::TuneMode::Guided || tune_mode == exec::TuneMode::Exhaustive) {
+    try {
+      tune::TuningOptions topts;
+      topts.dom = pass_dom;
+      topts.run = run;
+      topts.exhaustive = tune_mode == exec::TuneMode::Exhaustive;
+      std::unique_ptr<tune::TuneDb> db;
+      if (!tune_db.empty()) db = std::make_unique<tune::TuneDb>(tune_db);
+      const tune::TuneReport tr = tune::tune_program(transformed, topts, db.get());
+      std::ostringstream ts;
+      ts << "{\"mode\": \"" << exec::tune_mode_name(tune_mode) << "\", \"warm\": "
+         << (tr.warm ? "true" : "false") << ", \"candidates\": " << tr.search.candidates
+         << ", \"evaluated\": " << tr.search.evaluated << ", \"timed\": " << tr.search.timed
+         << ", \"pruned_saturated\": " << tr.search.pruned_saturated
+         << ", \"pruned_low_gain\": " << tr.search.pruned_low_gain
+         << ", \"early_exits\": " << tr.search.early_exits
+         << ", \"transferred\": " << tr.search.transferred
+         << ", \"db_hits\": " << tr.search.db_hits
+         << ", \"patterns\": " << tr.patterns
+         << ", \"applied\": " << tr.transfer.applied
+         << ", \"schedules_changed\": " << tr.schedules_changed
+         << ", \"modeled_speedup\": " << tr.speedup() << "}";
+      tuning_json = ts.str();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tuning failed to run: %s\n", e.what());
+      return 2;
+    }
+  }
+
   std::string defect;
   if (mutate) defect = verify::mutate_program(transformed, mutate_seed);
 
@@ -450,6 +503,7 @@ int main(int argc, char** argv) {
         << "\", \"changes\": " << applied[i].changes << "}";
   }
   out << "],\n";
+  if (!tuning_json.empty()) out << "  \"tuning\": " << tuning_json << ",\n";
   if (mutate) out << "  \"injected_defect\": \"" << json_escape(defect) << "\",\n";
 
   // Optional serial-vs-parallel engine check of the transformed program,
@@ -494,13 +548,27 @@ int main(int argc, char** argv) {
     const ir::Program& subject = placement_dependent_pass ? original : transformed;
     try {
       const grid::Partitioner part = grid::Partitioner::for_ranks(12, ranks);
+      ir::Program csubject = verify::without_callbacks(subject);
+      // --tune-mode online rides on the program's own run options: the
+      // concurrent runtime re-tunes between steps while the lockstep
+      // reference never tunes, so the bitwise comparison is the 0-ULP proof
+      // that hot-swapped schedules do not change results.
+      if (tune_mode == exec::TuneMode::Online) {
+        exec::RunOptions cro = csubject.run_options();
+        cro.tune_mode = exec::TuneMode::Online;
+        cro.tune_db = tune_db;
+        csubject.set_run_options(cro);
+      }
       const verify::EquivalenceReport creport = verify::check_distributed_agrees(
-          verify::without_callbacks(subject), part, pass_dom.nk, /*halo_width=*/3, dvo);
+          csubject, part, pass_dom.nk, /*halo_width=*/3, dvo);
       concurrent_ok = creport.equivalent;
       out << "  \"ranks\": " << ranks << ",\n"
           << "  \"concurrent_subject\": \""
-          << (placement_dependent_pass ? "original" : "transformed") << "\",\n"
-          << "  \"concurrent_report\": " << verify::report_to_json(creport) << ",\n";
+          << (placement_dependent_pass ? "original" : "transformed") << "\",\n";
+      if (tune_mode == exec::TuneMode::Online) {
+        out << "  \"concurrent_tune_mode\": \"online\",\n";
+      }
+      out << "  \"concurrent_report\": " << verify::report_to_json(creport) << ",\n";
     } catch (const std::exception& e) {
       std::fprintf(stderr, "concurrent check failed to run: %s\n", e.what());
       return 2;
