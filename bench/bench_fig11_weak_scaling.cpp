@@ -6,9 +6,15 @@
 // alpha-beta network model. The A100 portability point (Sec. IX-B) closes
 // the figure.
 
+#include <sys/utsname.h>
+
+#include <thread>
+
 #include "bench_common.hpp"
+#include "comm/elastic.hpp"
 #include "comm/halo.hpp"
 #include "comm/runtime.hpp"
+#include "core/exec/jit/compiler.hpp"
 #include "core/dsl/builder.hpp"
 #include "core/util/rng.hpp"
 #include "core/xform/passes.hpp"
@@ -162,9 +168,173 @@ double measured_diffusion_seconds(int num_ranks, bool concurrent, bool overlap, 
   return timer.seconds() / steps;
 }
 
+/// Per-rank seeded catalogs + rank domains for `part` (diffusion chain).
+std::vector<FieldCatalog> chain_catalogs(const ir::Program& p, const grid::Partitioner& part,
+                                         int nk, uint64_t seed) {
+  std::vector<FieldCatalog> cats;
+  for (int r = 0; r < part.num_ranks(); ++r) {
+    const grid::RankInfo info = part.info(r);
+    exec::LaunchDomain dom{info.ni, info.nj, nk};
+    dom.gi0 = info.i0;
+    dom.gj0 = info.j0;
+    dom.gni = part.n();
+    dom.gnj = part.n();
+    cats.push_back(verify::make_test_catalog(p, p, dom, Rng::mix(seed, r)));
+  }
+  return cats;
+}
+
+/// The elastic shrink/grow timeline: step the diffusion chain through the
+/// elastic runtime one global step at a time, so every row carries the wall
+/// time of its step and any membership change (with the resize latency split
+/// into snapshot / rebuild / halo-refresh). A second run demonstrates the
+/// load balancer shedding an injected straggler. Returns the JSON records.
+std::vector<std::string> run_elastic_timeline(bool print) {
+  std::vector<std::string> records;
+  const int n = 48, nk = 16, steps = 8;
+
+  // Scripted shrink -> grow round-trip: 24 -> 6 at step 2, 6 -> 24 at step 5.
+  {
+    const ir::Program p = diffusion_chain(/*trips=*/4);
+    const grid::Partitioner part = grid::Partitioner::for_ranks(n, 24);
+    comm::ElasticOptions eo;
+    eo.runtime.channel.recv_timeout_seconds = bench::recv_timeout_seconds();
+    eo.plan.events = {{2, 6}, {5, 24}};
+    comm::ElasticRuntime ert(p, nk, 3, part, chain_catalogs(p, part, nk, 0xE1A0), eo);
+    if (print) {
+      std::printf("%6s %6s %12s %10s  %s\n", "step", "ranks", "step time", "resize",
+                  "resize latency (snapshot + rebuild + refresh)");
+    }
+    for (int s = 0; s < steps; ++s) {
+      const int ranks_before = ert.num_ranks();
+      WallTimer timer;
+      const comm::ElasticReport r = ert.run(s + 1);
+      const double step_seconds = timer.seconds();
+      if (!r.ok) {
+        std::fprintf(stderr, "elastic timeline step %d failed: %s\n", s, r.failure.c_str());
+        break;
+      }
+      double resize_seconds = 0;
+      std::string trigger;
+      for (const comm::ResizeRecord& rec : r.resize_log) {
+        resize_seconds += rec.total_seconds();
+        trigger = rec.trigger;
+        char rextra[256];
+        std::snprintf(rextra, sizeof rextra,
+                      "\"at_step\":%ld,\"from_ranks\":%d,\"to_ranks\":%d,\"trigger\":\"%s\","
+                      "\"snapshot_seconds\":%.6g,\"rebuild_seconds\":%.6g,"
+                      "\"refresh_seconds\":%.6g",
+                      rec.at_step, rec.from_ranks, rec.to_ranks, rec.trigger.c_str(),
+                      rec.snapshot_seconds, rec.rebuild_seconds, rec.refresh_seconds);
+        records.push_back(perf::format_bench_record(
+            "fig11_elastic",
+            "resize_" + std::to_string(rec.from_ranks) + "to" + std::to_string(rec.to_ranks), 1,
+            rec.total_seconds(), 1.0, rextra));
+      }
+      char extra[160];
+      std::snprintf(extra, sizeof extra,
+                    "\"step\":%d,\"ranks\":%d,\"resize_trigger\":\"%s\","
+                    "\"resize_seconds\":%.6g",
+                    s, ert.num_ranks(), trigger.c_str(), resize_seconds);
+      records.push_back(perf::format_bench_record("fig11_elastic",
+                                                  "timeline_s" + std::to_string(s), 1,
+                                                  step_seconds, 1.0, extra));
+      if (print) {
+        std::printf("%6d %3d->%-3d %12s %10s  %s\n", s, ranks_before, ert.num_ranks(),
+                    str::human_time(step_seconds).c_str(),
+                    trigger.empty() ? "-" : trigger.c_str(),
+                    resize_seconds > 0 ? str::human_time(resize_seconds).c_str() : "");
+      }
+    }
+  }
+
+  // Load-balancer leg: a synthetic straggler (busy-wait, wall-time only)
+  // drives the per-rank EWMAs apart until the balancer re-rosters.
+  {
+    const ir::Program p = diffusion_chain(/*trips=*/1);
+    const grid::Partitioner part = grid::Partitioner::for_ranks(n, 6);
+    comm::ElasticOptions eo;
+    eo.runtime.channel.recv_timeout_seconds = bench::recv_timeout_seconds();
+    eo.runtime.imbalance.slow_rank = 2;
+    eo.runtime.imbalance.extra_us_per_state = 2000;
+    eo.balancer.enabled = true;
+    eo.balancer.trigger_ratio = 1.5;
+    eo.balancer.warmup_steps = 2;
+    comm::ElasticRuntime ert(p, nk, 3, part, chain_catalogs(p, part, nk, 0xBA1A), eo);
+    WallTimer timer;
+    const comm::ElasticReport r = ert.run(steps);
+    const double total = timer.seconds();
+    double rebalance_latency = 0;
+    for (const comm::ResizeRecord& rec : r.resize_log) {
+      if (rec.trigger == "imbalance") rebalance_latency += rec.total_seconds();
+    }
+    char extra[200];
+    std::snprintf(extra, sizeof extra,
+                  "\"ok\":%s,\"steps\":%d,\"rebalances\":%d,\"slow_rank\":2,"
+                  "\"extra_us_per_state\":2000,\"rebalance_seconds\":%.6g",
+                  r.ok ? "true" : "false", steps, r.rebalances, rebalance_latency);
+    records.push_back(perf::format_bench_record("fig11_elastic", "rebalance_imbalance", 1,
+                                                total / steps, 1.0, extra));
+    if (print) {
+      std::printf(
+          "straggler shed: %d rebalance(s) over %d steps, rebalance latency %s "
+          "(%s/step overall)\n",
+          r.rebalances, steps, str::human_time(rebalance_latency).c_str(),
+          str::human_time(total / steps).c_str());
+    }
+  }
+  return records;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string git_sha = "unreleased";
+  std::string generated = "unknown";
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[a], "--git-sha") == 0 && a + 1 < argc) {
+      git_sha = argv[++a];
+    } else if (std::strcmp(argv[a], "--generated") == 0 && a + 1 < argc) {
+      generated = argv[++a];
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[a]);
+      return 2;
+    }
+  }
+
+  // --json: print only the elastic timeline as a complete BENCH_elastic.json
+  // snapshot (schema of tests/test_perf.cpp) and exit.
+  if (json) {
+    const std::vector<std::string> records = run_elastic_timeline(/*print=*/false);
+    utsname uts{};
+    uname(&uts);
+    std::printf("{\n  \"bench\": \"fig11_elastic\",\n");
+    std::printf(
+        "  \"description\": \"Measured shrink/grow timeline of the elastic membership layer "
+        "on the halo-diffusion chain (48x48 tiles, nk=16): per-step wall times across a "
+        "scripted 24->6->24 re-roster with the resize latency split into snapshot / rebuild "
+        "/ halo-refresh, plus a load-balancer run where an injected straggler triggers a "
+        "re-roster. Elastic runs are bitwise identical to static membership — see "
+        "tests/test_elastic.cpp and verify_pipeline --elastic.\",\n");
+    std::printf("  \"generated\": \"%s\",\n  \"git_sha\": \"%s\",\n", generated.c_str(),
+                git_sha.c_str());
+    std::printf("  \"command\": \"bench_fig11_weak_scaling --json\",\n");
+    std::printf(
+        "  \"machine\": {\n    \"os\": \"%s %s %s\",\n    \"cpus\": %u,\n"
+        "    \"toolchain\": \"%s\"\n  },\n",
+        uts.sysname, uts.release, uts.machine, std::thread::hardware_concurrency(),
+        exec::jit::toolchain_fingerprint().c_str());
+    std::printf("  \"config\": \"diffusion_chain_n48\",\n  \"records\": [\n");
+    for (size_t i = 0; i < records.size(); ++i) {
+      std::printf("    %s%s\n", records[i].c_str(), i + 1 < records.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+  }
+
   bench::print_header("Fig. 11 — Weak scaling, 192x192x80 per node (time per physics step)");
 
   const fv3::FvConfig cfg = bench::paper_config();
@@ -431,6 +601,17 @@ int main() {
       bench::emit_json_record("fig11_fault_tolerance", sc.name, 1, per_step,
                               clean_seconds > 0 ? clean_seconds / per_step : 1.0, extra);
     }
+  }
+
+  // ---- Measured: elastic membership (shrink/grow timeline) ---------------
+  // Ranks leave and join mid-run: per-step wall times across a scripted
+  // 24 -> 6 -> 24 re-roster (resize latency split into snapshot / rebuild /
+  // halo-refresh), then a load balancer shedding an injected straggler.
+  bench::print_rule();
+  std::printf("Measured: elastic membership timeline (diffusion chain, 48x48x16 per tile)\n");
+  {
+    const std::vector<std::string> records = run_elastic_timeline(/*print=*/true);
+    for (const std::string& r : records) std::printf("%s\n", r.c_str());
   }
   return 0;
 }

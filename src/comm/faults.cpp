@@ -24,4 +24,16 @@ std::string describe_plan(const FaultPlan& plan) {
   return os.str();
 }
 
+FaultPlan rekey_plan(FaultPlan plan, int new_nranks, bool clear_failure) {
+  CY_REQUIRE_MSG(new_nranks > 0, "rekey_plan needs a positive roster size");
+  if (clear_failure) {
+    plan.failure = FaultPlan::Failure::None;
+    plan.fail_rank = -1;
+  } else if (plan.fail_rank >= new_nranks) {
+    plan.fail_rank %= new_nranks;
+  }
+  if (plan.only_src >= new_nranks) plan.only_src %= new_nranks;
+  return plan;
+}
+
 }  // namespace cyclone::comm

@@ -182,4 +182,14 @@ inline void flip_payload_bit(std::vector<double>& data, size_t word, int bit) {
 /// Human-readable one-liner of a plan ("drop=0.25 crash(r1@s2) seed=0x2a").
 std::string describe_plan(const FaultPlan& plan);
 
+/// Re-key a fault plan for a new roster size after an elastic resize
+/// (DESIGN.md §14). Message-fault rates and the seed carry over unchanged —
+/// chaos stays armed across membership changes — but rank-scoped fields are
+/// remapped: `fail_rank` and `only_src` wrap modulo the new roster so a
+/// targeted fault keeps naming a live rank. When `clear_failure` is set the
+/// one-shot crash/hang is dropped entirely; the elastic layer passes true
+/// once the latch has fired, mirroring FaultInjector's "a restarted rank is
+/// healthy" rule for rosters rebuilt after the death was honored.
+FaultPlan rekey_plan(FaultPlan plan, int new_nranks, bool clear_failure);
+
 }  // namespace cyclone::comm

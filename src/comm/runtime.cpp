@@ -1,6 +1,7 @@
 #include "comm/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <map>
 #include <mutex>
@@ -263,6 +264,9 @@ ConcurrentRuntime::ConcurrentRuntime(const ir::Program& program, const HaloUpdat
 
   heartbeats_ = std::make_unique<std::atomic<long>[]>(ranks_.size());
   for (size_t r = 0; r < ranks_.size(); ++r) heartbeats_[r].store(0, std::memory_order_relaxed);
+  step_seconds_.assign(ranks_.size(), 0.0);
+  health_.resize(ranks_.size());
+  for (size_t r = 0; r < ranks_.size(); ++r) health_[r].rank = static_cast<int>(r);
   if (options_.faults.active()) comm_.set_fault_plan(options_.faults);
   if (options_.faults.failure != FaultPlan::Failure::None) {
     fail_injector_ = std::make_unique<FaultInjector>(options_.faults);
@@ -309,6 +313,15 @@ void ConcurrentRuntime::run_rank(int rank) {
   // its state runs standalone or fused into the preceding exchange.
   const auto maybe_fail = [&](size_t p) {
     heartbeats_[static_cast<size_t>(rank)].fetch_add(1, std::memory_order_relaxed);
+    // Synthetic straggler: burn wall time only. The busy-wait touches no
+    // data, so EWMAs diverge while results stay bitwise identical.
+    const ImbalancePlan& imb = options_.imbalance;
+    if (imb.active() && rank == imb.slow_rank && step_index_ >= imb.from_step) {
+      const auto until = std::chrono::steady_clock::now() +
+                         std::chrono::microseconds(imb.extra_us_per_state);
+      while (std::chrono::steady_clock::now() < until) {
+      }
+    }
     if (!fail_injector_ || !fail_injector_->should_fail(rank, step_index_, static_cast<int>(p))) {
       return;
     }
@@ -402,7 +415,10 @@ void ConcurrentRuntime::step() {
   for (size_t r = 0; r < ranks_.size(); ++r) {
     threads.emplace_back([this, r, &error_mutex, &first_error] {
       try {
+        const auto t0 = std::chrono::steady_clock::now();
         run_rank(static_cast<int>(r));
+        step_seconds_[r] =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
       } catch (const std::exception& e) {
         {
           std::lock_guard<std::mutex> lock(error_mutex);
@@ -474,6 +490,18 @@ void ConcurrentRuntime::step() {
   comm_.purge_acknowledged();
   comm_.assert_drained();
 
+  // Fold the per-rank wall times into the health table. EWMA alpha 0.25:
+  // responsive enough to expose an injected straggler within a few steps,
+  // damped enough that one noisy step does not trigger a rebalance.
+  for (size_t r = 0; r < ranks_.size(); ++r) {
+    RankHealth& h = health_[r];
+    h.last_seen_step = step_index_;
+    h.heartbeats = heartbeats_[r].load(std::memory_order_relaxed);
+    h.ewma_step_seconds = h.ewma_step_seconds <= 0.0
+                              ? step_seconds_[r]
+                              : 0.75 * h.ewma_step_seconds + 0.25 * step_seconds_[r];
+  }
+
   ++step_index_;
   ++stats_.steps;
   for (size_t p = 0; p < order_.size(); ++p) {
@@ -508,6 +536,7 @@ RunReport ConcurrentRuntime::run(int nsteps) {
         report.failure = e.what();
         report.steps_completed = step_index_;
         report.channel = comm_.reliability();
+        report.health = health_;
         comm_.reset_for_recovery();  // leave the runtime reusable
         halo_.reset_pools();
         return report;
@@ -530,7 +559,50 @@ RunReport ConcurrentRuntime::run(int nsteps) {
   }
   report.steps_completed = step_index_;
   report.channel = comm_.reliability();
+  report.health = health_;
   return report;
+}
+
+std::string run_report_to_json(const RunReport& report) {
+  std::ostringstream os;
+  const auto esc = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  };
+  os << "{\"ok\":" << (report.ok ? "true" : "false")
+     << ",\"steps_completed\":" << report.steps_completed << ",\"restarts\":" << report.restarts
+     << ",\"checkpoints\":" << report.checkpoints
+     << ",\"rolled_back_steps\":" << report.rolled_back_steps << ",\"failure\":\""
+     << esc(report.failure) << "\"";
+  const ReliabilityCounters& c = report.channel;
+  os << ",\"channel\":{\"reliable_sends\":" << c.reliable_sends
+     << ",\"retransmits\":" << c.retransmits << ",\"corrupt_detected\":" << c.corrupt_detected
+     << ",\"dups_dropped\":" << c.dups_dropped << ",\"reorders_healed\":" << c.reorders_healed
+     << ",\"drops_injected\":" << c.drops_injected << ",\"dups_injected\":" << c.dups_injected
+     << ",\"reorders_injected\":" << c.reorders_injected
+     << ",\"corrupts_injected\":" << c.corrupts_injected
+     << ",\"delays_injected\":" << c.delays_injected
+     << ",\"faults_injected\":" << c.faults_injected() << "}";
+  os << ",\"health\":[";
+  for (size_t r = 0; r < report.health.size(); ++r) {
+    const RankHealth& h = report.health[r];
+    if (r) os << ",";
+    os << "{\"rank\":" << h.rank << ",\"last_seen_step\":" << h.last_seen_step
+       << ",\"heartbeats\":" << h.heartbeats << ",\"ewma_step_seconds\":" << h.ewma_step_seconds
+       << "}";
+  }
+  os << "]}";
+  return os.str();
 }
 
 }  // namespace cyclone::comm

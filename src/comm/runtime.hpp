@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <string>
 #include <utility>
@@ -38,36 +39,54 @@ class CheckpointStore {
 /// Default store: deep copies of every rank's fields held in memory — the
 /// stand-in for node-local burst-buffer checkpointing. fv3 provides a
 /// Savepoint-backed implementation that reuses the serialization layer.
+/// Retains the newest `keep_last` complete snapshots (older ones are evicted
+/// oldest-first on save); restore always rewinds to the newest.
 class MemoryCheckpointStore : public CheckpointStore {
  public:
+  explicit MemoryCheckpointStore(int keep_last = 1) : keep_last_(keep_last < 1 ? 1 : keep_last) {}
+
   void save(long step, const std::vector<RankDomain>& ranks) override {
-    step_ = step;
-    snaps_.clear();
-    snaps_.reserve(ranks.size());
+    Snapshot snap;
+    snap.step = step;
+    snap.ranks.reserve(ranks.size());
     for (const auto& rd : ranks) {
-      std::vector<std::pair<std::string, FieldD>> snap;
-      for (const auto& name : rd.catalog->names()) snap.emplace_back(name, rd.catalog->at(name));
-      snaps_.push_back(std::move(snap));
+      std::vector<std::pair<std::string, FieldD>> fields;
+      for (const auto& name : rd.catalog->names()) fields.emplace_back(name, rd.catalog->at(name));
+      snap.ranks.push_back(std::move(fields));
     }
+    snaps_.push_back(std::move(snap));
+    while (static_cast<int>(snaps_.size()) > keep_last_) snaps_.pop_front();
     ++saves_;
   }
 
   long restore(std::vector<RankDomain>& ranks) override {
     CY_REQUIRE_MSG(!snaps_.empty(), "no checkpoint to restore");
-    CY_REQUIRE_MSG(snaps_.size() == ranks.size(), "checkpoint rank count mismatch");
+    const Snapshot& snap = snaps_.back();
+    CY_REQUIRE_MSG(snap.ranks.size() == ranks.size(), "checkpoint rank count mismatch");
     for (size_t r = 0; r < ranks.size(); ++r) {
-      for (const auto& [name, field] : snaps_[r]) ranks[r].catalog->at(name).copy_from(field);
+      for (const auto& [name, field] : snap.ranks[r]) ranks[r].catalog->at(name).copy_from(field);
     }
     ++restores_;
-    return step_;
+    return snap.step;
   }
 
   [[nodiscard]] long saves() const { return saves_; }
   [[nodiscard]] long restores() const { return restores_; }
+  [[nodiscard]] int retained() const { return static_cast<int>(snaps_.size()); }
+  [[nodiscard]] std::vector<long> retained_steps() const {
+    std::vector<long> steps;
+    steps.reserve(snaps_.size());
+    for (const auto& s : snaps_) steps.push_back(s.step);
+    return steps;
+  }
 
  private:
-  long step_ = -1;
-  std::vector<std::vector<std::pair<std::string, FieldD>>> snaps_;
+  struct Snapshot {
+    long step = -1;
+    std::vector<std::vector<std::pair<std::string, FieldD>>> ranks;
+  };
+  int keep_last_;
+  std::deque<Snapshot> snaps_;
   long saves_ = 0;
   long restores_ = 0;
 };
@@ -84,6 +103,17 @@ struct RecoveryOptions {
   CheckpointStore* store = nullptr;  ///< null = runtime-internal memory store
 };
 
+/// Per-rank liveness and pacing observed by the runtime: the inputs of both
+/// hang detection (heartbeats / last-seen step) and load-balancing decisions
+/// (EWMA step time). Published in RunReport so rebalances and post-mortems
+/// are explainable from the structured output alone.
+struct RankHealth {
+  int rank = 0;
+  long last_seen_step = -1;        ///< last step this rank completed
+  long heartbeats = 0;             ///< state-level liveness beats emitted
+  double ewma_step_seconds = 0.0;  ///< exponentially-weighted step wall time
+};
+
 /// Structured outcome of a (possibly fault-injected) multi-step run: instead
 /// of an escaping exception, callers get what completed, what it cost, and —
 /// when recovery was impossible — why.
@@ -95,7 +125,12 @@ struct RunReport {
   long rolled_back_steps = 0;  ///< completed steps discarded by rollbacks
   std::string failure;         ///< root cause when !ok
   ReliabilityCounters channel; ///< what the reliable layer absorbed
+  std::vector<RankHealth> health;  ///< per-rank heartbeat/pacing snapshot
 };
+
+/// Render a RunReport as a single JSON object (reliability counters and the
+/// per-rank health table included) for verify_pipeline and log scraping.
+std::string run_report_to_json(const RunReport& report);
 
 /// Execute one program pass over all ranks with the sequential phase-based
 /// scheduler: compute states run per rank in rank order; halo-only states
@@ -146,6 +181,17 @@ struct OverlapPlan {
 /// recomputation is a pure function of pre-state inputs.
 OverlapPlan analyze_overlap(const ir::Program& program, int state_index);
 
+/// Synthetic per-rank slowdown: a deterministic busy-wait added to one
+/// rank's execution at every state of the flattened order. Pure wall-time —
+/// no data path is touched, so results stay bitwise identical — which makes
+/// it the test vehicle for EWMA divergence and load-balancer triggers.
+struct ImbalancePlan {
+  int slow_rank = -1;          ///< rank to slow down (-1 = inactive)
+  long extra_us_per_state = 0; ///< busy-wait microseconds per state position
+  long from_step = 0;          ///< first step() index the slowdown applies to
+  [[nodiscard]] bool active() const { return slow_rank >= 0 && extra_us_per_state > 0; }
+};
+
 /// Options of the concurrent runtime.
 struct RuntimeOptions {
   /// Split halo-dependent states into interior + rim to overlap compute
@@ -163,6 +209,9 @@ struct RuntimeOptions {
   /// by run() when `recovery.enabled`.
   FaultPlan faults{};
   RecoveryOptions recovery{};
+  /// Synthetic straggler injection (inactive by default); wall-time only,
+  /// bitwise invariant.
+  ImbalancePlan imbalance{};
 };
 
 /// Cumulative execution statistics (written between steps, not by rank
@@ -211,6 +260,22 @@ class ConcurrentRuntime {
 
   [[nodiscard]] ConcurrentComm& comm() { return comm_; }
   [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
+
+  /// Per-rank heartbeat/pacing snapshot (valid between steps). The EWMA step
+  /// times are what the elastic LoadBalancer consumes.
+  [[nodiscard]] const std::vector<RankHealth>& rank_health() const { return health_; }
+  /// Wall seconds each rank spent in the most recent step().
+  [[nodiscard]] const std::vector<double>& last_step_seconds() const { return step_seconds_; }
+
+  /// The step() index the next pass will run as (== completed passes since
+  /// the last reset). FaultPlan::fail_step and ImbalancePlan::from_step match
+  /// against it.
+  [[nodiscard]] long step_index() const { return step_index_; }
+  /// Align the pass counter with an external (global) step clock. The elastic
+  /// layer rebuilds the runtime mid-run on every re-roster, and fault plans /
+  /// imbalance plans are keyed in global steps — a fresh epoch must not
+  /// restart the clock at 0.
+  void set_step_index(long step) { step_index_ = step; }
   [[nodiscard]] const OverlapPlan& plan(int state_index) const {
     return plans_[static_cast<size_t>(state_index)];
   }
@@ -249,6 +314,12 @@ class ConcurrentRuntime {
   /// Per-rank liveness beats (relaxed increments from rank threads, polled
   /// by the health monitor). unique_ptr array: atomics are not movable.
   std::unique_ptr<std::atomic<long>[]> heartbeats_;
+  /// Wall seconds per rank for the latest step. Each rank thread writes only
+  /// its own slot; the coordinator reads after the joins (happens-before).
+  std::vector<double> step_seconds_;
+  /// Per-rank health, folded from step_seconds_ by the coordinator after
+  /// every successful step.
+  std::vector<RankHealth> health_;
   /// Between-steps re-tuner (run.tune_mode == Online). Created lazily on
   /// the first step; hot-swaps improved states into every rank's program
   /// copy at step boundaries only — rank threads are joined, so no executor

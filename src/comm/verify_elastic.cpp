@@ -1,0 +1,217 @@
+#include "comm/verify_elastic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <limits>
+#include <utility>
+
+#include "comm/simcomm.hpp"
+#include "core/dsl/builder.hpp"
+#include "core/util/rng.hpp"
+
+namespace cyclone::verify {
+
+namespace {
+
+std::vector<exec::LaunchDomain> rank_domains(const grid::Partitioner& part, int nk) {
+  std::vector<exec::LaunchDomain> doms;
+  doms.reserve(static_cast<size_t>(part.num_ranks()));
+  for (int r = 0; r < part.num_ranks(); ++r) {
+    const auto info = part.info(r);
+    exec::LaunchDomain dom{info.ni, info.nj, nk};
+    dom.gi0 = info.i0;
+    dom.gj0 = info.j0;
+    dom.gni = part.n();
+    dom.gnj = part.n();
+    doms.push_back(dom);
+  }
+  return doms;
+}
+
+std::vector<FieldCatalog> seeded_catalogs(const ir::Program& program,
+                                          const std::vector<exec::LaunchDomain>& doms,
+                                          uint64_t seed) {
+  std::vector<FieldCatalog> cats;
+  cats.reserve(doms.size());
+  for (size_t r = 0; r < doms.size(); ++r) {
+    cats.push_back(make_test_catalog(program, program, doms[r], Rng::mix(seed, r)));
+  }
+  return cats;
+}
+
+std::vector<comm::RankDomain> bind(std::vector<FieldCatalog>& cats,
+                                   const std::vector<exec::LaunchDomain>& doms) {
+  std::vector<comm::RankDomain> ranks;
+  ranks.reserve(cats.size());
+  for (size_t r = 0; r < cats.size(); ++r) {
+    ranks.push_back(comm::RankDomain{&cats[r], doms[r]});
+  }
+  return ranks;
+}
+
+/// Compare one assembled global field bitwise against the reference.
+FieldDivergence compare_global(const std::string& label, const std::vector<double>& ref,
+                               const std::vector<double>& got) {
+  FieldDivergence d;
+  d.field = label;
+  if (ref.size() != got.size()) {
+    d.ok = false;
+    d.max_ulps = std::numeric_limits<double>::infinity();
+    return d;
+  }
+  for (size_t i = 0; i < ref.size(); ++i) {
+    const double u = ulp_distance(ref[i], got[i]);
+    if (u > d.max_ulps) {
+      d.max_ulps = u;
+      d.max_abs = std::abs(ref[i] - got[i]);
+      d.at_i = static_cast<int>(i);  // flat global index; tile/j/i recoverable
+    }
+    if (u != 0.0) d.ok = false;
+  }
+  return d;
+}
+
+}  // namespace
+
+ir::Program make_elastic_program(int trips) {
+  ir::Program p("elastic-diffusion");
+  const int hx = p.add_state(ir::State{"hx", {ir::SNode::make_halo_exchange("hx.q", {"q"}, 3)}});
+  dsl::StencilBuilder b("diffuse");
+  auto q = b.field("q");
+  auto lap = b.field("lap");
+  auto out = b.field("out");
+  b.parallel().full().assign(lap, q(1, 0) + q(-1, 0) + q(0, 1) + q(0, -1) - dsl::E(q) * 4.0);
+  b.parallel().full().assign(out, dsl::E(q) + (lap(1, 0) + lap(-1, 0) + lap(0, 1) + lap(0, -1) -
+                                               dsl::E(lap) * 4.0) *
+                                                  0.1);
+  const int cm = p.add_state(ir::State{"compute", {ir::SNode::make_stencil("diffuse", b.build())}});
+  dsl::StencilBuilder c("commit");
+  auto q2 = c.field("q");
+  auto out2 = c.field("out");
+  c.parallel().full().assign(q2, dsl::E(out2));
+  const int cp = p.add_state(ir::State{"commit", {ir::SNode::make_stencil("commit", c.build())}});
+  p.control_flow().children.push_back(ir::CFNode::loop(
+      "it", trips,
+      {ir::CFNode::state_ref(hx), ir::CFNode::state_ref(cm), ir::CFNode::state_ref(cp)}));
+  return p;
+}
+
+EquivalenceReport check_elastic_agrees(const ir::Program& program, int n, int nk,
+                                       int halo_width, const ElasticVerifyOptions& options) {
+  EquivalenceReport report;
+  report.data_seed = options.data_seed;
+
+  for (const auto& backend_name : options.backends) {
+    exec::ExecBackend backend;
+    if (!exec::parse_backend(backend_name, backend)) {
+      DomainResult dr;
+      dr.ok = false;
+      dr.error = "unknown backend '" + backend_name + "'";
+      report.domains.push_back(dr);
+      report.equivalent = false;
+      continue;
+    }
+    ir::Program prog = program;
+    exec::RunOptions run = prog.run_options();
+    run.backend = backend;
+    run.num_threads = 1;
+    prog.set_run_options(run);
+
+    for (int s = 0; s < options.seeds; ++s) {
+      const uint64_t seed = Rng::mix(options.data_seed, static_cast<uint64_t>(s));
+
+      // Static-membership lockstep reference at the initial roster.
+      const grid::Partitioner part0 = grid::Partitioner::for_ranks(n, options.initial_ranks);
+      const comm::HaloUpdater halo(part0, halo_width);
+      const auto doms = rank_domains(part0, nk);
+      auto ref_cats = seeded_catalogs(prog, doms, seed);
+      auto ref_ranks = bind(ref_cats, doms);
+      comm::SimComm sim(part0.num_ranks());
+      for (int t = 0; t < options.steps; ++t) {
+        comm::run_lockstep_step(prog, halo, ref_ranks, sim);
+      }
+      std::vector<std::pair<std::string, std::vector<double>>> ref_globals;
+      for (const auto& name : ref_cats[0].names()) {
+        ref_globals.emplace_back(name, comm::assemble_owned(part0, ref_ranks, name));
+      }
+
+      struct Scenario {
+        const char* label;
+        bool kill;
+      };
+      std::vector<Scenario> scenarios = {{"resize", false}};
+      if (options.include_kill_rejoin) scenarios.push_back({"kill-rejoin", true});
+
+      for (const Scenario& sc : scenarios) {
+        DomainResult dr;
+        dr.dom = doms[0];
+        dr.fill_seed = seed;
+        try {
+          auto cats = seeded_catalogs(prog, doms, seed);
+          comm::ElasticOptions eo;
+          eo.runtime.run = prog.run_options();
+          eo.runtime.channel.recv_timeout_seconds = options.recv_timeout_seconds;
+          eo.keep_checkpoints = 2;
+          if (!sc.kill) {
+            const int grow_to =
+                options.grow_ranks > 0 ? options.grow_ranks : options.initial_ranks;
+            eo.plan.events = {{options.shrink_at, options.shrink_ranks},
+                              {options.grow_at, grow_to}};
+          } else {
+            eo.runtime.faults.seed = Rng::mix(options.fault_seed, static_cast<uint64_t>(s));
+            eo.runtime.faults.drop_rate = options.drop_rate;
+            eo.runtime.faults.failure = comm::FaultPlan::Failure::Crash;
+            eo.runtime.faults.fail_rank = static_cast<int>(Rng::derive(seed, 0x0DDull)
+                                                               .next_below(static_cast<uint64_t>(
+                                                                   options.initial_ranks)));
+            eo.runtime.faults.fail_step = options.crash_step;
+            eo.runtime.faults.fail_at_state = 1;
+            eo.runtime.recovery.enabled = true;
+            eo.on_death = comm::DeathPolicy::EvictAndRejoin;
+            eo.evict_to_ranks = options.shrink_ranks;
+            eo.rejoin_after_steps = options.rejoin_after_steps;
+          }
+          comm::ElasticRuntime ert(prog, nk, halo_width, part0, std::move(cats), eo);
+          const comm::ElasticReport er = ert.run(options.steps);
+
+          if (!er.ok) {
+            dr.error = std::string(sc.label) + ": elastic run failed: " + er.failure;
+          } else if (!sc.kill && er.resizes < 2) {
+            dr.error = std::string(sc.label) + ": expected >= 2 resizes, saw " +
+                       std::to_string(er.resizes);
+          } else if (sc.kill && (er.deaths < 1 || er.rejoins < 1)) {
+            dr.error = std::string(sc.label) + ": expected a death and a rejoin, saw " +
+                       std::to_string(er.deaths) + " death(s), " + std::to_string(er.rejoins) +
+                       " rejoin(s)";
+          } else if (ert.halo().pool_outstanding() != 0) {
+            dr.error = std::string(sc.label) + ": halo pool leak: " +
+                       std::to_string(ert.halo().pool_outstanding()) + " buffers outstanding";
+          }
+          if (dr.error.empty()) {
+            FieldDivergence worst;
+            for (const auto& [name, ref] : ref_globals) {
+              FieldDivergence d =
+                  compare_global(backend_name + "/" + sc.label + "/" + name, ref,
+                                 ert.assemble(name));
+              if (!d.ok) dr.fields.push_back(d);
+              if (worst.field.empty() || d.max_ulps > worst.max_ulps) worst = d;
+            }
+            if (dr.fields.empty() && !worst.field.empty()) dr.fields.push_back(worst);
+            dr.ok = dr.fields.empty() || (dr.fields.size() == 1 && dr.fields[0].ok);
+          } else {
+            dr.ok = false;
+          }
+        } catch (const std::exception& e) {
+          dr.ok = false;
+          dr.error = std::string(sc.label) + ": " + e.what();
+        }
+        report.domains.push_back(std::move(dr));
+        report.equivalent = report.equivalent && report.domains.back().ok;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace cyclone::verify

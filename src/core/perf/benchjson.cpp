@@ -112,6 +112,38 @@ class Parser {
     return v;
   }
 
+  uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      value <<= 4;
+      if (h >= '0' && h <= '9') value |= static_cast<uint32_t>(h - '0');
+      else if (h >= 'a' && h <= 'f') value |= static_cast<uint32_t>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') value |= static_cast<uint32_t>(h - 'A' + 10);
+      else fail(std::string("bad hex digit '") + h + "' in \\u escape");
+    }
+    return value;
+  }
+
+  static void append_utf8(std::string& out, uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
   std::string parse_string() {
     expect('"');
     std::string out;
@@ -135,11 +167,20 @@ class Parser {
         case 'b': out += '\b'; break;
         case 'f': out += '\f'; break;
         case 'u': {
-          // The snapshots are ASCII; decode \uXXXX to '?' placeholders
-          // rather than rejecting, so foreign tool output still parses.
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          pos_ += 4;
-          out += '?';
+          // Decode \uXXXX (and surrogate pairs) to UTF-8 so foreign tool
+          // output round-trips instead of degrading to '?' placeholders.
+          uint32_t cp = parse_hex4();
+          if (cp >= 0xDC00 && cp <= 0xDFFF) fail("lone low surrogate in \\u escape");
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+              fail("high surrogate not followed by \\u escape");
+            }
+            pos_ += 2;
+            const uint32_t lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate in \\u escape");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          }
+          append_utf8(out, cp);
           break;
         }
         default: fail(std::string("unknown escape '\\") + e + "'");

@@ -49,17 +49,33 @@ std::optional<Partitioner::Resolved> Partitioner::resolve(int rank, int li, int 
 }
 
 Partitioner Partitioner::for_ranks(int n, int num_ranks) {
-  CY_REQUIRE_MSG(num_ranks % kNumFaces == 0, "rank count must be a multiple of 6");
+  const auto why = validate_rank_count(n, num_ranks);
+  CY_REQUIRE_MSG(!why, *why);
   const int per_tile = num_ranks / kNumFaces;
   // Pick the most square px x py factorization.
   int best_px = 1;
   for (int px = 1; px * px <= per_tile; ++px) {
     if (per_tile % px == 0 && n % px == 0 && n % (per_tile / px) == 0) best_px = px;
   }
-  const int py = per_tile / best_px;
-  CY_REQUIRE_MSG(n % best_px == 0 && n % py == 0,
-                 "no valid decomposition of " << n << " cells for " << num_ranks << " ranks");
-  return Partitioner(n, best_px, py);
+  return Partitioner(n, best_px, per_tile / best_px);
+}
+
+std::optional<std::string> Partitioner::validate_rank_count(int n, int num_ranks) {
+  if (n <= 0) return "tile size must be positive, got " + std::to_string(n);
+  if (num_ranks <= 0) {
+    return "rank count must be positive, got " + std::to_string(num_ranks);
+  }
+  if (num_ranks % kNumFaces != 0) {
+    return "rank count " + std::to_string(num_ranks) +
+           " is not a multiple of 6 (one cubed-sphere face per tile; 6 is the minimum roster)";
+  }
+  const int per_tile = num_ranks / kNumFaces;
+  for (int px = 1; px * px <= per_tile; ++px) {
+    if (per_tile % px == 0 && n % px == 0 && n % (per_tile / px) == 0) return std::nullopt;
+  }
+  return "no valid decomposition of a " + std::to_string(n) + "-cell tile for " +
+         std::to_string(num_ranks) + " ranks (no px x py factorization of " +
+         std::to_string(per_tile) + " divides " + std::to_string(n) + ")";
 }
 
 }  // namespace cyclone::grid

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "grid/cube_topology.hpp"
@@ -55,6 +56,14 @@ class Partitioner {
   /// Construct a partitioner with approximately square subdomains for a
   /// given total rank count (must be 6 * px * py for integers px, py).
   static Partitioner for_ranks(int n, int num_ranks);
+
+  /// Why `num_ranks` cannot decompose an n-cell tile — non-positive, not a
+  /// multiple of 6 (one face per tile is the minimum roster), or no px x py
+  /// factorization of the per-tile count divides n. nullopt = valid. The
+  /// elastic runtime consults this before honoring a membership event, so a
+  /// bad resize request becomes a structured mid-run rejection instead of a
+  /// tear-down.
+  static std::optional<std::string> validate_rank_count(int n, int num_ranks);
 
  private:
   int n_;

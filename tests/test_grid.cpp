@@ -143,6 +143,48 @@ TEST(Partitioner, BasicLayout) {
   EXPECT_EQ(last.tile, 5);
 }
 
+TEST(Partitioner, ValidateRankCountAcceptsElasticRosters) {
+  // Every roster an elastic 24 -> 6 -> 24 round-trip can visit on n=12.
+  for (int ranks : {6, 12, 24}) {
+    EXPECT_FALSE(Partitioner::validate_rank_count(12, ranks).has_value()) << ranks;
+  }
+}
+
+TEST(Partitioner, ValidateRankCountRejectsBadRosters) {
+  // Non-multiples of 6 carry the one-face-per-tile message.
+  for (int ranks : {1, 5, 7, 10, 21}) {
+    const auto why = Partitioner::validate_rank_count(12, ranks);
+    ASSERT_TRUE(why.has_value()) << ranks;
+    EXPECT_NE(why->find("multiple of 6"), std::string::npos) << *why;
+  }
+  // Degenerate inputs.
+  EXPECT_TRUE(Partitioner::validate_rank_count(12, 0).has_value());
+  EXPECT_TRUE(Partitioner::validate_rank_count(12, -6).has_value());
+  EXPECT_TRUE(Partitioner::validate_rank_count(0, 6).has_value());
+  // Multiple of 6 but no px*py factorization divides the tile side.
+  const auto why = Partitioner::validate_rank_count(12, 30);
+  ASSERT_TRUE(why.has_value());
+  EXPECT_TRUE(Partitioner::validate_rank_count(12, 30).has_value());
+}
+
+TEST(Partitioner, ForRanksMinimumRosterIsWholeTiles) {
+  const Partitioner p = Partitioner::for_ranks(12, 6);
+  EXPECT_EQ(p.num_ranks(), 6);
+  for (int r = 0; r < 6; ++r) {
+    const RankInfo info = p.info(r);
+    EXPECT_EQ(info.tile, r);
+    EXPECT_EQ(info.i0, 0);
+    EXPECT_EQ(info.j0, 0);
+    EXPECT_EQ(info.ni, 12);
+    EXPECT_EQ(info.nj, 12);
+  }
+}
+
+TEST(Partitioner, ForRanksRejectsInvalidCountWithMessage) {
+  EXPECT_THROW(Partitioner::for_ranks(12, 10), std::exception);
+  EXPECT_THROW(Partitioner::for_ranks(12, 0), std::exception);
+}
+
 TEST(Partitioner, OwnerInverseOfInfo) {
   const Partitioner p(12, 3, 2);
   for (int rank = 0; rank < p.num_ranks(); ++rank) {

@@ -290,6 +290,33 @@ TEST(BenchJson, RejectsMalformedInput) {
   EXPECT_THROW(parse_json("{\"a\":\"unterminated}"), Error);
 }
 
+TEST(BenchJson, DecodesUnicodeEscapesToUtf8) {
+  // BMP code points: 2- and 3-byte UTF-8.
+  EXPECT_EQ(parse_json(R"({"s":"caf\u00e9"})").find("s")->text, "caf\xc3\xa9");
+  EXPECT_EQ(parse_json(R"({"s":"\u2603"})").find("s")->text, "\xe2\x98\x83");
+  // Mixed-case hex and ASCII escapes alongside.
+  EXPECT_EQ(parse_json(R"({"s":"\u00E9\n"})").find("s")->text, "\xc3\xa9\n");
+  // Surrogate pair: one astral code point, 4-byte UTF-8.
+  EXPECT_EQ(parse_json(R"({"s":"\ud83d\ude00"})").find("s")->text, "\xf0\x9f\x98\x80");
+}
+
+TEST(BenchJson, Utf8DecodingRoundTripsThroughFormatter) {
+  // A decoded string re-emitted by the formatter must parse back unchanged
+  // (the writer passes UTF-8 bytes through raw, which is valid JSON).
+  const std::string text = parse_json(R"({"s":"\u00e9 \u2603 \ud83d\ude00"})").find("s")->text;
+  const JsonValue again = parse_json("{\"s\":\"" + text + "\"}");
+  EXPECT_EQ(again.find("s")->text, text);
+}
+
+TEST(BenchJson, RejectsMalformedUnicodeEscapes) {
+  EXPECT_THROW(parse_json(R"({"s":"\u12"})"), Error);        // truncated
+  EXPECT_THROW(parse_json(R"({"s":"\u12g4"})"), Error);      // bad hex digit
+  EXPECT_THROW(parse_json(R"({"s":"\ud83d"})"), Error);      // lone high surrogate
+  EXPECT_THROW(parse_json("{\"s\":\"\\ud83dx\\u0041\"}"), Error);     // high surrogate, no pair
+  EXPECT_THROW(parse_json("{\"s\":\"\\ud83d\\u0041\"}"), Error);  // bad low surrogate
+  EXPECT_THROW(parse_json(R"({"s":"\ude00"})"), Error);      // lone low surrogate
+}
+
 TEST(BenchJson, FormatterOutputValidates) {
   const std::string line = format_bench_record("ensemble", "swe_c12m4", 2, 1.25e-2, 3.7,
                                                "\"members\":4,\"mode\":\"batched\"");
@@ -344,7 +371,7 @@ TEST(BenchJson, SnapshotValidatorRequiresProvenanceAndRecords) {
 // check, so a hand-edited or printf-rotted snapshot fails here by name.
 TEST(BenchSnapshots, CommittedTrajectoryFilesMatchSchema) {
   for (const char* name : {"BENCH_fig10.json", "BENCH_table3.json", "BENCH_ensemble.json",
-                           "BENCH_tuning.json"}) {
+                           "BENCH_tuning.json", "BENCH_elastic.json"}) {
     const std::string path = std::string(CYCLONE_SOURCE_DIR) + "/" + name;
     JsonValue snapshot;
     ASSERT_NO_THROW(snapshot = parse_json_file(path)) << path;

@@ -36,10 +36,14 @@
 #include <string>
 #include <vector>
 
+#include "comm/elastic.hpp"
+#include "comm/simcomm.hpp"
 #include "comm/verify_distributed.hpp"
+#include "comm/verify_elastic.hpp"
 #include "core/dsl/builder.hpp"
 #include "core/exec/engine.hpp"
 #include "core/tune/search.hpp"
+#include "core/util/rng.hpp"
 #include "core/tune/tunedb.hpp"
 #include "core/verify/pipeline.hpp"
 #include "core/verify/random_program.hpp"
@@ -96,6 +100,22 @@ void usage() {
                "  --seeds N          perturbation seeds for --ensemble (default 3)\n"
                "  --members CSV      member counts for --ensemble (default 1,4)\n"
                "  --steps N          timesteps per --ensemble run (default 2)\n"
+               "  --elastic          prove the elastic membership layer invisible to the\n"
+               "                     numerics: scripted shrink/grow round-trips and a\n"
+               "                     kill-then-rejoin under chaos must match the static-\n"
+               "                     membership lockstep run at 0 ULP, then an injected\n"
+               "                     straggler must trigger a load-balancer re-roster.\n"
+               "                     --seeds, --steps, --fault-seed, --fault-rate,\n"
+               "                     --crash-step and --recv-timeout apply\n"
+               "  --resize-script S  membership timeline \"step:ranks,step:ranks\" for\n"
+               "                     --elastic: first event is the shrink, second the grow\n"
+               "                     (default 2:6,5:24; --ranks sets the starting roster,\n"
+               "                     default 24 in this mode)\n"
+               "  --imbalance SPEC   synthetic straggler \"rank:extra_us\" for the elastic\n"
+               "                     rebalance check (default 2:2000; off to skip)\n"
+               "  --elastic-backends CSV\n"
+               "                     backends the elastic sweep proves (default\n"
+               "                     interp,openmp,jit)\n"
                "  --tune-mode NAME   off (default), guided, or exhaustive: autotune the\n"
                "                     transformed program before the equivalence check and\n"
                "                     report the search accounting; online: re-tune between\n"
@@ -198,6 +218,13 @@ int main(int argc, char** argv) {
   int concurrent_reps = 5;
   exec::RunOptions run;
   bool chaos = false;
+  bool elastic = false;
+  bool ranks_set = false;
+  bool seeds_set = false;
+  bool steps_set = false;
+  std::string resize_script = "2:6,5:24";
+  std::string imbalance_spec = "2:2000";
+  std::string elastic_backends_csv = "interp,openmp,jit";
   bool ensemble_sweep = false;
   int ensemble_seeds = 3;
   std::string ensemble_members_csv = "1,4";
@@ -250,6 +277,7 @@ int main(int argc, char** argv) {
       concurrent = true;
     } else if (arg == "--ranks") {
       ranks = std::atoi(value());
+      ranks_set = true;
     } else if (arg == "--reps") {
       concurrent_reps = std::atoi(value());
     } else if (arg == "--recv-timeout") {
@@ -258,12 +286,22 @@ int main(int argc, char** argv) {
       ensemble_sweep = true;
     } else if (arg == "--seeds") {
       ensemble_seeds = std::atoi(value());
+      seeds_set = true;
     } else if (arg == "--members") {
       ensemble_members_csv = value();
     } else if (arg == "--steps") {
       ensemble_steps = std::atoi(value());
+      steps_set = true;
     } else if (arg == "--chaos") {
       chaos = true;
+    } else if (arg == "--elastic") {
+      elastic = true;
+    } else if (arg == "--resize-script") {
+      resize_script = value();
+    } else if (arg == "--imbalance") {
+      imbalance_spec = value();
+    } else if (arg == "--elastic-backends") {
+      elastic_backends_csv = value();
     } else if (arg == "--fault-modes") {
       fault_modes_csv = value();
     } else if (arg == "--chaos-seeds") {
@@ -407,6 +445,125 @@ int main(int argc, char** argv) {
       return report.equivalent ? 0 : 1;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "chaos check failed to run: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  // Elastic mode is self-contained: prove the membership layer invisible to
+  // the numerics (scripted resizes + kill-then-rejoin under chaos, 0 ULP vs
+  // the static lockstep run), then demonstrate the imbalance-triggered
+  // rebalance path and surface its structured report (resize log, channel
+  // reliability counters, per-rank heartbeat health).
+  if (elastic) {
+    try {
+      const comm::MembershipPlan script = comm::MembershipPlan::parse(resize_script);
+      if (script.events.size() < 2) {
+        std::fprintf(stderr, "--resize-script needs a shrink and a grow event\n");
+        return 2;
+      }
+      verify::ElasticVerifyOptions evo;
+      evo.backends = split_csv(elastic_backends_csv);
+      evo.seeds = seeds_set ? ensemble_seeds : 10;
+      evo.steps = steps_set ? ensemble_steps : 8;
+      evo.initial_ranks = ranks_set ? ranks : 24;
+      evo.shrink_at = script.events[0].at_step;
+      evo.shrink_ranks = script.events[0].target_ranks;
+      evo.grow_at = script.events[1].at_step;
+      evo.grow_ranks = script.events[1].target_ranks;
+      evo.fault_seed = fault_seed;
+      evo.drop_rate = fault_rate;
+      if (crash_step >= 0) evo.crash_step = crash_step;
+      evo.recv_timeout_seconds = recv_timeout;
+      const verify::EquivalenceReport ereport =
+          verify::check_elastic_agrees(verify::make_elastic_program(), /*n=*/12, /*nk=*/4,
+                                       /*halo_width=*/3, evo);
+
+      // Imbalance leg: inject a synthetic straggler, require the load
+      // balancer to shed it through a re-roster, and require the perturbed
+      // run to stay bitwise identical to the undisturbed lockstep reference.
+      bool imbalance_ok = true;
+      std::string imbalance_json;
+      if (imbalance_spec != "off") {
+        const comm::MembershipPlan spec = comm::MembershipPlan::parse(imbalance_spec);
+        if (spec.events.size() != 1) {
+          std::fprintf(stderr, "--imbalance wants a single rank:extra_us pair\n");
+          return 2;
+        }
+        const ir::Program prog = verify::make_elastic_program(1);
+        const int n = 12, nk = 4, nranks = 6, isteps = steps_set ? ensemble_steps : 8;
+        const grid::Partitioner part = grid::Partitioner::for_ranks(n, nranks);
+        std::vector<exec::LaunchDomain> doms;
+        for (int r = 0; r < part.num_ranks(); ++r) {
+          const auto info = part.info(r);
+          exec::LaunchDomain dom{info.ni, info.nj, nk};
+          dom.gi0 = info.i0;
+          dom.gj0 = info.j0;
+          dom.gni = part.n();
+          dom.gnj = part.n();
+          doms.push_back(dom);
+        }
+        auto catalogs_for = [&] {
+          std::vector<FieldCatalog> cats;
+          for (size_t r = 0; r < doms.size(); ++r) {
+            cats.push_back(
+                verify::make_test_catalog(prog, prog, doms[r], Rng::mix(options.data_seed, r)));
+          }
+          return cats;
+        };
+
+        comm::ElasticOptions eo;
+        eo.runtime.channel.recv_timeout_seconds = recv_timeout;
+        eo.runtime.imbalance.slow_rank = static_cast<int>(spec.events[0].at_step);
+        eo.runtime.imbalance.extra_us_per_state = spec.events[0].target_ranks;
+        eo.balancer.enabled = true;
+        eo.balancer.trigger_ratio = 1.5;
+        eo.balancer.warmup_steps = 2;
+        comm::ElasticRuntime ert(prog, nk, 3, part, catalogs_for(), eo);
+        const comm::ElasticReport ireport = ert.run(isteps);
+        imbalance_json = comm::elastic_report_to_json(ireport);
+        imbalance_ok = ireport.ok && ireport.rebalances >= 1;
+        if (imbalance_ok) {
+          auto cats = catalogs_for();
+          std::vector<comm::RankDomain> rref;
+          for (size_t r = 0; r < cats.size(); ++r) {
+            rref.push_back(comm::RankDomain{&cats[r], doms[r]});
+          }
+          const comm::HaloUpdater halo(part, 3);
+          comm::SimComm sim(part.num_ranks());
+          for (int t = 0; t < isteps; ++t) comm::run_lockstep_step(prog, halo, rref, sim);
+          for (const auto& name : cats[0].names()) {
+            const auto want = comm::assemble_owned(part, rref, name);
+            const auto got = ert.assemble(name);
+            if (want.size() != got.size()) imbalance_ok = false;
+            for (size_t i = 0; imbalance_ok && i < want.size(); ++i) {
+              if (verify::ulp_distance(want[i], got[i]) != 0.0) imbalance_ok = false;
+            }
+            if (!imbalance_ok) {
+              std::fprintf(stderr, "imbalance run diverged on field '%s'\n", name.c_str());
+              break;
+            }
+          }
+        }
+      }
+
+      std::ostringstream out;
+      out << "{\n  \"mode\": \"elastic\",\n"
+          << "  \"resize_script\": \"" << json_escape(resize_script) << "\",\n"
+          << "  \"initial_ranks\": " << (ranks_set ? ranks : 24) << ",\n"
+          << "  \"backends\": \"" << json_escape(elastic_backends_csv) << "\",\n"
+          << "  \"seeds\": " << (seeds_set ? ensemble_seeds : 10) << ",\n"
+          << "  \"elastic_report\": " << verify::report_to_json(ereport) << ",\n";
+      if (!imbalance_json.empty()) {
+        out << "  \"imbalance\": \"" << json_escape(imbalance_spec) << "\",\n"
+            << "  \"imbalance_ok\": " << (imbalance_ok ? "true" : "false") << ",\n"
+            << "  \"imbalance_run\": " << imbalance_json << ",\n";
+      }
+      out << "  \"equivalent\": "
+          << ((ereport.equivalent && imbalance_ok) ? "true" : "false") << "\n}\n";
+      std::fputs(out.str().c_str(), stdout);
+      return (ereport.equivalent && imbalance_ok) ? 0 : 1;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "elastic check failed to run: %s\n", e.what());
       return 2;
     }
   }
